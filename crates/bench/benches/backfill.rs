@@ -1,0 +1,71 @@
+//! Benchmark: availability-profile construction and backfill planning —
+//! the per-pass cost that bounds simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::{DetRng, SimTime};
+use slurm_sim::{Profile, ReleaseMap};
+
+fn release_map(nodes: u32, busy: u32, rng: &mut DetRng) -> ReleaseMap {
+    let mut rm = ReleaseMap::new(nodes);
+    for n in 0..busy {
+        rm.set_release(
+            cluster::NodeId(n),
+            Some(SimTime(rng.range_u64(1, 500_000))),
+        );
+    }
+    rm
+}
+
+fn bench_profile_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_build");
+    for &nodes in &[256u32, 1024, 5040] {
+        let mut rng = DetRng::new(3);
+        let rm = release_map(nodes, nodes * 3 / 4, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &rm, |b, rm| {
+            b.iter(|| black_box(Profile::build(SimTime(0), nodes / 4, rm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_earliest_start(c: &mut Criterion) {
+    let mut rng = DetRng::new(4);
+    let rm = release_map(5040, 4000, &mut rng);
+    let profile = Profile::build(SimTime(0), 1040, &rm);
+    c.bench_function("earliest_start/5040_nodes", |b| {
+        let mut n = 1u32;
+        b.iter(|| {
+            n = n % 2000 + 1;
+            black_box(profile.earliest_start(n, 36_000, SimTime(0)))
+        })
+    });
+}
+
+fn bench_conservative_pass(c: &mut Criterion) {
+    // A full planning pass: 100 queued jobs against a loaded 1024-node
+    // machine, each reserving in the profile (the conservative mode's cost).
+    let mut rng = DetRng::new(5);
+    let rm = release_map(1024, 900, &mut rng);
+    let jobs: Vec<(u32, u64)> = (0..100)
+        .map(|_| (rng.range_u64(1, 64) as u32, rng.range_u64(300, 86_400)))
+        .collect();
+    c.bench_function("conservative_pass/100_jobs_1024_nodes", |b| {
+        b.iter(|| {
+            let mut p = Profile::build(SimTime(0), 124, &rm);
+            for &(nodes, dur) in &jobs {
+                let t = p.earliest_start(nodes, dur, SimTime(0));
+                if t != SimTime::MAX {
+                    p.reserve(t, dur, nodes);
+                }
+            }
+            black_box(p.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_profile_build, bench_earliest_start, bench_conservative_pass
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmark: whole-simulation throughput — static backfill vs SD-Policy on
+//! the same trace, the number every other cost rolls up into.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sd_bench::{run_config, ModelKind, PolicyKind, RunConfig};
+use sd_policy::MaxSlowdown;
+use workload::PaperWorkload;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("static_w3_2000_jobs", |b| {
+        let cfg = RunConfig::new(PaperWorkload::W3Ricc, PolicyKind::StaticBackfill)
+            .with_scale(0.2)
+            .with_model(ModelKind::Ideal);
+        b.iter(|| black_box(run_config(&cfg).outcomes.len()))
+    });
+    group.bench_function("sd_w3_2000_jobs", |b| {
+        let cfg = RunConfig::new(
+            PaperWorkload::W3Ricc,
+            PolicyKind::Sd(MaxSlowdown::DynAvg),
+        )
+        .with_scale(0.2)
+        .with_model(ModelKind::Ideal);
+        b.iter(|| black_box(run_config(&cfg).outcomes.len()))
+    });
+    group.bench_function("sd_w4_3970_jobs", |b| {
+        let cfg = RunConfig::new(
+            PaperWorkload::W4Curie,
+            PolicyKind::Sd(MaxSlowdown::Static(10.0)),
+        )
+        .with_scale(0.02)
+        .with_model(ModelKind::Ideal);
+        b.iter(|| black_box(run_config(&cfg).outcomes.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

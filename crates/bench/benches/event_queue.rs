@@ -1,0 +1,60 @@
+//! Microbenchmark: the event queue, the simulator's innermost structure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::{DetRng, EventQueue, SimTime};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = DetRng::new(1);
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000_000)).collect();
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &times, |b, times| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(times.len());
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime(t), i as u32);
+                }
+                let mut sum = 0u64;
+                while let Some(ev) = q.pop() {
+                    sum += ev.time.secs();
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancel_heavy(c: &mut Criterion) {
+    // The malleable simulator cancels ~2 end events per reconfiguration;
+    // model a 50 % cancellation rate.
+    let mut rng = DetRng::new(2);
+    let times: Vec<u64> = (0..10_000).map(|_| rng.range_u64(0, 1_000_000)).collect();
+    c.bench_function("event_queue/cancel_50pct", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(times.len());
+            let tokens: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| q.push(SimTime(t), i as u32))
+                .collect();
+            for (i, tok) in tokens.iter().enumerate() {
+                if i % 2 == 0 {
+                    q.cancel(*tok);
+                }
+            }
+            let mut n = 0usize;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_push_pop, bench_cancel_heavy
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmark: mate selection (Eqs. 1–3) — invoked once per malleable trial.
+
+use cluster::JobId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_policy::mates::{pick_mates, Candidate};
+use sd_policy::SdPolicyConfig;
+use simkit::DetRng;
+
+fn candidates(n: usize, rng: &mut DetRng) -> Vec<Candidate> {
+    let mut v: Vec<Candidate> = (0..n)
+        .map(|i| Candidate {
+            id: JobId(i as u64 + 1),
+            weight: rng.range_u64(1, 64) as u32,
+            penalty: rng.range_f64(1.0, 20.0),
+        })
+        .collect();
+    v.sort_by(|a, b| a.penalty.partial_cmp(&b.penalty).unwrap());
+    v
+}
+
+fn bench_pick_mates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pick_mates");
+    for &n in &[16usize, 64, 256] {
+        let mut rng = DetRng::new(6);
+        let cands = candidates(n, &mut rng);
+        let cfg = SdPolicyConfig::default(); // m = 2 (paper optimum)
+        group.bench_with_input(BenchmarkId::new("m2", n), &cands, |b, cands| {
+            let mut target = 1u32;
+            b.iter(|| {
+                target = target % 96 + 1;
+                black_box(pick_mates(cands, target, 0, &cfg))
+            })
+        });
+        let cfg3 = SdPolicyConfig {
+            max_mates: 3,
+            ..SdPolicyConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("m3", n), &cands, |b, cands| {
+            let mut target = 1u32;
+            b.iter(|| {
+                target = target % 96 + 1;
+                black_box(pick_mates(cands, target, 0, &cfg3))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pick_mates
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmark: runtime-model evaluation (Eqs. 5/6 + app model) — computed at
+//! every reconfiguration of every running job.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sd_policy::models::{ideal_wall_time, worst_case_wall_time, Slot};
+use simkit::DetRng;
+use slurm_sim::rate::{AppAwareModel, IdealModel, RateInputs, RateModel, WorstCaseModel};
+
+fn bench_rate_models(c: &mut Criterion) {
+    let mut rng = DetRng::new(7);
+    let cores: Vec<u32> = (0..128).map(|_| rng.range_u64(1, 48) as u32).collect();
+    let inputs = RateInputs {
+        cores: &cores,
+        full_cores: 48,
+        app: Some(workload::AppId::CoreNeuron),
+        neighbour_mem: 0.6,
+    };
+    c.bench_function("rate/ideal_128_nodes", |b| {
+        b.iter(|| black_box(IdealModel.rate(&inputs)))
+    });
+    c.bench_function("rate/worst_case_128_nodes", |b| {
+        b.iter(|| black_box(WorstCaseModel.rate(&inputs)))
+    });
+    c.bench_function("rate/app_aware_128_nodes", |b| {
+        b.iter(|| black_box(AppAwareModel.rate(&inputs)))
+    });
+}
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut rng = DetRng::new(8);
+    let slots: Vec<Slot> = (0..32)
+        .map(|_| Slot {
+            cpus_per_node: (0..16).map(|_| rng.range_u64(1, 48) as u32).collect(),
+            static_work: rng.range_f64(10.0, 10_000.0),
+        })
+        .collect();
+    c.bench_function("closed_form/eq5_32_slots", |b| {
+        b.iter(|| black_box(ideal_wall_time(&slots, 48)))
+    });
+    c.bench_function("closed_form/eq6_32_slots", |b| {
+        b.iter(|| black_box(worst_case_wall_time(&slots, 48)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_rate_models, bench_closed_forms
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark: workload generation (trace synthesis must stay negligible
+//! next to simulation time, even at the 198 K-job Curie scale).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use workload::PaperWorkload;
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate/w1_cirne_1000_jobs", |b| {
+        b.iter(|| black_box(PaperWorkload::W1Cirne.generate(9, 0.2)))
+    });
+    c.bench_function("generate/w4_curie_3970_jobs", |b| {
+        b.iter(|| black_box(PaperWorkload::W4Curie.generate(9, 0.02)))
+    });
+    c.bench_function("generate/w5_realrun_2000_jobs_with_apps", |b| {
+        b.iter(|| black_box(PaperWorkload::generate_apps(9)))
+    });
+}
+
+fn bench_swf_io(c: &mut Criterion) {
+    let trace = PaperWorkload::W3Ricc.generate(9, 0.2);
+    let text = swf::write_string(&trace);
+    c.bench_function("swf/write_2000_jobs", |b| {
+        b.iter(|| black_box(swf::write_string(&trace)))
+    });
+    c.bench_function("swf/parse_2000_jobs", |b| {
+        b.iter(|| black_box(swf::parse_str(&text).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_swf_io
+}
+criterion_main!(benches);

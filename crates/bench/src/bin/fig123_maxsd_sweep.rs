@@ -1,0 +1,104 @@
+//! **Figures 1–3** — makespan, average response time and average slowdown
+//! for Workloads 1–4 over the MAX_SLOWDOWN sweep
+//! (MAXSD 5 / 10 / 50 / ∞ / DynAVGSD), normalised to static backfill.
+//!
+//! Paper's headline: best-case slowdown reductions of 49.5 % (W1), 31 %
+//! (W2), 25.7 % (W3) and 70.4 % (W4); makespan roughly constant; response
+//! time down by up to 50 % on W4.
+
+use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_policy::MaxSlowdown;
+use sched_metrics::{normalized, Summary, Table};
+use workload::PaperWorkload;
+
+fn main() {
+    let args = CliArgs::from_env();
+    // "using SharingFactor of 0.5 and the ideal runtime model" (§4.1).
+    let cutoffs = MaxSlowdown::paper_sweep();
+
+    let mut configs = Vec::new();
+    for &w in &PaperWorkload::SIMULATED {
+        let scale = args.effective_scale(sd_bench::default_scale(w));
+        configs.push(
+            RunConfig::new(w, PolicyKind::StaticBackfill)
+                .with_scale(scale)
+                .with_seed(args.seed)
+                .with_model(ModelKind::Ideal),
+        );
+        for &c in &cutoffs {
+            configs.push(
+                RunConfig::new(w, PolicyKind::Sd(c))
+                    .with_scale(scale)
+                    .with_seed(args.seed)
+                    .with_model(ModelKind::Ideal),
+            );
+        }
+    }
+    eprintln!("running {} simulations…", configs.len());
+    let results = sweep(&configs);
+
+    let per_workload = 1 + cutoffs.len();
+    let metric_tables = [
+        ("Figure 1: Makespan (normalized to static backfill)", 0usize),
+        ("Figure 2: Avg response time (normalized)", 1),
+        ("Figure 3: Avg slowdown (normalized)", 2),
+    ];
+    for (title, metric) in metric_tables {
+        println!("\n=== {title} ===\n");
+        let mut t = Table::new(&[
+            "workload", "MAXSD 5", "MAXSD 10", "MAXSD 50", "MAXSD inf", "DynAVGSD",
+        ]);
+        for (wi, &w) in PaperWorkload::SIMULATED.iter().enumerate() {
+            let base_idx = wi * per_workload;
+            let cores = w
+                .cluster(args.effective_scale(sd_bench::default_scale(w)))
+                .total_cores();
+            let base = Summary::from_result("static", &results[base_idx], cores);
+            let pick = |s: &Summary| match metric {
+                0 => s.makespan as f64,
+                1 => s.mean_response,
+                _ => s.mean_slowdown,
+            };
+            let mut row = vec![w.short().to_string()];
+            for ci in 0..cutoffs.len() {
+                let s = Summary::from_result("sd", &results[base_idx + 1 + ci], cores);
+                row.push(format!("{:.3}", normalized(pick(&s), pick(&base))));
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+
+    // Companion absolute table + malleability counters.
+    println!("\n=== Absolute values (for EXPERIMENTS.md) ===\n");
+    let mut t = Table::new(&[
+        "workload", "policy", "makespan", "resp(s)", "slowdown", "malleable", "mates",
+    ]);
+    for (wi, &w) in PaperWorkload::SIMULATED.iter().enumerate() {
+        let cores = w
+            .cluster(args.effective_scale(sd_bench::default_scale(w)))
+            .total_cores();
+        for ci in 0..per_workload {
+            let res = &results[wi * per_workload + ci];
+            let label = if ci == 0 {
+                "static".to_string()
+            } else {
+                cutoffs[ci - 1].label()
+            };
+            let s = Summary::from_result(&label, res, cores);
+            t.row(vec![
+                w.short().to_string(),
+                label,
+                format!("{}", s.makespan),
+                format!("{:.0}", s.mean_response),
+                format!("{:.1}", s.mean_slowdown),
+                format!("{}", s.malleable_started),
+                format!("{}", s.unique_mates),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "paper best-case slowdown reductions: W1 49.5%, W2 31%, W3 25.7%, W4 70.4%"
+    );
+}

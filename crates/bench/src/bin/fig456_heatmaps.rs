@@ -1,0 +1,67 @@
+//! **Figures 4–6** — per-category ratio heatmaps on Workload 4.
+//!
+//! Static backfill vs SD-Policy MAXSD 10; cells are (requested-nodes ×
+//! runtime-class) job categories; values are `static / SD` ratios for
+//! slowdown (Fig. 4), runtime (Fig. 5) and wait time (Fig. 6).
+//!
+//! Paper findings to compare against: small/short jobs improve most (up to
+//! 569 % in slowdown); runtimes of malleable jobs increase (ratio < 1 in
+//! Fig. 5) while wait times improve broadly (Fig. 6); a single category
+//! (512–1024 nodes, 12 h–1 d) loses ~15 % slowdown.
+
+use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_policy::MaxSlowdown;
+use sched_metrics::heatmap::{HeatMetric, Heatmap, HeatmapSpec, RatioHeatmap};
+use workload::PaperWorkload;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let w = PaperWorkload::W4Curie;
+    let scale = args.effective_scale(sd_bench::default_scale(w));
+    let configs = vec![
+        RunConfig::new(w, PolicyKind::StaticBackfill)
+            .with_scale(scale)
+            .with_seed(args.seed)
+            .with_model(ModelKind::Ideal),
+        RunConfig::new(w, PolicyKind::Sd(MaxSlowdown::Static(10.0)))
+            .with_scale(scale)
+            .with_seed(args.seed)
+            .with_model(ModelKind::Ideal),
+    ];
+    eprintln!("running static + SD (MAXSD 10) on {} at scale {scale}…", w.label());
+    let results = sweep(&configs);
+
+    let max_nodes = w.cluster(scale).nodes;
+    let spec = HeatmapSpec::paper_style(max_nodes);
+    let figures = [
+        ("Figure 4: slowdown ratio static/SD (>1 = SD better)", HeatMetric::Slowdown),
+        ("Figure 5: runtime ratio static/SD (<1 = SD stretched runtimes)", HeatMetric::Runtime),
+        ("Figure 6: wait-time ratio static/SD (>1 = SD better)", HeatMetric::WaitTime),
+    ];
+    for (title, metric) in figures {
+        let base = Heatmap::build(spec.clone(), metric, &results[0].outcomes);
+        let sd = Heatmap::build(spec.clone(), metric, &results[1].outcomes);
+        let ratio = RatioHeatmap::compute(&base, &sd);
+        println!("\n=== {title} ===\n");
+        println!("{}", ratio.render());
+    }
+
+    // Cell population so sparse categories can be discounted like the paper
+    // does ("two categories contain few jobs to take some conclusions").
+    let base = Heatmap::build(spec.clone(), HeatMetric::Slowdown, &results[0].outcomes);
+    println!("\n=== Jobs per category (static run) ===\n");
+    let mut header = vec!["runtime\\nodes".to_string()];
+    for n in 0..spec.node_buckets() {
+        header.push(spec.node_label(n));
+    }
+    let hdr_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = sched_metrics::Table::new(&hdr_refs);
+    for r in 0..spec.runtime_buckets() {
+        let mut row = vec![spec.runtime_label(r)];
+        for n in 0..spec.node_buckets() {
+            row.push(format!("{}", base.cell_count(r, n)));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,85 @@
+//! Replay a genuine Parallel Workloads Archive trace (static vs SD-Policy).
+//!
+//! This is the path for running the paper's *actual* Workloads 3/4 when the
+//! archive files are available (DESIGN.md §4):
+//!
+//! ```sh
+//! cargo run --release -p sd-bench --bin replay_swf -- --swf CEA-Curie-2011-2.1-cln.swf
+//! ```
+
+use drom::SharingFactor;
+use sd_bench::CliArgs;
+use sd_policy::SdPolicy;
+use sched_metrics::{Summary, Table};
+use slurm_sim::replay::{infer_cluster, replay_state};
+use slurm_sim::{Controller, IdealModel, SlurmConfig, StaticBackfill};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let Some(path) = args.swf.as_deref() else {
+        eprintln!("usage: replay_swf --swf <trace.swf> [--seed N]");
+        std::process::exit(2);
+    };
+    let (trace, skipped) =
+        swf::parse_file(std::path::Path::new(path)).expect("readable SWF file");
+    let spec = infer_cluster(&trace);
+    println!(
+        "{path}: {} records ({skipped} malformed skipped), machine {} = {} nodes × {} cores",
+        trace.len(),
+        spec.name,
+        spec.nodes,
+        spec.node.cores()
+    );
+    let cfg = if trace.len() > 50_000 {
+        SlurmConfig::large_scale()
+    } else {
+        SlurmConfig::default()
+    };
+
+    let (state, kept) = replay_state(
+        trace.clone(),
+        spec.clone(),
+        cfg.clone(),
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+    );
+    println!("{kept} jobs after cleaning; running static backfill…");
+    let stat = Controller::new(state, StaticBackfill).run();
+
+    let (state, _) = replay_state(
+        trace,
+        spec.clone(),
+        cfg,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+    );
+    println!("running SD-Policy (DynAVGSD)…");
+    let sd = Controller::new(state, SdPolicy::default()).run();
+
+    let s0 = Summary::from_result("static", &stat, spec.total_cores());
+    let s1 = Summary::from_result("sd", &sd, spec.total_cores());
+    let mut t = Table::new(&["metric", "static", "SD-Policy", "norm"]);
+    t.row(vec![
+        "makespan (s)".into(),
+        format!("{}", s0.makespan),
+        format!("{}", s1.makespan),
+        format!("{:.3}", s1.makespan as f64 / s0.makespan.max(1) as f64),
+    ]);
+    t.row(vec![
+        "avg response (s)".into(),
+        format!("{:.0}", s0.mean_response),
+        format!("{:.0}", s1.mean_response),
+        format!("{:.3}", s1.mean_response / s0.mean_response.max(1e-9)),
+    ]);
+    t.row(vec![
+        "avg slowdown".into(),
+        format!("{:.1}", s0.mean_slowdown),
+        format!("{:.1}", s1.mean_slowdown),
+        format!("{:.3}", s1.mean_slowdown / s0.mean_slowdown.max(1e-9)),
+    ]);
+    println!("\n{}", t.render());
+    println!(
+        "malleable starts: {}, mates: {}",
+        sd.stats.started_malleable, sd.stats.unique_mates
+    );
+}

@@ -1,0 +1,119 @@
+//! **Table 1** — description of the five workloads.
+//!
+//! Regenerates the paper's workload-inventory table: job count, system size,
+//! maximum job size, and the static-backfill average response time, average
+//! slowdown and makespan. Paper values are printed alongside for comparison
+//! (absolute numbers depend on the synthetic-trace calibration; the shape —
+//! orders of magnitude and ordering across workloads — is the target).
+
+use sd_bench::{run_config, CliArgs, PolicyKind, RunConfig};
+use sched_metrics::Summary;
+use workload::PaperWorkload;
+
+struct PaperRow {
+    resp: f64,
+    slowdown: f64,
+    makespan: u64,
+}
+
+fn paper_row(w: PaperWorkload) -> PaperRow {
+    match w {
+        PaperWorkload::W1Cirne => PaperRow {
+            resp: 122_152.0,
+            slowdown: 3_339.5,
+            makespan: 899_888,
+        },
+        PaperWorkload::W2CirneIdeal => PaperRow {
+            resp: 126_486.0,
+            slowdown: 3_501.0,
+            makespan: 896_024,
+        },
+        PaperWorkload::W3Ricc => PaperRow {
+            resp: 43_537.0,
+            slowdown: 1_341.0,
+            makespan: 407_043,
+        },
+        PaperWorkload::W4Curie => PaperRow {
+            resp: 29_858.5,
+            slowdown: 3_666.5,
+            makespan: 21_615_111,
+        },
+        PaperWorkload::W5RealRun => PaperRow {
+            resp: 56_482.0,
+            slowdown: 4_783.1,
+            makespan: 159_313,
+        },
+    }
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    println!("=== Table 1: Description of workloads (static backfill) ===\n");
+    let mut table = sched_metrics::Table::new(&[
+        "ID",
+        "Log/model",
+        "#jobs",
+        "system(n/c)",
+        "maxjob(n/c)",
+        "resp(s)",
+        "paper",
+        "slowdown",
+        "paper",
+        "makespan(s)",
+        "paper",
+    ]);
+    for (i, w) in PaperWorkload::ALL.iter().enumerate() {
+        let scale = args.effective_scale(sd_bench::default_scale(*w));
+        let cfg = RunConfig::new(*w, PolicyKind::StaticBackfill)
+            .with_scale(scale)
+            .with_seed(args.seed)
+            .with_model(if *w == PaperWorkload::W5RealRun {
+                sd_bench::ModelKind::AppAware
+            } else {
+                sd_bench::ModelKind::Ideal
+            });
+        let res = run_config(&cfg);
+        let cluster = w.cluster(scale);
+        let s = Summary::from_result(w.label(), &res, cluster.total_cores());
+        let max_job_nodes = res.outcomes.iter().map(|o| o.nodes).max().unwrap_or(0);
+        let p = paper_row(*w);
+        let model_name = match w {
+            PaperWorkload::W1Cirne => "Cirne",
+            PaperWorkload::W2CirneIdeal => "Cirne_ideal",
+            PaperWorkload::W3Ricc => "RICC-sept",
+            PaperWorkload::W4Curie => "CEA-Curie",
+            PaperWorkload::W5RealRun => "Cirne_real_run",
+        };
+        table.row(vec![
+            format!("{}", i + 1),
+            model_name.to_string(),
+            format!("{}", s.jobs),
+            format!("{}/{}", cluster.nodes, cluster.total_cores()),
+            format!(
+                "{}/{}",
+                max_job_nodes,
+                max_job_nodes as u64 * cluster.node.cores() as u64
+            ),
+            format!("{:.0}", s.mean_response),
+            format!("{:.0}", p.resp),
+            format!("{:.1}", s.mean_slowdown),
+            format!("{:.1}", p.slowdown),
+            format!("{}", s.makespan),
+            format!("{}", p.makespan),
+        ]);
+        eprintln!(
+            "[{}] scale {:.3}: utilization {:.1}%, sched passes {}",
+            w.short(),
+            scale,
+            s.utilization * 100.0,
+            res.stats.sched_passes
+        );
+    }
+    println!("{}", table.render());
+    if !args.full {
+        println!(
+            "(scaled runs — paper columns refer to the full-scale systems; \
+             rerun with --full for paper-scale sizes)"
+        );
+    }
+}

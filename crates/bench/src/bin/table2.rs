@@ -1,0 +1,66 @@
+//! **Table 2** — workload characterisation for the real-run evaluation.
+//!
+//! Prints the application mix of the generated Workload 5 next to the
+//! paper's percentages, plus the behavioural parameters of each application
+//! model (our substitution for the real binaries, DESIGN.md §4).
+
+use sched_metrics::Table;
+use workload::{AppId, PaperWorkload, APPS};
+
+fn main() {
+    let args = sd_bench::CliArgs::from_env();
+    let at = PaperWorkload::generate_apps(args.seed);
+    let mix = at.mix();
+    let total = at.apps.len() as f64;
+
+    println!("=== Table 2: Workload characterization for real-run evaluation ===\n");
+    let mut t = Table::new(&[
+        "Application",
+        "% workload",
+        "paper %",
+        "CPU util",
+        "Mem util",
+        "serial frac",
+        "speedup@48",
+    ]);
+    for app in &APPS {
+        let count = mix
+            .iter()
+            .find(|(id, _)| *id == app.id)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        t.row(vec![
+            app.name.to_string(),
+            format!("{:.1}%", count as f64 / total * 100.0),
+            format!("{:.1}%", app.share * 100.0),
+            format!("{:.2}", app.cpu_util),
+            format!("{:.2}", app.mem_util),
+            format!("{:.3}", app.serial_fraction),
+            format!("{:.1}", app.speedup(48)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Size/time qualitative profile (the paper's ReqNodes / ReqTime cols).
+    let mut nodes_by_app: std::collections::HashMap<AppId, (u64, u64, usize)> = Default::default();
+    for (i, &a) in at.apps.iter().enumerate() {
+        let j = &at.trace.jobs[i];
+        let e = nodes_by_app.entry(a).or_insert((0, 0, 0));
+        e.0 += j.procs().unwrap_or(0) / 48;
+        e.1 += j.runtime().unwrap_or(0);
+        e.2 += 1;
+    }
+    let mut t2 = Table::new(&["Application", "mean nodes", "mean runtime (s)", "jobs"]);
+    for app in &APPS {
+        if let Some(&(n, rt, c)) = nodes_by_app.get(&app.id) {
+            let c = c.max(1);
+            t2.row(vec![
+                app.name.to_string(),
+                format!("{:.1}", n as f64 / c as f64),
+                format!("{:.0}", rt as f64 / c as f64),
+                format!("{c}"),
+            ]);
+        }
+    }
+    println!("{}", t2.render());
+}

@@ -1,0 +1,116 @@
+//! Minimal command-line parsing for the experiment binaries.
+//!
+//! Flags (all optional):
+//! * `--scale <f64>` — workload/system scale (default: per-workload CI size)
+//! * `--full` — paper-scale run (`scale = 1.0`)
+//! * `--seed <u64>` — RNG seed (default 42)
+//! * `--swf <path>` — replay a genuine SWF trace instead of the synthetic
+//!   generator (Workloads 3/4, see DESIGN.md §4)
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    pub scale: Option<f64>,
+    pub full: bool,
+    pub seed: u64,
+    pub swf: Option<String>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            scale: None,
+            full: false,
+            seed: 42,
+            swf: None,
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parses from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
+        let mut out = CliArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    out.scale = Some(v.parse().map_err(|_| format!("bad scale: {v}"))?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                }
+                "--swf" => {
+                    out.swf = Some(it.next().ok_or("--swf needs a path")?);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--scale F] [--full] [--seed N] [--swf FILE]".into())
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the real process arguments, exiting with a message on error.
+    pub fn from_env() -> CliArgs {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The effective scale: `--full` → 1.0, else `--scale`, else the
+    /// workload default.
+    pub fn effective_scale(&self, default: f64) -> f64 {
+        if self.full {
+            1.0
+        } else {
+            self.scale.unwrap_or(default)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, CliArgs::default());
+        assert_eq!(a.effective_scale(0.1), 0.1);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--scale", "0.5", "--seed", "7", "--swf", "x.swf"]).unwrap();
+        assert_eq!(a.scale, Some(0.5));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.swf.as_deref(), Some("x.swf"));
+        assert_eq!(a.effective_scale(0.1), 0.5);
+    }
+
+    #[test]
+    fn full_overrides_scale() {
+        let a = parse(&["--scale", "0.5", "--full"]).unwrap();
+        assert_eq!(a.effective_scale(0.1), 1.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! # sd-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index). This library holds the shared machinery:
+//!
+//! * [`runner`] — configure + execute a simulation (workload × policy ×
+//!   runtime model × scale) and parallel sweeps over configurations,
+//! * [`cli`] — the tiny flag parser shared by the binaries
+//!   (`--scale`, `--seed`, `--full`, `--swf <file>`).
+//!
+//! Every binary prints the paper's rows/series next to the measured values
+//! so EXPERIMENTS.md can record paper-vs-measured directly.
+
+pub mod cli;
+pub mod runner;
+
+pub use cli::CliArgs;
+pub use runner::{default_scale, run_config, sweep, ModelKind, PolicyKind, RunConfig};

@@ -1,0 +1,234 @@
+//! CPU affinity masks.
+//!
+//! A [`CpuMask`] is a dynamic bitset over the cores of one node. The DROM
+//! substrate manipulates these to express task→core pinning; the SD-Policy
+//! node-management layer (paper Listing 3) uses the socket helpers to keep
+//! co-scheduled jobs isolated on separate sockets.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A set of CPU core indices within one node.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct CpuMask {
+    words: Vec<u64>,
+    ncores: usize,
+}
+
+impl CpuMask {
+    /// Empty mask for a node with `ncores` cores.
+    pub fn empty(ncores: usize) -> CpuMask {
+        CpuMask {
+            words: vec![0; ncores.div_ceil(BITS)],
+            ncores,
+        }
+    }
+
+    /// Mask with every core of the node set.
+    pub fn full(ncores: usize) -> CpuMask {
+        let mut m = CpuMask::empty(ncores);
+        for c in 0..ncores {
+            m.set(c);
+        }
+        m
+    }
+
+    /// Mask covering the half-open core range `[lo, hi)`.
+    pub fn range(ncores: usize, lo: usize, hi: usize) -> CpuMask {
+        let mut m = CpuMask::empty(ncores);
+        for c in lo..hi.min(ncores) {
+            m.set(c);
+        }
+        m
+    }
+
+    /// Number of cores this mask is defined over (node width, not popcount).
+    pub fn width(&self) -> usize {
+        self.ncores
+    }
+
+    /// Sets core `c`. Panics if out of range (programming error).
+    pub fn set(&mut self, c: usize) {
+        assert!(c < self.ncores, "core {c} out of range {}", self.ncores);
+        self.words[c / BITS] |= 1 << (c % BITS);
+    }
+
+    /// Clears core `c`.
+    pub fn clear(&mut self, c: usize) {
+        assert!(c < self.ncores, "core {c} out of range {}", self.ncores);
+        self.words[c / BITS] &= !(1 << (c % BITS));
+    }
+
+    /// Whether core `c` is in the mask.
+    pub fn contains(&self, c: usize) -> bool {
+        c < self.ncores && self.words[c / BITS] & (1 << (c % BITS)) != 0
+    }
+
+    /// Number of cores set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Union, in place.
+    pub fn union_with(&mut self, other: &CpuMask) {
+        debug_assert_eq!(self.ncores, other.ncores);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Intersection, in place.
+    pub fn intersect_with(&mut self, other: &CpuMask) {
+        debug_assert_eq!(self.ncores, other.ncores);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Removes `other`'s cores, in place.
+    pub fn subtract(&mut self, other: &CpuMask) {
+        debug_assert_eq!(self.ncores, other.ncores);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// True if the two masks share no core.
+    pub fn is_disjoint(&self, other: &CpuMask) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over set core indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.ncores).filter(move |&c| self.contains(c))
+    }
+
+    /// The lowest `n` set cores as a new mask (used when shrinking a task to
+    /// a core budget while keeping placement stable).
+    pub fn take_lowest(&self, n: usize) -> CpuMask {
+        let mut out = CpuMask::empty(self.ncores);
+        for c in self.iter().take(n) {
+            out.set(c);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CpuMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuMask[{}/{}:", self.count(), self.ncores)?;
+        let mut first = true;
+        // Render as compressed ranges: 0-3,8,12-15
+        let mut iter = self.iter().peekable();
+        while let Some(start) = iter.next() {
+            let mut end = start;
+            while iter.peek() == Some(&(end + 1)) {
+                end = iter.next().unwrap();
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if start == end {
+                write!(f, "{start}")?;
+            } else {
+                write!(f, "{start}-{end}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut m = CpuMask::empty(128);
+        assert!(!m.contains(70));
+        m.set(70);
+        assert!(m.contains(70));
+        assert_eq!(m.count(), 1);
+        m.clear(70);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_and_range() {
+        let m = CpuMask::full(48);
+        assert_eq!(m.count(), 48);
+        let r = CpuMask::range(48, 24, 48);
+        assert_eq!(r.count(), 24);
+        assert!(!r.contains(23));
+        assert!(r.contains(24));
+        assert!(r.contains(47));
+    }
+
+    #[test]
+    fn range_clamps_to_width() {
+        let r = CpuMask::range(8, 4, 100);
+        assert_eq!(r.count(), 4);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = CpuMask::range(16, 0, 8);
+        let b = CpuMask::range(16, 8, 16);
+        assert!(a.is_disjoint(&b));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 16);
+
+        let mut i = u.clone();
+        i.intersect_with(&a);
+        assert_eq!(i, a);
+
+        let mut s = u.clone();
+        s.subtract(&a);
+        assert_eq!(s, b);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut m = CpuMask::empty(96);
+        for c in [90, 3, 65] {
+            m.set(c);
+        }
+        let v: Vec<usize> = m.iter().collect();
+        assert_eq!(v, vec![3, 65, 90]);
+    }
+
+    #[test]
+    fn take_lowest() {
+        let m = CpuMask::range(16, 4, 12);
+        let low = m.take_lowest(3);
+        assert_eq!(low.iter().collect::<Vec<_>>(), vec![4, 5, 6]);
+        let all = m.take_lowest(100);
+        assert_eq!(all, m);
+    }
+
+    #[test]
+    fn debug_renders_ranges() {
+        let mut m = CpuMask::empty(16);
+        for c in [0, 1, 2, 3, 8, 12, 13] {
+            m.set(c);
+        }
+        assert_eq!(format!("{m:?}"), "CpuMask[7/16:0-3,8,12-13]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        CpuMask::empty(4).set(4);
+    }
+}

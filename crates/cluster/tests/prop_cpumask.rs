@@ -1,0 +1,71 @@
+//! Property tests: CpuMask set algebra against a reference HashSet model.
+
+use cluster::CpuMask;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const W: usize = 96; // two 48-core sockets
+
+fn arb_mask() -> impl Strategy<Value = (CpuMask, HashSet<usize>)> {
+    prop::collection::hash_set(0usize..W, 0..W).prop_map(|set| {
+        let mut m = CpuMask::empty(W);
+        for &c in &set {
+            m.set(c);
+        }
+        (m, set)
+    })
+}
+
+proptest! {
+    #[test]
+    fn count_matches_model((m, set) in arb_mask()) {
+        prop_assert_eq!(m.count(), set.len());
+        prop_assert_eq!(m.is_empty(), set.is_empty());
+        for c in 0..W {
+            prop_assert_eq!(m.contains(c), set.contains(&c));
+        }
+    }
+
+    #[test]
+    fn union_matches_model((a, sa) in arb_mask(), (b, sb) in arb_mask()) {
+        let mut u = a.clone();
+        u.union_with(&b);
+        let expect: HashSet<usize> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(u.iter().collect::<HashSet<_>>(), expect);
+    }
+
+    #[test]
+    fn intersect_matches_model((a, sa) in arb_mask(), (b, sb) in arb_mask()) {
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        let expect: HashSet<usize> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(i.iter().collect::<HashSet<_>>(), expect);
+    }
+
+    #[test]
+    fn subtract_matches_model((a, sa) in arb_mask(), (b, sb) in arb_mask()) {
+        let mut d = a.clone();
+        d.subtract(&b);
+        let expect: HashSet<usize> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(d.iter().collect::<HashSet<_>>(), expect);
+        prop_assert!(d.is_disjoint(&b));
+    }
+
+    #[test]
+    fn take_lowest_is_prefix((a, _sa) in arb_mask(), n in 0usize..W) {
+        let low = a.take_lowest(n);
+        prop_assert_eq!(low.count(), n.min(a.count()));
+        // Every taken core is in the original, and they are the smallest.
+        let taken: Vec<usize> = low.iter().collect();
+        let original: Vec<usize> = a.iter().collect();
+        prop_assert_eq!(&taken[..], &original[..taken.len()]);
+    }
+
+    #[test]
+    fn iter_is_sorted((a, _s) in arb_mask()) {
+        let v: Vec<usize> = a.iter().collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(v, sorted);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property test: random placement/shrink/remove sequences never violate
+//! the ClusterState invariants.
+
+use cluster::{ClusterSpec, ClusterState, JobId, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Place { job: u64, nodes: Vec<u32>, cores: u32 },
+    SetCores { job: u64, node: u32, cores: u32 },
+    Remove { job: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            1u64..20,
+            prop::collection::vec(0u32..8, 1..4),
+            1u32..9
+        )
+            .prop_map(|(job, nodes, cores)| Op::Place { job, nodes, cores }),
+        (1u64..20, 0u32..8, 1u32..9).prop_map(|(job, node, cores)| Op::SetCores {
+            job,
+            node,
+            cores
+        }),
+        (1u64..20).prop_map(|job| Op::Remove { job }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_under_random_ops(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut spec = ClusterSpec::ricc(); // 8-core nodes
+        spec.nodes = 8;
+        let mut cs = ClusterState::new(spec);
+        // Track placements so Remove uses real node lists.
+        let mut placed: std::collections::HashMap<u64, Vec<NodeId>> = Default::default();
+        for op in ops {
+            match op {
+                Op::Place { job, mut nodes, cores } => {
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    let ids: Vec<NodeId> = nodes.iter().map(|&n| NodeId(n)).collect();
+                    if placed.contains_key(&job) {
+                        continue;
+                    }
+                    if cs.place(JobId(job), &ids, cores).is_ok() {
+                        placed.insert(job, ids);
+                    }
+                }
+                Op::SetCores { job, node, cores } => {
+                    // Result may be an error (not placed / capacity) — both fine.
+                    let _ = cs.set_cores(JobId(job), NodeId(node), cores);
+                }
+                Op::Remove { job } => {
+                    if let Some(nodes) = placed.remove(&job) {
+                        cs.remove(JobId(job), &nodes).expect("tracked placement removes cleanly");
+                    }
+                }
+            }
+            if let Err(e) = cs.validate() {
+                return Err(TestCaseError::fail(format!("invariant broken: {e}")));
+            }
+        }
+        // Drain everything: machine must come back to fully idle.
+        let jobs: Vec<u64> = placed.keys().copied().collect();
+        for job in jobs {
+            let nodes = placed.remove(&job).unwrap();
+            cs.remove(JobId(job), &nodes).unwrap();
+        }
+        prop_assert_eq!(cs.busy_cores(), 0);
+        prop_assert_eq!(cs.empty_node_count(), 8);
+    }
+}

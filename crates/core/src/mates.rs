@@ -1,0 +1,359 @@
+//! Mate selection — the paper's Eqs. 1–3 and Listing 2.
+//!
+//! Minimise the Performance Impact `PI = Σ xᵢ·pᵢ` (Eq. 1) subject to
+//! `pᵢ < P` (Eq. 2, the MAX_SLOWDOWN cut-off) and `Σ xᵢ·wᵢ = W` (Eq. 3,
+//! whole-node weights). Selecting mates is NP-complete; the paper's
+//! heuristic sorts candidates by penalty, truncates to `nm`, and tries
+//! combinations of at most `m` mates (with `m = 2` found optimal).
+//!
+//! For `m ≤ 2` the exact optimum over the truncated list is found in
+//! `O(nm)` by bucketing candidates per weight (the best pair for a weight
+//! split is always the two lowest-penalty candidates of the buckets). For
+//! `m ≥ 3` a bounded depth-first search over the buckets is used.
+
+use crate::config::SdPolicyConfig;
+use crate::penalty::{mate_penalty, shrink_increase};
+use cluster::JobId;
+use simkit::SimTime;
+use slurm_sim::SimState;
+use std::collections::BTreeMap;
+
+/// A scored candidate mate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub id: JobId,
+    /// Whole nodes the mate occupies (its weight `wᵢ`).
+    pub weight: u32,
+    /// Eq. 4 penalty for the concrete co-schedule being considered.
+    pub penalty: f64,
+}
+
+/// The chosen mate set (plus optional idle nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    pub mates: Vec<JobId>,
+    /// Idle nodes included toward the weight constraint (0 unless
+    /// `include_free_nodes` is on).
+    pub free_nodes: u32,
+    /// The objective value `PI` (Eq. 1).
+    pub performance_impact: f64,
+}
+
+/// Collects, filters and scores candidate mates for a job needing
+/// `mall_wall` seconds of co-residency (paper: `filter_and_sort`).
+///
+/// Filters applied, in order:
+/// * eligibility (running, malleable, full width, not already sharing) —
+///   pre-maintained by the simulator's mate pool;
+/// * the finish-inside constraint: the new job's requested end
+///   (`now + mall_wall`) must not exceed the mate's requested end;
+/// * the cut-off `pᵢ < P` (Eq. 2);
+/// * the `nm` cap on the candidate list.
+pub fn collect_candidates(
+    st: &SimState,
+    mall_wall: u64,
+    cutoff: f64,
+    cfg: &SdPolicyConfig,
+) -> Vec<Candidate> {
+    let now = st.now;
+    let new_end = now.after(mall_wall);
+    let full = st.spec().node.cores();
+    let mut out: Vec<Candidate> = Vec::with_capacity(cfg.candidate_cap.min(64));
+    // The pool is sorted by base penalty ((wait+req)/req); the full Eq. 4
+    // penalty adds increase/req, so pool order is a good (not perfect)
+    // visiting order. We scan a bounded multiple of the cap, score exactly,
+    // then sort and truncate — the paper's sort-then-truncate.
+    let scan_limit = cfg.candidate_cap.saturating_mul(4).max(16);
+    for &(_base, id) in st.eligible_mates().iter().take(scan_limit) {
+        let job = st.job(id);
+        let Some(run) = job.running() else { continue };
+        // Finish-inside-mate constraint (requested-time based, §3.2.4).
+        if run.req_end < new_end {
+            continue;
+        }
+        let keep = st.sharing().keep_cores(full, job.spec.ranks_per_node);
+        if keep >= full {
+            continue; // nothing can be freed
+        }
+        let increase = shrink_increase(keep as f64 / full as f64, mall_wall);
+        let wait = run.start.since(job.spec.submit);
+        let p = mate_penalty(wait, increase, job.spec.req_time);
+        if p >= cutoff {
+            continue;
+        }
+        out.push(Candidate {
+            id,
+            weight: run.nodes.len() as u32,
+            penalty: p,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.penalty
+            .partial_cmp(&b.penalty)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    out.truncate(cfg.candidate_cap);
+    out
+}
+
+/// Finds the minimum-PI combination of ≤ `max_mates` candidates whose
+/// weights sum to exactly `target` (Eq. 3), optionally topping up with idle
+/// nodes. Returns `None` when no combination exists.
+pub fn pick_mates(
+    candidates: &[Candidate],
+    target: u32,
+    free_nodes_available: u32,
+    cfg: &SdPolicyConfig,
+) -> Option<Selection> {
+    if target == 0 || candidates.is_empty() {
+        return None;
+    }
+    let free = if cfg.include_free_nodes {
+        free_nodes_available.min(target.saturating_sub(1))
+    } else {
+        0
+    };
+    let mut best: Option<Selection> = None;
+    // Using f idle nodes reduces the weight the mates must cover. Prefer
+    // more idle nodes first (less shrink impact), but still compare by PI.
+    for used_free in (0..=free).rev() {
+        let need = target - used_free;
+        let found = match cfg.max_mates {
+            0 => None,
+            1 => best_single(candidates, need),
+            2 => best_pair(candidates, need),
+            m => best_combo(candidates, need, m),
+        };
+        if let Some((mates, pi)) = found {
+            let better = match &best {
+                None => true,
+                Some(b) => pi < b.performance_impact,
+            };
+            if better {
+                best = Some(Selection {
+                    mates,
+                    free_nodes: used_free,
+                    performance_impact: pi,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Cheapest single candidate of exactly the needed weight (m = 1).
+fn best_single(candidates: &[Candidate], need: u32) -> Option<(Vec<JobId>, f64)> {
+    candidates
+        .iter()
+        .filter(|c| c.weight == need)
+        .map(|c| (vec![c.id], c.penalty))
+        .next() // list is penalty-sorted
+}
+
+/// Exact minimum over singles and pairs: bucket candidates by weight; the
+/// optimal pair for a split (w, need−w) is the cheapest candidate of each
+/// bucket (or the two cheapest of the same bucket when w = need−w).
+fn best_pair(candidates: &[Candidate], need: u32) -> Option<(Vec<JobId>, f64)> {
+    // weight → up to two cheapest candidates (list is penalty-sorted).
+    let mut buckets: BTreeMap<u32, [Option<&Candidate>; 2]> = BTreeMap::new();
+    for c in candidates {
+        let slot = buckets.entry(c.weight).or_insert([None, None]);
+        if slot[0].is_none() {
+            slot[0] = Some(c);
+        } else if slot[1].is_none() {
+            slot[1] = Some(c);
+        }
+    }
+    let mut best: Option<(Vec<JobId>, f64)> = None;
+    let mut consider = |mates: Vec<JobId>, pi: f64| {
+        if best.as_ref().is_none_or(|(_, b)| pi < *b) {
+            best = Some((mates, pi));
+        }
+    };
+    // Singles.
+    if let Some([Some(c), _]) = buckets.get(&need) {
+        consider(vec![c.id], c.penalty);
+    }
+    // Pairs.
+    for (&w1, slot1) in buckets.range(..=need / 2) {
+        let w2 = need - w1;
+        if w2 < w1 {
+            continue;
+        }
+        if w1 == w2 {
+            if let [Some(a), Some(b)] = slot1 {
+                consider(vec![a.id, b.id], a.penalty + b.penalty);
+            }
+        } else if let (Some(a), Some([Some(b), _])) = (slot1[0], buckets.get(&w2)) {
+            consider(vec![a.id, b.id], a.penalty + b.penalty);
+        }
+    }
+    best
+}
+
+/// Bounded DFS for `m ≥ 3` (ablation configurations): candidates are
+/// penalty-sorted, so the first complete combination per branch is cheap and
+/// pruning on the running PI keeps the search small for `nm ≤ 64`.
+fn best_combo(candidates: &[Candidate], need: u32, max_mates: usize) -> Option<(Vec<JobId>, f64)> {
+    fn dfs(
+        cands: &[Candidate],
+        start: usize,
+        need: u32,
+        left: usize,
+        acc: &mut Vec<JobId>,
+        acc_pi: f64,
+        best: &mut Option<(Vec<JobId>, f64)>,
+    ) {
+        if need == 0 {
+            if best.as_ref().is_none_or(|(_, b)| acc_pi < *b) {
+                *best = Some((acc.clone(), acc_pi));
+            }
+            return;
+        }
+        if left == 0 || start >= cands.len() {
+            return;
+        }
+        if let Some((_, b)) = best {
+            if acc_pi >= *b {
+                return; // prune: penalties are non-negative
+            }
+        }
+        for i in start..cands.len() {
+            let c = &cands[i];
+            if c.weight > need {
+                continue;
+            }
+            acc.push(c.id);
+            dfs(cands, i + 1, need - c.weight, left - 1, acc, acc_pi + c.penalty, best);
+            acc.pop();
+        }
+    }
+    let mut best = None;
+    let mut acc = Vec::with_capacity(max_mates);
+    dfs(candidates, 0, need, max_mates, &mut acc, 0.0, &mut best);
+    best
+}
+
+/// Wall-clock end instant of a co-schedule beginning now (helper shared
+/// with the policy; exposed for tests).
+pub fn mall_end(now: SimTime, mall_wall: u64) -> SimTime {
+    now.after(mall_wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u64, weight: u32, penalty: f64) -> Candidate {
+        Candidate {
+            id: JobId(id),
+            weight,
+            penalty,
+        }
+    }
+
+    fn cfg() -> SdPolicyConfig {
+        SdPolicyConfig::default()
+    }
+
+    #[test]
+    fn single_exact_weight_preferred_when_cheapest() {
+        let cands = vec![cand(1, 4, 1.5), cand(2, 2, 1.0), cand(3, 2, 1.1)];
+        let sel = pick_mates(&cands, 4, 0, &cfg()).unwrap();
+        // Single (p=1.5) vs pair 2+3 (p=2.1): single wins.
+        assert_eq!(sel.mates, vec![JobId(1)]);
+        assert!((sel.performance_impact - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_beats_expensive_single() {
+        let cands = vec![cand(1, 4, 9.0), cand(2, 2, 1.0), cand(3, 2, 1.1)];
+        let sel = pick_mates(&cands, 4, 0, &cfg()).unwrap();
+        assert_eq!(sel.mates, vec![JobId(2), JobId(3)]);
+        assert!((sel.performance_impact - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_weight_pair_uses_two_cheapest() {
+        let cands = vec![cand(1, 3, 2.0), cand(2, 3, 1.0), cand(3, 3, 3.0)];
+        // Candidates must be penalty-sorted (collect_candidates guarantees).
+        let mut sorted = cands.clone();
+        sorted.sort_by(|a, b| a.penalty.partial_cmp(&b.penalty).unwrap());
+        let sel = pick_mates(&sorted, 6, 0, &cfg()).unwrap();
+        assert_eq!(sel.mates.len(), 2);
+        assert!(sel.mates.contains(&JobId(2)) && sel.mates.contains(&JobId(1)));
+        assert!((sel.performance_impact - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_combination_returns_none() {
+        let cands = vec![cand(1, 3, 1.0), cand(2, 3, 1.0)];
+        assert!(pick_mates(&cands, 5, 0, &cfg()).is_none());
+        assert!(pick_mates(&cands, 7, 0, &cfg()).is_none());
+        assert!(pick_mates(&[], 2, 0, &cfg()).is_none());
+    }
+
+    #[test]
+    fn mates_never_exceed_two_by_default() {
+        let cands = vec![cand(1, 1, 0.1), cand(2, 1, 0.1), cand(3, 1, 0.1)];
+        // Needs 3 × weight-1 mates but m=2 → impossible.
+        assert!(pick_mates(&cands, 3, 0, &cfg()).is_none());
+    }
+
+    #[test]
+    fn three_mates_found_when_m_is_three() {
+        let cands = vec![cand(1, 1, 0.1), cand(2, 1, 0.2), cand(3, 1, 0.3), cand(4, 2, 5.0)];
+        let cfg3 = SdPolicyConfig {
+            max_mates: 3,
+            ..cfg()
+        };
+        let sel = pick_mates(&cands, 3, 0, &cfg3).unwrap();
+        assert_eq!(sel.mates, vec![JobId(1), JobId(2), JobId(3)]);
+        assert!((sel.performance_impact - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dfs_matches_pair_search_for_m2() {
+        let cands = vec![
+            cand(1, 2, 1.3),
+            cand(2, 3, 1.7),
+            cand(3, 5, 2.0),
+            cand(4, 2, 2.5),
+            cand(5, 3, 0.9),
+        ];
+        let mut sorted = cands.clone();
+        sorted.sort_by(|a, b| a.penalty.partial_cmp(&b.penalty).unwrap());
+        let pair = best_pair(&sorted, 5).unwrap();
+        let combo = best_combo(&sorted, 5, 2).unwrap();
+        assert!((pair.1 - combo.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_nodes_reduce_required_weight() {
+        let cands = vec![cand(1, 2, 1.0)];
+        let with_free = SdPolicyConfig {
+            include_free_nodes: true,
+            ..cfg()
+        };
+        // Target 4, only a weight-2 mate: impossible without free nodes…
+        assert!(pick_mates(&cands, 4, 0, &cfg()).is_none());
+        // …possible with 2 idle nodes.
+        let sel = pick_mates(&cands, 4, 2, &with_free).unwrap();
+        assert_eq!(sel.free_nodes, 2);
+        assert_eq!(sel.mates, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn free_nodes_cannot_cover_everything() {
+        // At least one mate must participate (otherwise it's a static start).
+        let with_free = SdPolicyConfig {
+            include_free_nodes: true,
+            ..cfg()
+        };
+        let cands = vec![cand(1, 2, 1.0)];
+        let sel = pick_mates(&cands, 2, 10, &with_free).unwrap();
+        assert_eq!(sel.free_nodes, 0, "free nodes capped at target-1");
+        assert_eq!(sel.mates, vec![JobId(1)]);
+    }
+}

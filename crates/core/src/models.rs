@@ -1,0 +1,131 @@
+//! Runtime models for malleable jobs — the paper's §3.4.
+//!
+//! The executable models are shared with the simulator
+//! ([`slurm_sim::rate`]); this module re-exports them under their paper
+//! names and provides the **closed-form per-slot sums** of Eqs. 5 and 6,
+//! used by the property tests to show the simulator's continuous work
+//! integrator is exactly the equations' limit.
+//!
+//! * Eq. 5 (ideal): `increase = Σₜ (req_cpus / used_cpusₜ) · timeₜ − Σₜ timeₜ`
+//!   — performance proportional to total assigned resources.
+//! * Eq. 6 (worst case): same with `used` replaced by
+//!   `min_n cpus_per_node(n, t) · nodes` — the least-served node paces the
+//!   whole job.
+//!
+//! (The paper writes the sums as total runtime contributions; the increase
+//! is that total minus the static duration.)
+
+pub use slurm_sim::rate::{AppAwareModel, IdealModel, RateInputs, RateModel, WorstCaseModel};
+
+/// One resource-configuration slot: the job held `cpus_per_node[i]` on each
+/// of its nodes for `static_work` seconds of *static-equivalent* progress.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    pub cpus_per_node: Vec<u32>,
+    /// Seconds of full-rate work completed during the slot.
+    pub static_work: f64,
+}
+
+/// Wall-clock time needed to complete the slots under the **ideal** model
+/// (Eq. 5): each work unit stretches by `req/used`.
+pub fn ideal_wall_time(slots: &[Slot], full_cores: u32) -> f64 {
+    slots
+        .iter()
+        .map(|s| {
+            let used: u64 = s.cpus_per_node.iter().map(|&c| c as u64).sum();
+            let req = full_cores as u64 * s.cpus_per_node.len() as u64;
+            s.static_work * req as f64 / used.max(1) as f64
+        })
+        .sum()
+}
+
+/// Wall-clock time under the **worst-case** model (Eq. 6): the stretch is
+/// `full / min_n(cpus_n)` per slot.
+pub fn worst_case_wall_time(slots: &[Slot], full_cores: u32) -> f64 {
+    slots
+        .iter()
+        .map(|s| {
+            let min = s.cpus_per_node.iter().copied().min().unwrap_or(0).max(1);
+            s.static_work * full_cores as f64 / min as f64
+        })
+        .sum()
+}
+
+/// Runtime **increase** (the paper's `increase` term): wall time minus the
+/// static duration.
+pub fn increase(wall: f64, static_duration: f64) -> f64 {
+    (wall - static_duration).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(cpus: &[u32], work: f64) -> Slot {
+        Slot {
+            cpus_per_node: cpus.to_vec(),
+            static_work: work,
+        }
+    }
+
+    #[test]
+    fn full_allocation_has_no_increase() {
+        let slots = [slot(&[48, 48], 500.0)];
+        assert_eq!(ideal_wall_time(&slots, 48), 500.0);
+        assert_eq!(worst_case_wall_time(&slots, 48), 500.0);
+    }
+
+    #[test]
+    fn half_allocation_doubles_wall_time() {
+        let slots = [slot(&[24, 24], 500.0)];
+        assert_eq!(ideal_wall_time(&slots, 48), 1000.0);
+        assert_eq!(worst_case_wall_time(&slots, 48), 1000.0);
+        assert_eq!(increase(1000.0, 500.0), 500.0);
+    }
+
+    #[test]
+    fn unbalanced_slots_separate_the_models() {
+        // One node full, one at half: ideal rate 0.75, worst 0.5.
+        let slots = [slot(&[48, 24], 300.0)];
+        assert!((ideal_wall_time(&slots, 48) - 400.0).abs() < 1e-9);
+        assert!((worst_case_wall_time(&slots, 48) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_slot_timeline_accumulates() {
+        let slots = [slot(&[24, 24], 100.0), slot(&[48, 48], 200.0), slot(&[48, 24], 60.0)];
+        let ideal = 200.0 + 200.0 + 80.0;
+        let worst = 200.0 + 200.0 + 120.0;
+        assert!((ideal_wall_time(&slots, 48) - ideal).abs() < 1e-9);
+        assert!((worst_case_wall_time(&slots, 48) - worst).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_matches_rate_models() {
+        // For a single slot the closed form must equal work/rate with the
+        // corresponding RateModel.
+        let cpus = [36u32, 12];
+        let work = 250.0;
+        let inputs = RateInputs {
+            cores: &cpus,
+            full_cores: 48,
+            app: None,
+            neighbour_mem: 0.0,
+        };
+        let slots = [slot(&cpus, work)];
+        let ideal_rate = IdealModel.rate(&inputs);
+        let worst_rate = WorstCaseModel.rate(&inputs);
+        assert!((ideal_wall_time(&slots, 48) - work / ideal_rate).abs() < 1e-9);
+        assert!((worst_case_wall_time(&slots, 48) - work / worst_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_never_exceeds_worst_case() {
+        let slots = [
+            slot(&[48, 1], 10.0),
+            slot(&[20, 30, 40], 70.0),
+            slot(&[5], 3.0),
+        ];
+        assert!(ideal_wall_time(&slots, 48) <= worst_case_wall_time(&slots, 48) + 1e-9);
+    }
+}

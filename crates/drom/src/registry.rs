@@ -1,0 +1,216 @@
+//! The DROM "space": process registration and mask exchange.
+//!
+//! Mirrors the real DROM API surface (paper §2.1): *"API for registering
+//! processes in the DROM environment, getting the list of recorded
+//! processes, and getting/setting their CPU masks"*. Mask changes are staged
+//! as *pending* and applied when the process reaches a malleability point
+//! ([`DromRegistry::poll`]), exactly like the runtime integration with
+//! OpenMP/OmpSs task boundaries.
+
+use cluster::cpumask::CpuMask;
+use cluster::state::{JobId, NodeId};
+
+/// Handle identifying a registered process (one job's task group on a node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DromHandle(pub u64);
+
+/// A registered process entry.
+#[derive(Debug, Clone)]
+pub struct ProcessEntry {
+    pub handle: DromHandle,
+    pub job: JobId,
+    pub node: NodeId,
+    /// Mask the process is currently running with.
+    pub current: CpuMask,
+    /// Mask staged by the resource manager, applied at the next
+    /// malleability point.
+    pub pending: Option<CpuMask>,
+}
+
+impl ProcessEntry {
+    /// True when a reconfiguration is waiting for a malleability point.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+/// The registry of all DROM-attached processes (one per node manager in the
+/// real system; global here for test convenience — entries are keyed by
+/// node, so per-node views are cheap).
+#[derive(Debug, Default)]
+pub struct DromRegistry {
+    entries: Vec<ProcessEntry>,
+    next_handle: u64,
+}
+
+impl DromRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a process with its launch-time mask (`DROM_run`).
+    pub fn attach(&mut self, job: JobId, node: NodeId, mask: CpuMask) -> DromHandle {
+        let handle = DromHandle(self.next_handle);
+        self.next_handle += 1;
+        self.entries.push(ProcessEntry {
+            handle,
+            job,
+            node,
+            current: mask,
+            pending: None,
+        });
+        handle
+    }
+
+    /// Removes a process (`DROM_clean`). Returns the final mask it held.
+    pub fn detach(&mut self, handle: DromHandle) -> Option<CpuMask> {
+        let pos = self.entries.iter().position(|e| e.handle == handle)?;
+        Some(self.entries.remove(pos).current)
+    }
+
+    /// All processes on `node`, in registration order.
+    pub fn processes_on(&self, node: NodeId) -> impl Iterator<Item = &ProcessEntry> {
+        self.entries.iter().filter(move |e| e.node == node)
+    }
+
+    pub fn get(&self, handle: DromHandle) -> Option<&ProcessEntry> {
+        self.entries.iter().find(|e| e.handle == handle)
+    }
+
+    /// Looks up the process of `job` on `node`.
+    pub fn find(&self, job: JobId, node: NodeId) -> Option<&ProcessEntry> {
+        self.entries.iter().find(|e| e.job == job && e.node == node)
+    }
+
+    /// Stages a new mask for a process (`DROM_setprocessmask`).
+    pub fn set_mask(&mut self, handle: DromHandle, mask: CpuMask) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.handle == handle) {
+            e.pending = Some(mask);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The process reaches a malleability point: applies any pending mask.
+    /// Returns the new current mask if a change was applied.
+    pub fn poll(&mut self, handle: DromHandle) -> Option<&CpuMask> {
+        let e = self.entries.iter_mut().find(|e| e.handle == handle)?;
+        if let Some(p) = e.pending.take() {
+            e.current = p;
+            Some(&e.current)
+        } else {
+            None
+        }
+    }
+
+    /// Applies every pending mask on `node` (the simulator treats a
+    /// reconfiguration broadcast as reaching all malleability points at
+    /// once — DROM's measured overhead is negligible, paper §2.1).
+    pub fn poll_node(&mut self, node: NodeId) -> usize {
+        let mut applied = 0;
+        for e in self.entries.iter_mut().filter(|e| e.node == node) {
+            if let Some(p) = e.pending.take() {
+                e.current = p;
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Validates that current masks of processes sharing a node are disjoint.
+    pub fn validate_node(&self, node: NodeId) -> Result<(), String> {
+        let procs: Vec<&ProcessEntry> = self.processes_on(node).collect();
+        for (i, a) in procs.iter().enumerate() {
+            if a.current.is_empty() {
+                return Err(format!("{} on {node} has an empty mask", a.job));
+            }
+            for b in &procs[i + 1..] {
+                if !a.current.is_disjoint(&b.current) {
+                    return Err(format!(
+                        "{} and {} overlap on {node}: {:?} vs {:?}",
+                        a.job, b.job, a.current, b.current
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(lo: usize, hi: usize) -> CpuMask {
+        CpuMask::range(16, lo, hi)
+    }
+
+    #[test]
+    fn attach_detach_lifecycle() {
+        let mut r = DromRegistry::new();
+        let h = r.attach(JobId(1), NodeId(0), mask(0, 16));
+        assert!(r.get(h).is_some());
+        assert_eq!(r.processes_on(NodeId(0)).count(), 1);
+        let final_mask = r.detach(h).unwrap();
+        assert_eq!(final_mask.count(), 16);
+        assert!(r.get(h).is_none());
+        assert!(r.detach(h).is_none(), "double detach is None");
+    }
+
+    #[test]
+    fn pending_masks_apply_at_malleability_point() {
+        let mut r = DromRegistry::new();
+        let h = r.attach(JobId(1), NodeId(0), mask(0, 16));
+        assert!(r.set_mask(h, mask(0, 8)));
+        // Not yet applied:
+        assert_eq!(r.get(h).unwrap().current.count(), 16);
+        assert!(r.get(h).unwrap().has_pending());
+        // Malleability point:
+        assert_eq!(r.poll(h).unwrap().count(), 8);
+        assert!(!r.get(h).unwrap().has_pending());
+        assert!(r.poll(h).is_none(), "no further change pending");
+    }
+
+    #[test]
+    fn poll_node_applies_all_pending() {
+        let mut r = DromRegistry::new();
+        let h1 = r.attach(JobId(1), NodeId(3), mask(0, 16));
+        let h2 = r.attach(JobId(2), NodeId(3), mask(0, 0));
+        r.set_mask(h1, mask(0, 8));
+        r.set_mask(h2, mask(8, 16));
+        assert_eq!(r.poll_node(NodeId(3)), 2);
+        assert!(r.validate_node(NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn validate_detects_overlap() {
+        let mut r = DromRegistry::new();
+        r.attach(JobId(1), NodeId(0), mask(0, 9));
+        r.attach(JobId(2), NodeId(0), mask(8, 16));
+        let err = r.validate_node(NodeId(0)).unwrap_err();
+        assert!(err.contains("overlap"));
+    }
+
+    #[test]
+    fn validate_detects_empty_mask() {
+        let mut r = DromRegistry::new();
+        r.attach(JobId(1), NodeId(0), CpuMask::empty(16));
+        assert!(r.validate_node(NodeId(0)).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn find_by_job_and_node() {
+        let mut r = DromRegistry::new();
+        r.attach(JobId(1), NodeId(0), mask(0, 4));
+        r.attach(JobId(1), NodeId(1), mask(0, 4));
+        assert!(r.find(JobId(1), NodeId(1)).is_some());
+        assert!(r.find(JobId(2), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn set_mask_on_unknown_handle_is_false() {
+        let mut r = DromRegistry::new();
+        assert!(!r.set_mask(DromHandle(99), mask(0, 1)));
+    }
+}

@@ -1,0 +1,97 @@
+//! The SharingFactor rule (paper §3.3).
+//!
+//! "We defined the SharingFactor, a limit on computational resources that can
+//! be taken from a running job in a computational node when shrunk" — with
+//! the floor that a job never shrinks below one core per MPI rank.
+
+/// Fraction of a node's cores a resident job may *lose* when shrunk.
+///
+/// The paper's evaluated value is `0.5` (jobs isolated on one of two
+/// sockets). `SharingFactor(0.0)` disables malleability entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingFactor(f64);
+
+impl SharingFactor {
+    /// The paper's production setting for MareNostrum4 (two sockets).
+    pub const HALF: SharingFactor = SharingFactor(0.5);
+
+    /// Creates a sharing factor, clamped to `[0, 1)`.
+    ///
+    /// A factor of 1.0 would allow shrinking a job to zero cores, which the
+    /// model forbids; values ≥ 1 are clamped just below.
+    pub fn new(f: f64) -> SharingFactor {
+        SharingFactor(f.clamp(0.0, 0.999))
+    }
+
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Cores a resident job keeps when shrunk on a node with `full` cores,
+    /// given it runs `ranks` MPI ranks on that node (floor: 1 core/rank).
+    ///
+    /// `keep = max(full − floor(full·sf), ranks)`, capped at `full`.
+    pub fn keep_cores(self, full: u32, ranks: u32) -> u32 {
+        let takeable = (full as f64 * self.0).floor() as u32;
+        (full - takeable).max(ranks.max(1)).min(full)
+    }
+
+    /// Cores freed for the incoming job: `full − keep`.
+    pub fn freed_cores(self, full: u32, ranks: u32) -> u32 {
+        full - self.keep_cores(full, ranks)
+    }
+}
+
+impl Default for SharingFactor {
+    fn default() -> Self {
+        SharingFactor::HALF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_splits_a_48_core_node() {
+        let sf = SharingFactor::HALF;
+        assert_eq!(sf.keep_cores(48, 2), 24);
+        assert_eq!(sf.freed_cores(48, 2), 24);
+    }
+
+    #[test]
+    fn rank_floor_limits_shrink() {
+        let sf = SharingFactor::new(0.9);
+        // 16-core node, 8 ranks: can't go below 8 cores even at sf=0.9.
+        assert_eq!(sf.keep_cores(16, 8), 8);
+        assert_eq!(sf.freed_cores(16, 8), 8);
+    }
+
+    #[test]
+    fn zero_factor_keeps_everything() {
+        let sf = SharingFactor::new(0.0);
+        assert_eq!(sf.keep_cores(48, 1), 48);
+        assert_eq!(sf.freed_cores(48, 1), 0);
+    }
+
+    #[test]
+    fn factor_clamped_below_one() {
+        let sf = SharingFactor::new(5.0);
+        assert!(sf.value() < 1.0);
+        // Even at the clamp, at least one core per rank survives.
+        assert!(sf.keep_cores(16, 1) >= 1);
+    }
+
+    #[test]
+    fn ranks_above_full_still_capped_at_full() {
+        let sf = SharingFactor::HALF;
+        assert_eq!(sf.keep_cores(8, 64), 8);
+        assert_eq!(sf.freed_cores(8, 64), 0);
+    }
+
+    #[test]
+    fn zero_ranks_treated_as_one() {
+        let sf = SharingFactor::new(0.999);
+        assert_eq!(sf.keep_cores(16, 0), 1);
+    }
+}

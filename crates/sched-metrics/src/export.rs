@@ -1,0 +1,115 @@
+//! CSV export of figures and series for external plotting.
+//!
+//! The experiment binaries print human-readable tables; these writers emit
+//! machine-readable CSV so the paper's plots can be regenerated with any
+//! plotting tool. Output is plain `std::fmt::Write` — no serialisation
+//! dependency needed for flat numeric tables.
+
+use crate::heatmap::RatioHeatmap;
+use crate::timeseries::DailySeries;
+use std::fmt::Write as _;
+
+/// CSV of a ratio heatmap: `runtime_class,node_bucket,ratio,count`.
+pub fn heatmap_csv(h: &RatioHeatmap) -> String {
+    let mut out = String::from("runtime_class,node_bucket,ratio,count\n");
+    for r in 0..h.spec.runtime_buckets() {
+        for n in 0..h.spec.node_buckets() {
+            let idx = r * h.spec.node_buckets() + n;
+            let ratio = h.ratios[idx]
+                .map(|x| format!("{x:.4}"))
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "{},{},{},{}",
+                h.spec.runtime_label(r),
+                h.spec.node_label(n),
+                ratio,
+                h.counts[idx]
+            )
+            .expect("string write");
+        }
+    }
+    out
+}
+
+/// CSV of two daily series side by side (Fig. 7's data):
+/// `day,static_slowdown,sd_slowdown,malleable_starts,completed`.
+pub fn daily_csv(baseline: &DailySeries, sd: &DailySeries) -> String {
+    let days = baseline.days().max(sd.days());
+    let mut out = String::from("day,static_slowdown,sd_slowdown,malleable_starts,completed\n");
+    for d in 0..days {
+        writeln!(
+            out,
+            "{},{:.3},{:.3},{},{}",
+            d,
+            baseline.slowdown.get(d).copied().unwrap_or(0.0),
+            sd.slowdown.get(d).copied().unwrap_or(0.0),
+            sd.malleable_started.get(d).copied().unwrap_or(0),
+            sd.completed.get(d).copied().unwrap_or(0),
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Generic CSV from a header and rows of numbers (normalised-metric sweeps).
+pub fn series_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|x| format!("{x:.6}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatmap::{HeatMetric, Heatmap, HeatmapSpec};
+
+    #[test]
+    fn series_csv_shape() {
+        let csv = series_csv(&["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a,b");
+        assert!(lines[2].starts_with("3.000000,4.5"));
+    }
+
+    #[test]
+    fn daily_csv_includes_all_days() {
+        let base = DailySeries {
+            slowdown: vec![1.0, 2.0],
+            completed: vec![3, 4],
+            malleable_started: vec![0, 0],
+        };
+        let sd = DailySeries {
+            slowdown: vec![0.5],
+            completed: vec![3],
+            malleable_started: vec![2],
+        };
+        let csv = daily_csv(&base, &sd);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,1.000,0.500,2,3"));
+        assert!(csv.lines().nth(2).unwrap().starts_with("1,2.000,0.000,0,0"));
+    }
+
+    #[test]
+    fn heatmap_csv_covers_every_cell() {
+        let spec = HeatmapSpec::paper_style(4);
+        let h = Heatmap::new(spec.clone(), HeatMetric::Slowdown);
+        let h2 = Heatmap::new(spec.clone(), HeatMetric::Slowdown);
+        let ratio = crate::heatmap::RatioHeatmap::compute(&h, &h2);
+        let csv = heatmap_csv(&ratio);
+        // header + runtime_buckets × node_buckets rows
+        assert_eq!(
+            csv.lines().count(),
+            1 + spec.runtime_buckets() * spec.node_buckets()
+        );
+        // Empty cells serialise with an empty ratio field.
+        assert!(csv.lines().nth(1).unwrap().contains(",,0"));
+    }
+}

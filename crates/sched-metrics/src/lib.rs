@@ -1,0 +1,27 @@
+//! # sched-metrics — analysis of simulation results
+//!
+//! Turns `slurm_sim::SimResult` values into the paper's figures and tables:
+//!
+//! * [`summary`] — the headline aggregates (§4's metric definitions:
+//!   makespan, average response time, average slowdown, energy),
+//! * [`heatmap`] — job-category bucketing by requested nodes × runtime class
+//!   and the static/SD ratio heatmaps of Figs. 4–6,
+//! * [`timeseries`] — per-day slowdown and malleable-start series (Fig. 7),
+//! * [`normalize`] — "normalized to static backfill" helpers (Figs. 1–3, 8),
+//! * [`table`] — plain-text table rendering for the experiment binaries.
+
+pub mod export;
+pub mod heatmap;
+pub mod normalize;
+pub mod percentiles;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use export::{daily_csv, heatmap_csv, series_csv};
+pub use heatmap::{Heatmap, HeatmapSpec, RatioHeatmap};
+pub use normalize::{improvement_pct, normalized};
+pub use percentiles::Percentiles;
+pub use summary::Summary;
+pub use table::Table;
+pub use timeseries::DailySeries;

@@ -1,0 +1,36 @@
+//! Baseline normalisation (the y-axes of Figs. 1–3, 8, 9).
+
+/// `value / baseline` — the paper's "normalized to static backfill
+/// simulation". Returns 1.0 for a zero baseline (degenerate but safe).
+pub fn normalized(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        1.0
+    } else {
+        value / baseline
+    }
+}
+
+/// Improvement percentage: positive = the variant is better (lower).
+/// `improvement_pct(30, 100) = 70` — "reduction of … up to 70 %".
+pub fn improvement_pct(value: f64, baseline: f64) -> f64 {
+    (1.0 - normalized(value, baseline)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(normalized(50.0, 100.0), 0.5);
+        assert_eq!(normalized(100.0, 100.0), 1.0);
+        assert_eq!(normalized(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn improvements() {
+        assert!((improvement_pct(30.0, 100.0) - 70.0).abs() < 1e-12);
+        assert!((improvement_pct(100.0, 100.0)).abs() < 1e-12);
+        assert!(improvement_pct(120.0, 100.0) < 0.0, "regressions negative");
+    }
+}

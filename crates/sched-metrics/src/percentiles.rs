@@ -1,0 +1,131 @@
+//! Distribution views of the per-job metrics.
+//!
+//! Averages hide the fairness story the paper tells in §4.2 (SD-Policy
+//! "generates a more fair distribution of the slowdown"); percentiles and
+//! tail ratios make it visible.
+
+use slurm_sim::JobOutcome;
+
+/// Percentile summary of one per-job metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Percentiles {
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles with linear interpolation; `None` when empty.
+    pub fn compute(values: &mut [f64]) -> Option<Percentiles> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let at = |q: f64| -> f64 {
+            let pos = q * (values.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                values[lo]
+            } else {
+                let frac = pos - lo as f64;
+                values[lo] * (1.0 - frac) + values[hi] * frac
+            }
+        };
+        Some(Percentiles {
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            max: *values.last().unwrap(),
+        })
+    }
+
+    /// Slowdown percentiles of a run.
+    pub fn of_slowdown(outcomes: &[JobOutcome]) -> Option<Percentiles> {
+        let mut v: Vec<f64> = outcomes.iter().map(|o| o.slowdown()).collect();
+        Percentiles::compute(&mut v)
+    }
+
+    /// Wait-time percentiles of a run (seconds).
+    pub fn of_wait(outcomes: &[JobOutcome]) -> Option<Percentiles> {
+        let mut v: Vec<f64> = outcomes.iter().map(|o| o.wait() as f64).collect();
+        Percentiles::compute(&mut v)
+    }
+
+    /// Tail-to-median ratio — a single-number fairness indicator.
+    pub fn tail_ratio(&self) -> f64 {
+        if self.p50 <= 0.0 {
+            0.0
+        } else {
+            self.p99 / self.p50
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::JobId;
+    use simkit::SimTime;
+
+    #[test]
+    fn percentiles_of_known_sequence() {
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::compute(&mut v).unwrap();
+        assert!((p.p50 - 50.5).abs() < 1e-9);
+        assert!((p.p90 - 90.1).abs() < 1e-9);
+        assert!((p.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut v = vec![7.0];
+        let p = Percentiles::compute(&mut v).unwrap();
+        assert_eq!(p, Percentiles { p50: 7.0, p90: 7.0, p99: 7.0, max: 7.0 });
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Percentiles::compute(&mut [] as &mut [f64]).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let p = Percentiles::compute(&mut v).unwrap();
+        assert_eq!(p.p50, 3.0);
+        assert_eq!(p.max, 5.0);
+    }
+
+    #[test]
+    fn outcome_views() {
+        let outcome = |wait: u64, rt: u64| JobOutcome {
+            id: JobId(1),
+            submit: SimTime(0),
+            start: SimTime(wait),
+            end: SimTime(wait + rt),
+            nodes: 1,
+            procs: 8,
+            req_time: rt,
+            static_runtime: rt,
+            malleable_backfilled: false,
+            was_mate: false,
+            app: None,
+        };
+        let outs = vec![outcome(0, 100), outcome(300, 100), outcome(100, 100)];
+        let sd = Percentiles::of_slowdown(&outs).unwrap();
+        assert_eq!(sd.p50, 2.0); // slowdowns 1, 2, 4
+        assert_eq!(sd.max, 4.0);
+        let w = Percentiles::of_wait(&outs).unwrap();
+        assert_eq!(w.p50, 100.0);
+        assert!(sd.tail_ratio() > 1.0);
+    }
+
+    #[test]
+    fn tail_ratio_guards_zero_median() {
+        let p = Percentiles { p50: 0.0, p90: 1.0, p99: 2.0, max: 3.0 };
+        assert_eq!(p.tail_ratio(), 0.0);
+    }
+}

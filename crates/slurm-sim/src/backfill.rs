@@ -1,0 +1,252 @@
+//! The backfill scheduling pass and the static baseline scheduler.
+//!
+//! [`backfill_pass`] is the shared skeleton: examine up to
+//! `cfg.backfill_depth` pending jobs in priority order; start each if the
+//! availability profile admits it *now*; otherwise hand it to the `flexible`
+//! hook (a no-op for the static baseline, the malleable trial for
+//! SD-Policy — paper Listing 1 runs the flexible attempt "right after the
+//! static trial" of each job); finally record a reservation (conservative:
+//! every job; EASY: queue head only).
+
+use crate::config::BackfillMode;
+use crate::reservation::Profile;
+use crate::state::SimState;
+use cluster::JobId;
+use simkit::SimTime;
+
+/// A scheduling policy: invoked by the controller after every batch of
+/// simultaneous events that changed the system.
+pub trait Scheduler {
+    fn schedule(&mut self, st: &mut SimState);
+
+    /// Label used in experiment output.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+/// Outcome of the flexible hook for one job.
+pub type FlexStarted = bool;
+
+/// Runs one backfill pass. `flexible(st, job, est_static_start, profile)`
+/// may start `job` by other means (malleable co-scheduling) and must return
+/// whether it did; on `true` the profile is rebuilt (the machine changed).
+pub fn backfill_pass<F>(st: &mut SimState, mut flexible: F)
+where
+    F: FnMut(&mut SimState, JobId, SimTime, &mut Profile) -> FlexStarted,
+{
+    if st.queue.is_empty() {
+        return;
+    }
+    let depth = st.cfg.backfill_depth;
+    let mode = st.cfg.backfill_mode;
+    let mut profile = st.build_profile();
+    // Reservations made for still-waiting jobs this pass; re-applied after a
+    // malleable start forces a profile rebuild. (Started jobs are reflected
+    // in the release map, so they must NOT be re-applied.)
+    let mut waiting_resv: Vec<(SimTime, u64, u32)> = Vec::new();
+    let mut head_reserved = false;
+
+    for id in st.queue.prefix(depth) {
+        let (req_nodes, req_time) = {
+            let s = &st.job(id).spec;
+            (s.req_nodes, s.req_time)
+        };
+        let est = profile.earliest_start(req_nodes, req_time, st.now);
+        if est == st.now {
+            if st.start_static(id) {
+                profile.reserve(st.now, req_time, req_nodes);
+                continue;
+            }
+            // Profile admitted the job but the cluster had no whole empty
+            // nodes (fragmentation across shared nodes). Skip silently; the
+            // next pass will see a consistent picture.
+            continue;
+        }
+        if est > st.now && est != SimTime::MAX && flexible(st, id, est, &mut profile) {
+            profile = st.build_profile();
+            for &(s, d, n) in &waiting_resv {
+                profile.reserve(s, d, n);
+            }
+            continue;
+        }
+        if est == SimTime::MAX {
+            continue; // cannot ever run (larger than the machine)
+        }
+        let reserve = match mode {
+            BackfillMode::Conservative => true,
+            BackfillMode::Easy => !head_reserved,
+        };
+        if reserve {
+            profile.reserve(est, req_time, req_nodes);
+            waiting_resv.push((est, req_time, req_nodes));
+            head_reserved = true;
+        }
+    }
+}
+
+/// The paper's baseline: plain (static) backfill, no malleability.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticBackfill;
+
+impl Scheduler for StaticBackfill {
+    fn schedule(&mut self, st: &mut SimState) {
+        backfill_pass(st, |_, _, _, _| false);
+    }
+
+    fn name(&self) -> &'static str {
+        "static-backfill"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlurmConfig;
+    use crate::rate::WorstCaseModel;
+    use cluster::ClusterSpec;
+    use drom::SharingFactor;
+
+    fn state(jobs: Vec<swf::SwfJob>, mode: BackfillMode) -> SimState {
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 4;
+        SimState::new(
+            spec,
+            SlurmConfig {
+                backfill_mode: mode,
+                self_check: true,
+                ..SlurmConfig::default()
+            },
+            &swf::Trace::new(Default::default(), jobs),
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+        )
+    }
+
+    fn job(id: u64, submit: u64, run: u64, nodes: u64, req: u64) -> swf::SwfJob {
+        swf::SwfJob::for_simulation(id, submit, run, nodes * 8, req)
+    }
+
+    fn run_all(st: &mut SimState, sched: &mut dyn Scheduler) {
+        while let Some(t) = st.events.peek_time() {
+            let mut changed = false;
+            while st.events.peek_time() == Some(t) {
+                let ev = st.events.pop().unwrap();
+                st.now = t;
+                changed |= st.dispatch(ev.payload);
+            }
+            if changed {
+                sched.schedule(st);
+            }
+        }
+    }
+
+    #[test]
+    fn fcfs_when_everything_fits() {
+        let mut st = state(
+            vec![job(1, 0, 100, 2, 100), job(2, 0, 100, 2, 100)],
+            BackfillMode::Conservative,
+        );
+        run_all(&mut st, &mut StaticBackfill);
+        assert_eq!(st.outcomes().len(), 2);
+        for o in st.outcomes() {
+            assert_eq!(o.wait(), 0, "{:?}", o.id);
+        }
+    }
+
+    #[test]
+    fn small_job_backfills_into_hole() {
+        // J1 takes the whole machine until 1000. J2 (3 nodes, long) must
+        // wait. J3 (1 node, short) fits in nothing… all nodes busy.
+        // Variant: J1 takes 3 nodes; J2 wants 4 (waits until 1000);
+        // J3 wants 1 node for 100 s — backfills immediately because it ends
+        // before J2's reservation could start anyway.
+        let mut st = state(
+            vec![
+                job(1, 0, 1000, 3, 1000),
+                job(2, 10, 500, 4, 500),
+                job(3, 20, 100, 1, 100),
+            ],
+            BackfillMode::Conservative,
+        );
+        run_all(&mut st, &mut StaticBackfill);
+        let o3 = st.outcomes().iter().find(|o| o.id == JobId(3)).unwrap();
+        assert_eq!(o3.wait(), 0, "J3 backfilled");
+        let o2 = st.outcomes().iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(o2.start, SimTime(1000), "J2 waits for the machine");
+    }
+
+    #[test]
+    fn conservative_backfill_does_not_delay_reservations() {
+        // J1: whole machine till 1000. J2: 2 nodes, starts at 1000
+        // (reservation). J3: 1 node × 2000 s would push past J2's window on
+        // 3 free nodes?? After J1 ends, 4 nodes free, J2 takes 2 → 2 left,
+        // J3 fits too. So pick J3 = 3 nodes × 2000 s: at t=1000 J2(2) + J3(3)
+        // > 4 nodes → J3 must start after J2 finishes (t=1500).
+        let mut st = state(
+            vec![
+                job(1, 0, 1000, 4, 1000),
+                job(2, 10, 500, 2, 500),
+                job(3, 20, 2000, 3, 2000),
+            ],
+            BackfillMode::Conservative,
+        );
+        run_all(&mut st, &mut StaticBackfill);
+        let o2 = st.outcomes().iter().find(|o| o.id == JobId(2)).unwrap();
+        let o3 = st.outcomes().iter().find(|o| o.id == JobId(3)).unwrap();
+        assert_eq!(o2.start, SimTime(1000));
+        assert_eq!(o3.start, SimTime(1500), "J3 respects J2's reservation");
+    }
+
+    #[test]
+    fn easy_lets_later_jobs_jump_non_head() {
+        // Same scenario: EASY only protects the head (J2). J3 still cannot
+        // start before J2 here (no free nodes until 1000), but a tiny J4
+        // that fits before the shadow time can.
+        let mut st = state(
+            vec![
+                job(1, 0, 1000, 3, 1000),
+                job(2, 10, 500, 4, 500),
+                job(3, 20, 100, 1, 100),
+            ],
+            BackfillMode::Easy,
+        );
+        run_all(&mut st, &mut StaticBackfill);
+        let o3 = st.outcomes().iter().find(|o| o.id == JobId(3)).unwrap();
+        assert_eq!(o3.wait(), 0, "EASY backfills J3 into the free node");
+    }
+
+    #[test]
+    fn depth_limit_bounds_examination() {
+        let mut jobs: Vec<swf::SwfJob> = vec![job(1, 0, 1000, 4, 1000)];
+        for i in 2..=10 {
+            jobs.push(job(i, 1, 10, 1, 10));
+        }
+        let mut st = state(jobs, BackfillMode::Conservative);
+        st.cfg.backfill_depth = 3;
+        run_all(&mut st, &mut StaticBackfill);
+        // All jobs still complete eventually (depth only bounds per-pass work).
+        assert_eq!(st.outcomes().len(), 10);
+    }
+
+    #[test]
+    fn flexible_hook_sees_waiting_jobs() {
+        let mut st = state(
+            vec![job(1, 0, 1000, 4, 1000), job(2, 10, 100, 2, 100)],
+            BackfillMode::Conservative,
+        );
+        let mut seen = Vec::new();
+        while let Some(t) = st.events.peek_time() {
+            while st.events.peek_time() == Some(t) {
+                let ev = st.events.pop().unwrap();
+                st.now = t;
+                st.dispatch(ev.payload);
+            }
+            backfill_pass(&mut st, |_st, id, est, _p| {
+                seen.push((id, est));
+                false
+            });
+        }
+        assert!(seen.contains(&(JobId(2), SimTime(1000))), "seen: {seen:?}");
+    }
+}

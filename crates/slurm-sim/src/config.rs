@@ -1,0 +1,75 @@
+//! Simulator configuration (the knobs a SLURM admin would set).
+
+/// How the baseline backfill plans ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackfillMode {
+    /// EASY/aggressive backfill: a reservation for the queue head only;
+    /// later jobs may start now if they don't delay it. `O(R + Q)` per pass —
+    /// required for the full 198 K-job Curie run.
+    Easy,
+    /// Conservative (SLURM `sched/backfill`-like): every examined job gets a
+    /// reservation in the availability profile. More faithful, costlier.
+    Conservative,
+}
+
+/// Simulator/scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SlurmConfig {
+    /// Maximum pending jobs examined per scheduling pass
+    /// (SLURM `bf_max_job_test`).
+    pub backfill_depth: usize,
+    pub backfill_mode: BackfillMode,
+    /// MPI ranks per node assumed for trace jobs (shrink floor is one core
+    /// per rank). The MN4 production setup runs one rank per socket.
+    pub ranks_per_node: u32,
+    /// Fraction of jobs that are malleable (1.0 in the paper's simulations;
+    /// lower values exercise the mixed static/malleable support).
+    pub malleable_fraction: f64,
+    /// Seed for the per-job malleability draw when `malleable_fraction < 1`.
+    pub malleable_seed: u64,
+    /// Run `ClusterState::validate` after every mutation (tests/debug).
+    pub self_check: bool,
+}
+
+impl Default for SlurmConfig {
+    fn default() -> Self {
+        SlurmConfig {
+            backfill_depth: 100,
+            backfill_mode: BackfillMode::Conservative,
+            ranks_per_node: 2,
+            malleable_fraction: 1.0,
+            malleable_seed: 0xD20,
+            self_check: false,
+        }
+    }
+}
+
+impl SlurmConfig {
+    /// Configuration for very large traces (full CEA-Curie): EASY mode.
+    pub fn large_scale() -> Self {
+        SlurmConfig {
+            backfill_mode: BackfillMode::Easy,
+            backfill_depth: 200,
+            ..SlurmConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_slurm_like() {
+        let c = SlurmConfig::default();
+        assert_eq!(c.backfill_depth, 100);
+        assert_eq!(c.backfill_mode, BackfillMode::Conservative);
+        assert_eq!(c.ranks_per_node, 2);
+        assert_eq!(c.malleable_fraction, 1.0);
+    }
+
+    #[test]
+    fn large_scale_uses_easy() {
+        assert_eq!(SlurmConfig::large_scale().backfill_mode, BackfillMode::Easy);
+    }
+}

@@ -1,0 +1,150 @@
+//! The controller (slurmctld equivalent): the simulation main loop.
+//!
+//! Event-driven: the clock jumps between event instants; all events sharing
+//! an instant are dispatched as one batch, then the scheduler runs once —
+//! mirroring how slurmctld coalesces work per scheduling cycle while keeping
+//! the simulation deterministic.
+
+use crate::backfill::Scheduler;
+use crate::result::SimResult;
+use crate::state::SimState;
+
+/// Drives a [`SimState`] with a [`Scheduler`] until no events remain.
+pub struct Controller<S: Scheduler> {
+    pub state: SimState,
+    pub scheduler: S,
+}
+
+impl<S: Scheduler> Controller<S> {
+    pub fn new(state: SimState, scheduler: S) -> Self {
+        Controller { state, scheduler }
+    }
+
+    /// Runs to completion and returns the collected results.
+    pub fn run(mut self) -> SimResult {
+        while let Some(t) = self.state.events.peek_time() {
+            let mut changed = false;
+            while self.state.events.peek_time() == Some(t) {
+                let ev = self.state.events.pop().expect("peeked event exists");
+                self.state.now = t;
+                changed |= self.state.dispatch(ev.payload);
+            }
+            if changed {
+                self.scheduler.schedule(&mut self.state);
+                self.state.stats.sched_passes += 1;
+            }
+        }
+        SimResult::from_state(self.state, self.scheduler.name())
+    }
+}
+
+/// One-call convenience: build the state, run the scheduler, return results.
+pub fn run_trace<S: Scheduler>(
+    spec: cluster::ClusterSpec,
+    cfg: crate::config::SlurmConfig,
+    trace: &swf::Trace,
+    rate_model: Box<dyn crate::rate::RateModel>,
+    sharing: drom::SharingFactor,
+    scheduler: S,
+) -> SimResult {
+    let state = SimState::new(spec, cfg, trace, rate_model, sharing);
+    Controller::new(state, scheduler).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backfill::StaticBackfill;
+    use crate::config::SlurmConfig;
+    use crate::rate::WorstCaseModel;
+    use cluster::ClusterSpec;
+    use drom::SharingFactor;
+    use swf::{SwfJob, Trace};
+
+    fn trace(jobs: Vec<SwfJob>) -> Trace {
+        Trace::new(Default::default(), jobs)
+    }
+
+    fn job(id: u64, submit: u64, run: u64, nodes: u64, req: u64) -> SwfJob {
+        SwfJob::for_simulation(id, submit, run, nodes * 8, req)
+    }
+
+    fn small_spec() -> ClusterSpec {
+        let mut s = ClusterSpec::ricc();
+        s.nodes = 8;
+        s
+    }
+
+    #[test]
+    fn every_job_completes_exactly_once() {
+        let jobs: Vec<SwfJob> = (1..=50)
+            .map(|i| job(i, i * 7, 50 + i * 3, 1 + i % 4, 200 + i * 3))
+            .collect();
+        let res = run_trace(
+            small_spec(),
+            SlurmConfig::default(),
+            &trace(jobs),
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+            StaticBackfill,
+        );
+        assert_eq!(res.outcomes.len(), 50);
+        let mut ids: Vec<u64> = res.outcomes.iter().map(|o| o.id.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+        assert_eq!(res.leftover_pending, 0);
+        assert_eq!(res.leftover_running, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let jobs: Vec<SwfJob> = (1..=80)
+            .map(|i| job(i, (i * 13) % 500, 30 + (i * 17) % 300, 1 + i % 5, 400))
+            .collect();
+        let run = || {
+            run_trace(
+                small_spec(),
+                SlurmConfig::default(),
+                &trace(jobs.clone()),
+                Box::new(WorstCaseModel),
+                SharingFactor::HALF,
+                StaticBackfill,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.energy_joules, b.energy_joules);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn makespan_spans_first_submit_to_last_end() {
+        let res = run_trace(
+            small_spec(),
+            SlurmConfig::default(),
+            &trace(vec![job(1, 100, 50, 1, 100), job(2, 200, 100, 1, 200)]),
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+            StaticBackfill,
+        );
+        assert_eq!(res.first_submit.secs(), 100);
+        assert_eq!(res.last_end.secs(), 300);
+        assert_eq!(res.makespan, 200);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let res = run_trace(
+            small_spec(),
+            SlurmConfig::default(),
+            &trace(vec![]),
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+            StaticBackfill,
+        );
+        assert_eq!(res.outcomes.len(), 0);
+        assert_eq!(res.makespan, 0);
+    }
+}

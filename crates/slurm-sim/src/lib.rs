@@ -1,0 +1,41 @@
+//! # slurm-sim — a SLURM-like workload-manager simulator
+//!
+//! Event-driven re-implementation of the scheduling-relevant surface of
+//! SLURM plus the BSC SLURM simulator the paper evaluates with:
+//!
+//! * [`controller`] — slurmctld's main loop: event batching, scheduler
+//!   invocation, result collection,
+//! * [`state`] — the machine ground truth and the primitive operations
+//!   (static start, malleable co-schedule, completion with owner-return),
+//! * [`backfill`] — the shared backfill pass and the **static-backfill
+//!   baseline** every experiment normalises against,
+//! * [`reservation`] — the availability profile ("map of job reservations in
+//!   time", §3.1) and the incrementally maintained release map,
+//! * [`rate`] — pluggable malleable-runtime models (paper Eq. 5/6 and the
+//!   app-behaviour model for the real-run reproduction),
+//! * [`job`], [`queue`], [`config`], [`result`] — supporting types.
+//!
+//! The SD-Policy itself lives in the `sd-policy` crate and plugs in through
+//! the [`Scheduler`] trait and the `flexible` hook of
+//! [`backfill::backfill_pass`].
+
+pub mod backfill;
+pub mod config;
+pub mod controller;
+pub mod job;
+pub mod queue;
+pub mod rate;
+pub mod replay;
+pub mod reservation;
+pub mod result;
+pub mod state;
+
+pub use backfill::{backfill_pass, Scheduler, StaticBackfill};
+pub use config::{BackfillMode, SlurmConfig};
+pub use controller::{run_trace, Controller};
+pub use job::{Job, JobOutcome, JobSpec, JobState, RunningJob};
+pub use queue::PendingQueue;
+pub use rate::{AppAwareModel, IdealModel, RateInputs, RateModel, WorstCaseModel};
+pub use reservation::{Profile, ReleaseMap};
+pub use result::SimResult;
+pub use state::{CoScheduleError, Event, SimState, SimStats};

@@ -1,0 +1,95 @@
+//! The pending-job queue.
+//!
+//! SLURM's default priority is submit order (FIFO) within a partition; the
+//! queue preserves that order exactly and supports the scheduler's pattern
+//! of examining a bounded prefix and removing started jobs mid-scan.
+
+use cluster::JobId;
+use std::collections::VecDeque;
+
+/// FIFO pending queue with stable order and O(1) prefix iteration.
+#[derive(Debug, Default, Clone)]
+pub struct PendingQueue {
+    jobs: VecDeque<JobId>,
+}
+
+impl PendingQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Enqueues a newly submitted job at the tail.
+    pub fn push(&mut self, job: JobId) {
+        self.jobs.push_back(job);
+    }
+
+    /// Head of the queue (highest priority pending job).
+    pub fn head(&self) -> Option<JobId> {
+        self.jobs.front().copied()
+    }
+
+    /// Snapshot of the first `n` jobs in priority order.
+    pub fn prefix(&self, n: usize) -> Vec<JobId> {
+        self.jobs.iter().take(n).copied().collect()
+    }
+
+    /// Removes a job that was started (scan-safe: by value).
+    pub fn remove(&mut self, job: JobId) -> bool {
+        if let Some(pos) = self.jobs.iter().position(|&j| j == job) {
+            self.jobs.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.jobs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = PendingQueue::new();
+        for i in 0..5 {
+            q.push(JobId(i));
+        }
+        assert_eq!(q.head(), Some(JobId(0)));
+        assert_eq!(q.prefix(3), vec![JobId(0), JobId(1), JobId(2)]);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn remove_keeps_relative_order() {
+        let mut q = PendingQueue::new();
+        for i in 0..5 {
+            q.push(JobId(i));
+        }
+        assert!(q.remove(JobId(2)));
+        assert!(!q.remove(JobId(2)));
+        assert_eq!(
+            q.iter().collect::<Vec<_>>(),
+            vec![JobId(0), JobId(1), JobId(3), JobId(4)]
+        );
+    }
+
+    #[test]
+    fn prefix_clamps_to_len() {
+        let mut q = PendingQueue::new();
+        q.push(JobId(9));
+        assert_eq!(q.prefix(100), vec![JobId(9)]);
+        assert!(PendingQueue::new().prefix(4).is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Resource-availability bookkeeping for backfill.
+//!
+//! Two pieces:
+//!
+//! * [`ReleaseMap`] — incrementally maintained map from *predicted node
+//!   release instants* (based on requested times) to node counts. Updated in
+//!   `O(log n)` at every placement/end/reconfiguration so a scheduling pass
+//!   never scans the whole machine.
+//! * [`Profile`] — the per-pass step function of free whole nodes over
+//!   future time ("the map of jobs reservations in time", paper §3.1). Both
+//!   backfill variants and SD-Policy's `static_end` estimate query it via
+//!   [`Profile::earliest_start`]; conservative mode also writes reservations
+//!   back into it.
+
+use cluster::NodeId;
+use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// Predicted release instants of busy nodes.
+#[derive(Debug, Clone)]
+pub struct ReleaseMap {
+    /// Per node: predicted instant it becomes empty (`None` = empty now).
+    node_release: Vec<Option<SimTime>>,
+    /// release instant → number of nodes releasing then.
+    counts: BTreeMap<SimTime, u32>,
+}
+
+impl ReleaseMap {
+    pub fn new(nodes: u32) -> Self {
+        ReleaseMap {
+            node_release: vec![None; nodes as usize],
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Records that `node` is predicted to become empty at `when`
+    /// (`None` = the node is empty now).
+    pub fn set_release(&mut self, node: NodeId, when: Option<SimTime>) {
+        let slot = &mut self.node_release[node.0 as usize];
+        if *slot == when {
+            return;
+        }
+        if let Some(old) = slot.take() {
+            match self.counts.get_mut(&old) {
+                Some(c) if *c > 1 => *c -= 1,
+                _ => {
+                    self.counts.remove(&old);
+                }
+            }
+        }
+        if let Some(new) = when {
+            *counts_entry(&mut self.counts, new) += 1;
+        }
+        *slot = when;
+    }
+
+    pub fn release_of(&self, node: NodeId) -> Option<SimTime> {
+        self.node_release[node.0 as usize]
+    }
+
+    /// Busy nodes tracked.
+    pub fn busy_count(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// `(instant, nodes)` pairs in ascending order, skipping instants not
+    /// after `now` (those nodes are effectively free already).
+    pub fn upcoming(&self, now: SimTime) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.counts
+            .range((
+                std::ops::Bound::Excluded(now),
+                std::ops::Bound::Unbounded,
+            ))
+            .map(|(&t, &c)| (t, c))
+    }
+
+    /// Nodes whose predicted release is at or before `now` (late jobs —
+    /// running past their request would be killed by real SLURM; the
+    /// simulator keeps them and treats them as "releasing imminently").
+    pub fn overdue(&self, now: SimTime) -> u32 {
+        self.counts.range(..=now).map(|(_, &c)| c).sum()
+    }
+}
+
+fn counts_entry(map: &mut BTreeMap<SimTime, u32>, key: SimTime) -> &mut u32 {
+    map.entry(key).or_insert(0)
+}
+
+/// Step function of free whole nodes over `[now, ∞)`.
+///
+/// `free[i]` holds during `[times[i], times[i+1])`; the last value extends
+/// forever. Reservations subtract capacity over an interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    times: Vec<SimTime>,
+    free: Vec<i64>,
+}
+
+impl Profile {
+    /// Builds the profile at `now` given currently free nodes and the
+    /// release map. Overdue releases are treated as released at `now + 1`
+    /// (imminent but not instant, so the present remains truthful).
+    pub fn build(now: SimTime, free_now: u32, releases: &ReleaseMap) -> Profile {
+        let mut times = vec![now];
+        let mut free = vec![free_now as i64];
+        let overdue = releases.overdue(now);
+        if overdue > 0 {
+            times.push(now.after(1));
+            free.push(free_now as i64 + overdue as i64);
+        }
+        for (t, c) in releases.upcoming(now) {
+            let cur = *free.last().unwrap();
+            if *times.last().unwrap() == t {
+                *free.last_mut().unwrap() = cur + c as i64;
+            } else {
+                times.push(t);
+                free.push(cur + c as i64);
+            }
+        }
+        Profile { times, free }
+    }
+
+    /// A profile with constant capacity (mostly for tests).
+    pub fn flat(now: SimTime, free: u32) -> Profile {
+        Profile {
+            times: vec![now],
+            free: vec![free as i64],
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.times[0]
+    }
+
+    /// Free nodes at instant `t` (clamped to the profile's domain).
+    pub fn free_at(&self, t: SimTime) -> i64 {
+        match self.times.binary_search(&t) {
+            Ok(i) => self.free[i],
+            Err(0) => self.free[0],
+            Err(i) => self.free[i - 1],
+        }
+    }
+
+    /// Minimum free nodes over `[start, start + duration)`.
+    pub fn min_free_in(&self, start: SimTime, duration: u64) -> i64 {
+        let end = start.after(duration.max(1));
+        let mut idx = match self.times.binary_search(&start) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut min = self.free[idx];
+        idx += 1;
+        while idx < self.times.len() && self.times[idx] < end {
+            min = min.min(self.free[idx]);
+            idx += 1;
+        }
+        min
+    }
+
+    /// Earliest instant ≥ `after` at which `nodes` stay free for
+    /// `duration` seconds.
+    pub fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        let need = nodes as i64;
+        // Candidate instants: `after` itself and every later step point.
+        let first_idx = match self.times.binary_search(&after) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        if self.min_free_in(after, duration) >= need {
+            return after;
+        }
+        for i in first_idx..self.times.len() {
+            let t = self.times[i];
+            if t <= after {
+                continue;
+            }
+            if self.free[i] >= need && self.min_free_in(t, duration) >= need {
+                return t;
+            }
+        }
+        // After the last step everything is released; if still insufficient
+        // the job can never run (bigger than the machine) — `SimTime::MAX`.
+        let last_t = *self.times.last().unwrap();
+        if *self.free.last().unwrap() >= need {
+            last_t.max(after)
+        } else {
+            SimTime::MAX
+        }
+    }
+
+    /// Subtracts `nodes` over `[start, start + duration)` (a reservation or
+    /// an actual start).
+    pub fn reserve(&mut self, start: SimTime, duration: u64, nodes: u32) {
+        let end = start.after(duration.max(1));
+        self.split_at(start);
+        if end != SimTime::MAX {
+            self.split_at(end);
+        }
+        for i in 0..self.times.len() {
+            if self.times[i] >= start && (end == SimTime::MAX || self.times[i] < end) {
+                self.free[i] -= nodes as i64;
+            }
+        }
+    }
+
+    fn split_at(&mut self, t: SimTime) {
+        if t < self.times[0] {
+            return;
+        }
+        match self.times.binary_search(&t) {
+            Ok(_) => {}
+            Err(i) => {
+                self.times.insert(i, t);
+                self.free.insert(i, self.free[i - 1]);
+            }
+        }
+    }
+
+    /// Number of step points (size/perf diagnostics).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// True if the profile never goes negative (no oversubscription by
+    /// reservations) — a property the conservative scheduler must maintain.
+    pub fn is_consistent(&self) -> bool {
+        self.free.iter().all(|&f| f >= 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_map_counts_nodes() {
+        let mut rm = ReleaseMap::new(4);
+        rm.set_release(NodeId(0), Some(SimTime(100)));
+        rm.set_release(NodeId(1), Some(SimTime(100)));
+        rm.set_release(NodeId(2), Some(SimTime(50)));
+        assert_eq!(rm.busy_count(), 3);
+        let ups: Vec<_> = rm.upcoming(SimTime(0)).collect();
+        assert_eq!(ups, vec![(SimTime(50), 1), (SimTime(100), 2)]);
+    }
+
+    #[test]
+    fn release_map_update_moves_node() {
+        let mut rm = ReleaseMap::new(2);
+        rm.set_release(NodeId(0), Some(SimTime(100)));
+        rm.set_release(NodeId(0), Some(SimTime(200)));
+        assert_eq!(rm.release_of(NodeId(0)), Some(SimTime(200)));
+        assert_eq!(rm.upcoming(SimTime(0)).collect::<Vec<_>>(), vec![(SimTime(200), 1)]);
+        rm.set_release(NodeId(0), None);
+        assert_eq!(rm.busy_count(), 0);
+    }
+
+    #[test]
+    fn overdue_nodes_counted() {
+        let mut rm = ReleaseMap::new(2);
+        rm.set_release(NodeId(0), Some(SimTime(10)));
+        rm.set_release(NodeId(1), Some(SimTime(50)));
+        assert_eq!(rm.overdue(SimTime(20)), 1);
+        assert_eq!(rm.upcoming(SimTime(20)).count(), 1);
+    }
+
+    #[test]
+    fn profile_build_steps_up_at_releases() {
+        let mut rm = ReleaseMap::new(8);
+        rm.set_release(NodeId(0), Some(SimTime(100)));
+        rm.set_release(NodeId(1), Some(SimTime(100)));
+        rm.set_release(NodeId(2), Some(SimTime(300)));
+        let p = Profile::build(SimTime(0), 5, &rm);
+        assert_eq!(p.free_at(SimTime(0)), 5);
+        assert_eq!(p.free_at(SimTime(99)), 5);
+        assert_eq!(p.free_at(SimTime(100)), 7);
+        assert_eq!(p.free_at(SimTime(300)), 8);
+    }
+
+    #[test]
+    fn earliest_start_now_when_room() {
+        let p = Profile::flat(SimTime(10), 4);
+        assert_eq!(p.earliest_start(4, 100, SimTime(10)), SimTime(10));
+        assert_eq!(p.earliest_start(5, 100, SimTime(10)), SimTime::MAX);
+    }
+
+    #[test]
+    fn earliest_start_waits_for_release() {
+        let mut rm = ReleaseMap::new(4);
+        rm.set_release(NodeId(0), Some(SimTime(500)));
+        rm.set_release(NodeId(1), Some(SimTime(500)));
+        let p = Profile::build(SimTime(0), 2, &rm);
+        assert_eq!(p.earliest_start(2, 100, SimTime(0)), SimTime(0));
+        assert_eq!(p.earliest_start(3, 100, SimTime(0)), SimTime(500));
+    }
+
+    #[test]
+    fn reservation_blocks_window() {
+        let mut p = Profile::flat(SimTime(0), 4);
+        p.reserve(SimTime(100), 200, 3);
+        assert_eq!(p.free_at(SimTime(50)), 4);
+        assert_eq!(p.free_at(SimTime(100)), 1);
+        assert_eq!(p.free_at(SimTime(299)), 1);
+        assert_eq!(p.free_at(SimTime(300)), 4);
+        assert!(p.is_consistent());
+        // A 2-node job of 100 s must now wait until the reservation ends.
+        assert_eq!(p.earliest_start(2, 100, SimTime(60)), SimTime(300));
+        // …but fits before it if short enough.
+        assert_eq!(p.earliest_start(2, 40, SimTime(60)), SimTime(60));
+    }
+
+    #[test]
+    fn min_free_in_spans_steps() {
+        let mut p = Profile::flat(SimTime(0), 10);
+        p.reserve(SimTime(50), 50, 6);
+        assert_eq!(p.min_free_in(SimTime(0), 200), 4);
+        assert_eq!(p.min_free_in(SimTime(0), 50), 10);
+        assert_eq!(p.min_free_in(SimTime(100), 10), 10);
+    }
+
+    #[test]
+    fn chained_reservations_compose() {
+        let mut p = Profile::flat(SimTime(0), 4);
+        // Head job reserves everything at t=0 for 100s.
+        p.reserve(SimTime(0), 100, 4);
+        // Next job's earliest start is 100.
+        let t = p.earliest_start(2, 50, SimTime(0));
+        assert_eq!(t, SimTime(100));
+        p.reserve(t, 50, 2);
+        // A 2-node job can still run alongside it.
+        assert_eq!(p.earliest_start(2, 50, SimTime(0)), SimTime(100));
+        // But a 3-node job waits for it to finish.
+        assert_eq!(p.earliest_start(3, 50, SimTime(0)), SimTime(150));
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn overdue_release_modelled_imminent() {
+        let mut rm = ReleaseMap::new(2);
+        rm.set_release(NodeId(0), Some(SimTime(10)));
+        let p = Profile::build(SimTime(100), 1, &rm);
+        assert_eq!(p.free_at(SimTime(100)), 1);
+        assert_eq!(p.free_at(SimTime(101)), 2);
+    }
+
+    #[test]
+    fn profile_build_merges_simultaneous_releases() {
+        let mut rm = ReleaseMap::new(4);
+        for n in 0..3 {
+            rm.set_release(NodeId(n), Some(SimTime(100)));
+        }
+        let p = Profile::build(SimTime(0), 1, &rm);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.free_at(SimTime(100)), 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property test: the simulator's continuous work integrator is exactly the
+//! closed-form per-slot sums of the paper's Eqs. 5/6 (`sd-policy::models`
+//! re-exports the closed forms; here we exercise the `RunningJob` integrator
+//! directly against manual slot arithmetic).
+
+use cluster::NodeId;
+use proptest::prelude::*;
+use simkit::SimTime;
+use slurm_sim::rate::{IdealModel, RateInputs, RateModel, WorstCaseModel};
+use slurm_sim::RunningJob;
+
+const FULL: u32 = 48;
+
+fn arb_slots() -> impl Strategy<Value = Vec<(Vec<u32>, u64)>> {
+    // 2-node job, 1..5 reconfiguration slots with per-node cores in 1..=48
+    // and wall durations in 1..1000 s.
+    prop::collection::vec(
+        (
+            prop::collection::vec(1u32..=FULL, 2..=2),
+            1u64..1000,
+        ),
+        1..5,
+    )
+}
+
+proptest! {
+    /// Running the integrator through a slot timeline banks exactly
+    /// Σ rate·Δt of work, for both models.
+    #[test]
+    fn integrator_matches_slot_sums(slots in arb_slots(), ideal in any::<bool>()) {
+        let model: Box<dyn RateModel> = if ideal {
+            Box::new(IdealModel)
+        } else {
+            Box::new(WorstCaseModel)
+        };
+        let mut job = RunningJob::new(
+            SimTime(0),
+            vec![NodeId(0), NodeId(1)],
+            vec![FULL, FULL],
+            FULL,
+            1_000_000,
+        );
+        let mut now = 0u64;
+        let mut expected_work = 0.0f64;
+        for (cores, wall) in &slots {
+            job.cores = cores.clone();
+            let inputs = RateInputs {
+                cores,
+                full_cores: FULL,
+                app: None,
+                neighbour_mem: 0.0,
+            };
+            let rate = model.rate(&inputs);
+            job.set_rate(SimTime(now), rate);
+            now += wall;
+            job.bank(SimTime(now));
+            expected_work += rate * *wall as f64;
+        }
+        prop_assert!(
+            (job.work_done - expected_work).abs() < 1e-6,
+            "work {} vs expected {}",
+            job.work_done,
+            expected_work
+        );
+    }
+
+    /// Work is monotone and the predicted end is consistent: completing the
+    /// remaining work at the final rate lands exactly on the prediction.
+    #[test]
+    fn predicted_end_is_self_consistent(slots in arb_slots()) {
+        let total = 10_000u64;
+        let mut job = RunningJob::new(
+            SimTime(0),
+            vec![NodeId(0), NodeId(1)],
+            vec![FULL, FULL],
+            FULL,
+            total,
+        );
+        let mut now = 0u64;
+        let mut last_work = 0.0;
+        for (cores, wall) in &slots {
+            job.cores = cores.clone();
+            let inputs = RateInputs {
+                cores,
+                full_cores: FULL,
+                app: None,
+                neighbour_mem: 0.0,
+            };
+            job.set_rate(SimTime(now), WorstCaseModel.rate(&inputs));
+            now += wall;
+            job.bank(SimTime(now));
+            prop_assert!(job.work_done >= last_work, "work monotone");
+            last_work = job.work_done;
+        }
+        let predicted = job.predicted_end(SimTime(now), total);
+        if predicted != SimTime::MAX && job.remaining_work(total) > 0.0 {
+            // Simulate running at the current rate until the prediction.
+            let wall = predicted.secs() - now;
+            let done = job.work_done + job.rate * wall as f64;
+            prop_assert!(done + 1e-9 >= total as f64, "prediction completes the work");
+            // And one second less would not have been enough (ceil tightness).
+            if wall > 0 {
+                let short = job.work_done + job.rate * (wall - 1) as f64;
+                prop_assert!(short < total as f64 + job.rate, "prediction is tight");
+            }
+        }
+    }
+
+    /// Eq. 5 rate always dominates Eq. 6 (ideal is the lower bound on the
+    /// increase, worst case the upper bound — paper §3.4).
+    #[test]
+    fn ideal_rate_dominates_worst(cores in prop::collection::vec(1u32..=FULL, 1..6)) {
+        let inputs = RateInputs {
+            cores: &cores,
+            full_cores: FULL,
+            app: None,
+            neighbour_mem: 0.0,
+        };
+        prop_assert!(IdealModel.rate(&inputs) >= WorstCaseModel.rate(&inputs) - 1e-12);
+    }
+}

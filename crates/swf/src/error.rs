@@ -1,0 +1,69 @@
+//! Error type for SWF parsing and I/O.
+
+use std::fmt;
+
+/// Errors produced while reading an SWF trace.
+#[derive(Debug)]
+pub enum SwfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line did not have the mandatory 18 fields.
+    FieldCount {
+        line: usize,
+        found: usize,
+    },
+    /// A field failed numeric conversion.
+    BadField {
+        line: usize,
+        field: usize,
+        value: String,
+    },
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::Io(e) => write!(f, "I/O error: {e}"),
+            SwfError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 18 fields, found {found}")
+            }
+            SwfError::BadField { line, field, value } => {
+                write!(f, "line {line}: field {field} is not numeric: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SwfError {
+    fn from(e: std::io::Error) -> Self {
+        SwfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SwfError::FieldCount { line: 3, found: 5 };
+        assert!(e.to_string().contains("line 3"));
+        let e = SwfError::BadField {
+            line: 9,
+            field: 2,
+            value: "xyz".into(),
+        };
+        assert!(e.to_string().contains("field 2"));
+        let e = SwfError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Canonical SWF writer.
+//!
+//! Produces archive-style output: header comments first, then one record per
+//! line with single-space separation. Floating-point fields are written as
+//! integers when they are whole numbers, matching the published traces.
+
+use crate::parse::Trace;
+use crate::record::SwfJob;
+use std::io::Write;
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Formats one record as an SWF data line.
+pub fn format_line(j: &SwfJob) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        j.job_id,
+        j.submit,
+        j.wait,
+        j.run_time,
+        j.used_procs,
+        fmt_f64(j.avg_cpu_time),
+        fmt_f64(j.used_mem),
+        j.req_procs,
+        j.req_time,
+        fmt_f64(j.req_mem),
+        j.status.code(),
+        j.user,
+        j.group,
+        j.app,
+        j.queue,
+        j.partition,
+        j.preceding_job,
+        j.think_time,
+    )
+}
+
+/// Writes a trace to any writer.
+pub fn write_to<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    for line in trace.header.to_lines() {
+        writeln!(w, "{line}")?;
+    }
+    for job in &trace.jobs {
+        writeln!(w, "{}", format_line(job))?;
+    }
+    Ok(())
+}
+
+/// Serialises a trace to a `String`.
+pub fn write_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_to(trace, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("SWF output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+    use crate::record::{JobStatus, SwfJob};
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let mut trace = Trace::default();
+        trace.header.set("MaxNodes", 4);
+        trace.jobs.push(SwfJob::for_simulation(1, 0, 100, 8, 120));
+        let mut j2 = SwfJob::for_simulation(2, 50, 10, 4, 20);
+        j2.avg_cpu_time = 9.25;
+        j2.status = JobStatus::Cancelled;
+        trace.jobs.push(j2);
+
+        let text = write_string(&trace);
+        let back = parse_str(&text).unwrap();
+        assert_eq!(back.jobs, trace.jobs);
+        assert_eq!(back.header.max_nodes(), Some(4));
+    }
+
+    #[test]
+    fn whole_floats_written_as_integers() {
+        assert_eq!(fmt_f64(-1.0), "-1");
+        assert_eq!(fmt_f64(2048.0), "2048");
+        assert_eq!(fmt_f64(9.25), "9.25");
+    }
+
+    #[test]
+    fn line_has_18_fields() {
+        let j = SwfJob::default();
+        let line = format_line(&j);
+        assert_eq!(line.split_whitespace().count(), 18);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property test: SWF write → parse is the identity on records.
+
+use proptest::prelude::*;
+use swf::{parse_str, write_string, JobStatus, SwfJob, Trace};
+
+fn arb_job() -> impl Strategy<Value = SwfJob> {
+    (
+        1u64..1_000_000,
+        -1i64..10_000_000,
+        -1i64..1_000_000,
+        -1i64..1_000_000,
+        -1i64..100_000,
+        prop_oneof![Just(-1.0f64), (0u32..1_000_000).prop_map(|v| v as f64 / 4.0)],
+        -1i64..100_000,
+        -1i64..1_000_000,
+        -1i64..5000,
+        (-1i64..5, -1i64..5000, -1i64..5000),
+    )
+        .prop_map(
+            |(id, submit, wait, run, procs, cpu, req_procs, req_time, user, (st, prec, think))| {
+                SwfJob {
+                    job_id: id,
+                    submit,
+                    wait,
+                    run_time: run,
+                    used_procs: procs,
+                    avg_cpu_time: cpu,
+                    used_mem: -1.0,
+                    req_procs,
+                    req_time,
+                    req_mem: -1.0,
+                    status: JobStatus::from_code(st),
+                    user,
+                    group: -1,
+                    app: -1,
+                    queue: -1,
+                    partition: 1,
+                    preceding_job: prec,
+                    think_time: think,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn write_parse_roundtrip(jobs in prop::collection::vec(arb_job(), 0..50)) {
+        let trace = Trace::new(Default::default(), jobs);
+        let text = write_string(&trace);
+        let back = parse_str(&text).expect("own output parses");
+        prop_assert_eq!(back.jobs, trace.jobs);
+    }
+
+    #[test]
+    fn every_written_line_has_18_fields(job in arb_job()) {
+        let line = swf::write::format_line(&job);
+        prop_assert_eq!(line.split_whitespace().count(), 18);
+    }
+}

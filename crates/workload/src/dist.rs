@@ -1,0 +1,403 @@
+//! Probability distributions for workload modelling.
+//!
+//! Implemented in-crate (instead of pulling `rand_distr`) so the exact
+//! sampling algorithms are pinned: workload generation must be reproducible
+//! bit-for-bit across toolchain updates for the experiments to be
+//! comparable. All samplers draw from [`simkit::DetRng`].
+//!
+//! The set matches what supercomputer workload models need: log-uniform and
+//! two-stage log-uniform (Cirne–Berman sizes), log-normal (runtimes),
+//! gamma/hyper-gamma (Lublin–Feitelson runtimes), Weibull and exponential
+//! (interarrival gaps).
+
+use simkit::DetRng;
+
+/// A distribution that can draw `f64` samples.
+pub trait Sampler {
+    fn sample(&self, rng: &mut DetRng) -> f64;
+}
+
+/// Standard normal via Box–Muller (stateless variant).
+#[inline]
+pub fn standard_normal(rng: &mut DetRng) -> f64 {
+    // Avoid u1 == 0 (log singularity).
+    let u1 = loop {
+        let u = rng.f64();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    pub mean: f64,
+    pub sd: f64,
+}
+
+impl Sampler for Normal {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Parameterises from the desired median and the multiplicative spread
+    /// (sigma in log-space).
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// Theoretical mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential with the given mean (`1/rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    pub mean: f64,
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        let u = loop {
+            let u = rng.f64();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        -self.mean * u.ln()
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    pub shape: f64,
+    pub scale: f64,
+}
+
+impl Sampler for Weibull {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        let u = loop {
+            let u = rng.f64();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Gamma with shape `k` and scale `theta` (Marsaglia–Tsang method).
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    pub shape: f64,
+    pub scale: f64,
+}
+
+impl Sampler for Gamma {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        let k = self.shape;
+        if k < 1.0 {
+            // Boost: gamma(k) = gamma(k+1) · U^(1/k)
+            let g = Gamma {
+                shape: k + 1.0,
+                scale: self.scale,
+            }
+            .sample(rng);
+            let u = rng.f64().max(f64::EPSILON);
+            return g * u.powf(1.0 / k);
+        }
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = rng.f64();
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v * self.scale;
+            }
+            if u.max(f64::MIN_POSITIVE).ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Mixture of two gammas (Lublin–Feitelson "hyper-gamma" runtimes):
+/// with probability `p` draw from `g1`, else `g2`.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperGamma {
+    pub p: f64,
+    pub g1: Gamma,
+    pub g2: Gamma,
+}
+
+impl Sampler for HyperGamma {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        if rng.chance(self.p) {
+            self.g1.sample(rng)
+        } else {
+            self.g2.sample(rng)
+        }
+    }
+}
+
+/// Log-uniform over `[lo, hi]`: `exp(U(ln lo, ln hi))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogUniform {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Sampler for LogUniform {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        debug_assert!(self.lo > 0.0 && self.hi >= self.lo);
+        rng.range_f64(self.lo.ln(), self.hi.ln()).exp()
+    }
+}
+
+/// Cirne–Berman **two-stage log-uniform**: with probability `p` draw
+/// log-uniform from `[lo, mid]`, else from `[mid, hi]`. Captures the
+/// "mass of small jobs plus a tail of large ones" shape of job sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoStageLogUniform {
+    pub p: f64,
+    pub lo: f64,
+    pub mid: f64,
+    pub hi: f64,
+}
+
+impl Sampler for TwoStageLogUniform {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        let (lo, hi) = if rng.chance(self.p) {
+            (self.lo, self.mid)
+        } else {
+            (self.mid, self.hi)
+        };
+        LogUniform { lo, hi }.sample(rng)
+    }
+}
+
+/// Clamps an inner sampler to `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Clamped<S> {
+    pub inner: S,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl<S: Sampler> Sampler for Clamped<S> {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Rounds a sampled value up to the next "round" user estimate, mimicking
+/// how users request 30 min / 1 h / 2 h / … wall-times.
+pub fn round_up_to_common_limit(secs: f64) -> u64 {
+    const LIMITS: &[u64] = &[
+        300, 600, 1800, 3600, 7200, 14_400, 21_600, 43_200, 86_400, 172_800, 345_600, 604_800,
+    ];
+    let s = secs.max(1.0) as u64;
+    for &l in LIMITS {
+        if s <= l {
+            return l;
+        }
+    }
+    // Beyond a week: round up to whole days.
+    s.div_ceil(86_400) * 86_400
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(0xC0FFEE)
+    }
+
+    fn sample_stats<S: Sampler>(s: &S, n: usize) -> (f64, f64) {
+        let mut r = rng();
+        let mut w = simkit::Welford::new();
+        for _ in 0..n {
+            w.add(s.sample(&mut r));
+        }
+        (w.mean(), w.variance())
+    }
+
+    #[test]
+    fn normal_moments() {
+        let (mean, var) = sample_stats(&Normal { mean: 5.0, sd: 2.0 }, 50_000);
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let ln = LogNormal::from_median(100.0, 0.5);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[10_000];
+        assert!((median / 100.0 - 1.0).abs() < 0.05, "median {median}");
+        let (mean, _) = sample_stats(&ln, 50_000);
+        assert!((mean / ln.mean() - 1.0).abs() < 0.05, "mean {mean} vs {}", ln.mean());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let (mean, var) = sample_stats(&Exponential { mean: 42.0 }, 50_000);
+        assert!((mean / 42.0 - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var / (42.0 * 42.0) - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let (mean, _) = sample_stats(
+            &Weibull {
+                shape: 1.0,
+                scale: 10.0,
+            },
+            50_000,
+        );
+        assert!((mean / 10.0 - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        // mean = k·theta, var = k·theta²
+        let g = Gamma {
+            shape: 3.0,
+            scale: 2.0,
+        };
+        let (mean, var) = sample_stats(&g, 50_000);
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 12.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_positive() {
+        let g = Gamma {
+            shape: 0.4,
+            scale: 1.0,
+        };
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut r) >= 0.0);
+        }
+        let (mean, _) = sample_stats(&g, 50_000);
+        assert!((mean - 0.4).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn hypergamma_mixes() {
+        let hg = HyperGamma {
+            p: 0.5,
+            g1: Gamma {
+                shape: 1.0,
+                scale: 1.0,
+            },
+            g2: Gamma {
+                shape: 1.0,
+                scale: 100.0,
+            },
+        };
+        let (mean, _) = sample_stats(&hg, 50_000);
+        assert!((mean - 50.5).abs() < 2.5, "mean {mean}");
+    }
+
+    #[test]
+    fn loguniform_bounds_and_median() {
+        let lu = LogUniform { lo: 1.0, hi: 1000.0 };
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| lu.sample(&mut r)).collect();
+        for &s in &samples {
+            assert!((1.0..=1000.0).contains(&s));
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // median of log-uniform = geometric mean of bounds ≈ 31.6
+        assert!((samples[10_000] / 31.62 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn two_stage_respects_split() {
+        let ts = TwoStageLogUniform {
+            p: 0.8,
+            lo: 1.0,
+            mid: 8.0,
+            hi: 512.0,
+        };
+        let mut r = rng();
+        let small = (0..20_000)
+            .filter(|_| ts.sample(&mut r) <= 8.0)
+            .count() as f64
+            / 20_000.0;
+        assert!((small - 0.8).abs() < 0.02, "small fraction {small}");
+    }
+
+    #[test]
+    fn clamped_stays_in_range() {
+        let c = Clamped {
+            inner: Normal { mean: 0.0, sd: 10.0 },
+            lo: -1.0,
+            hi: 1.0,
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = c.sample(&mut r);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn round_up_limits() {
+        assert_eq!(round_up_to_common_limit(1.0), 300);
+        assert_eq!(round_up_to_common_limit(301.0), 600);
+        assert_eq!(round_up_to_common_limit(3600.0), 3600);
+        assert_eq!(round_up_to_common_limit(100_000.0), 172_800);
+        assert_eq!(round_up_to_common_limit(700_000.0), 9 * 86_400);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = Gamma {
+            shape: 2.0,
+            scale: 3.0,
+        };
+        let a: Vec<f64> = {
+            let mut r = DetRng::new(1);
+            (0..10).map(|_| g.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = DetRng::new(1);
+            (0..10).map(|_| g.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,337 @@
+//! Generic synthetic trace model.
+//!
+//! All three trace families the paper uses (the Cirne–Berman model for
+//! Workloads 1/2/5 and the statistically matched RICC / CEA-Curie synthetics
+//! for Workloads 3/4) share the same generative skeleton:
+//!
+//! * arrivals: non-homogeneous Poisson (ANL daily pattern) plus user
+//!   *campaign batches* (a fraction of submissions arrive as bursts of
+//!   similar jobs — what produces the slowdown spikes of the paper's Fig. 7),
+//! * sizes: staged log-uniform over node counts with a power-of-two
+//!   preference (Cirne's observation),
+//! * runtimes: log-normal with a mild positive size correlation, clamped,
+//! * estimates: exact (`Cirne_ideal`) or user-style over-estimates rounded
+//!   up to common wall-time limits.
+//!
+//! Presets live in [`crate::cirne`], [`crate::ricc`] and [`crate::curie`].
+
+use crate::arrivals::ArrivalModel;
+use crate::dist::{round_up_to_common_limit, LogNormal, Sampler};
+use simkit::DetRng;
+use swf::{SwfHeader, SwfJob, Trace};
+
+/// How requested (user-estimated) wall times relate to real runtimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimateModel {
+    /// `req_time == run_time` (the paper's Workload 2, "Cirne_ideal").
+    Exact,
+    /// `req_time = round_up(run_time × f)`, `f` log-uniform in
+    /// `[1, max_factor]` — the classic user over-estimation pattern.
+    UserFactor { max_factor: f64 },
+}
+
+/// One size class: with `weight`, draw node counts log-uniformly in
+/// `[lo, hi]` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeStage {
+    pub weight: f64,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// The generative model; see module docs.
+#[derive(Debug, Clone)]
+pub struct SyntheticTraceModel {
+    pub name: &'static str,
+    pub n_jobs: usize,
+    pub system_nodes: u32,
+    pub cores_per_node: u32,
+    pub arrivals: ArrivalModel,
+    /// Size classes (weights need not sum to 1; they are normalised).
+    pub stages: Vec<SizeStage>,
+    /// Probability a parallel job size is rounded to a power of two.
+    pub pow2_preference: f64,
+    /// Runtime distribution (seconds) of *production* jobs, before size
+    /// correlation and clamping.
+    pub runtime: LogNormal,
+    /// Fraction of jobs that are short debug/test runs — production logs are
+    /// strongly bimodal, and this mass of tiny jobs is what produces the
+    /// thousands-scale average slowdowns of the paper's Table 1.
+    pub short_fraction: f64,
+    /// Log-uniform runtime range of the short-job mode, seconds.
+    pub short_range: (f64, f64),
+    /// Runtime multiplier exponent on node count: `rt × nodes^alpha`.
+    pub size_runtime_alpha: f64,
+    pub runtime_min: u64,
+    pub runtime_max: u64,
+    pub estimates: EstimateModel,
+    /// Probability a submission starts a campaign batch.
+    pub batch_p: f64,
+    /// Mean extra jobs in a batch (geometric tail).
+    pub batch_mean: f64,
+}
+
+impl SyntheticTraceModel {
+    /// Draws a node count according to the staged size model.
+    fn sample_nodes(&self, rng: &mut DetRng) -> u32 {
+        let weights: Vec<f64> = self.stages.iter().map(|s| s.weight).collect();
+        let stage = &self.stages[rng.weighted_index(&weights)];
+        let lo = stage.lo.max(1) as f64;
+        let raw = crate::dist::LogUniform {
+            lo,
+            hi: (stage.hi as f64).max(lo),
+        }
+        .sample(rng);
+        let mut nodes = raw.round().max(1.0) as u32;
+        if nodes > 2 && rng.chance(self.pow2_preference) {
+            // Round to the nearest power of two (Cirne's observed preference).
+            let lg = (nodes as f64).log2().round() as u32;
+            nodes = 1u32 << lg.min(30);
+        }
+        nodes.clamp(1, self.max_job_nodes())
+    }
+
+    /// Largest node count any stage can produce.
+    pub fn max_job_nodes(&self) -> u32 {
+        self.stages
+            .iter()
+            .map(|s| s.hi)
+            .max()
+            .unwrap_or(1)
+            .min(self.system_nodes)
+    }
+
+    fn sample_runtime(&self, nodes: u32, rng: &mut DetRng) -> u64 {
+        if rng.chance(self.short_fraction) {
+            let rt = crate::dist::LogUniform {
+                lo: self.short_range.0.max(1.0),
+                hi: self.short_range.1.max(self.short_range.0.max(1.0)),
+            }
+            .sample(rng);
+            return (rt as u64).clamp(self.runtime_min, self.runtime_max);
+        }
+        let base = self.runtime.sample(rng);
+        let rt = base * (nodes as f64).powf(self.size_runtime_alpha);
+        (rt as u64).clamp(self.runtime_min, self.runtime_max)
+    }
+
+    fn sample_estimate(&self, runtime: u64, rng: &mut DetRng) -> u64 {
+        match self.estimates {
+            EstimateModel::Exact => runtime,
+            EstimateModel::UserFactor { max_factor } => {
+                let f = crate::dist::LogUniform {
+                    lo: 1.0,
+                    hi: max_factor.max(1.0),
+                }
+                .sample(rng);
+                round_up_to_common_limit(runtime as f64 * f).max(runtime)
+            }
+        }
+    }
+
+    /// Extra jobs in a campaign batch: geometric with the configured mean.
+    fn sample_batch_extra(&self, rng: &mut DetRng) -> usize {
+        if self.batch_mean <= 0.0 {
+            return 0;
+        }
+        let p = 1.0 / (1.0 + self.batch_mean);
+        let mut k = 0usize;
+        while !rng.chance(p) && k < 200 {
+            k += 1;
+        }
+        k
+    }
+
+    /// Generates the full trace. Deterministic in `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let root = DetRng::new(seed);
+        let mut arr_rng = root.fork(1);
+        let mut size_rng = root.fork(2);
+        let mut rt_rng = root.fork(3);
+        let mut est_rng = root.fork(4);
+        let mut batch_rng = root.fork(5);
+
+        let mut jobs: Vec<SwfJob> = Vec::with_capacity(self.n_jobs);
+        // Batches consume several jobs per submission event, so submission
+        // events must be spaced further apart to keep the configured
+        // *per-job* mean interarrival (and hence the trace's span).
+        let mean_batch = 1.0 + self.batch_p * self.batch_mean;
+        let mut point_arrivals = self.arrivals.clone();
+        point_arrivals.mean_interarrival = self.arrivals.mean_interarrival * mean_batch;
+        let arrivals = point_arrivals.generate(self.n_jobs, 0, &mut arr_rng);
+        let mut arrival_iter = arrivals.into_iter();
+        let mut more_arrivals = |rng: &mut DetRng, last: u64| -> u64 {
+            arrival_iter.next().unwrap_or_else(|| {
+                last + (rng.range_f64(0.5, 1.5) * point_arrivals.mean_interarrival) as u64
+            })
+        };
+        let mut last_t = 0u64;
+        while jobs.len() < self.n_jobs {
+            let t = more_arrivals(&mut batch_rng, last_t);
+            last_t = t;
+            let batch = if batch_rng.chance(self.batch_p) {
+                1 + self.sample_batch_extra(&mut batch_rng)
+            } else {
+                1
+            };
+            // A campaign shares a size/runtime "shape" with per-job jitter.
+            let proto_nodes = self.sample_nodes(&mut size_rng);
+            let proto_rt = self.sample_runtime(proto_nodes, &mut rt_rng);
+            for b in 0..batch {
+                if jobs.len() >= self.n_jobs {
+                    break;
+                }
+                let (nodes, rt) = if b == 0 {
+                    (proto_nodes, proto_rt)
+                } else {
+                    let jitter = rt_rng.range_f64(0.7, 1.3);
+                    (
+                        proto_nodes,
+                        ((proto_rt as f64 * jitter) as u64)
+                            .clamp(self.runtime_min, self.runtime_max),
+                    )
+                };
+                let procs = nodes as u64 * self.cores_per_node as u64;
+                let req_time = self.sample_estimate(rt, &mut est_rng);
+                // Batched submissions arrive a few seconds apart.
+                let submit = t + b as u64;
+                let id = jobs.len() as u64 + 1;
+                let mut job = SwfJob::for_simulation(id, submit, rt, procs, req_time);
+                job.user = (id % 97) as i64; // synthetic user mix
+                jobs.push(job);
+            }
+        }
+        jobs.sort_by_key(|j| (j.submit, j.job_id));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.job_id = i as u64 + 1;
+        }
+
+        let mut header = SwfHeader::new();
+        header.set("Computer", self.name);
+        header.set("MaxNodes", self.system_nodes);
+        header.set(
+            "MaxProcs",
+            self.system_nodes as u64 * self.cores_per_node as u64,
+        );
+        header.set("MaxJobs", jobs.len());
+        header.set("Note", "synthetic trace generated by sd-sched workload models");
+        Trace::new(header, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> SyntheticTraceModel {
+        SyntheticTraceModel {
+            name: "tiny",
+            n_jobs: 500,
+            system_nodes: 64,
+            cores_per_node: 8,
+            arrivals: ArrivalModel::uniform(100.0),
+            stages: vec![
+                SizeStage {
+                    weight: 0.8,
+                    lo: 1,
+                    hi: 8,
+                },
+                SizeStage {
+                    weight: 0.2,
+                    lo: 8,
+                    hi: 32,
+                },
+            ],
+            pow2_preference: 0.5,
+            runtime: LogNormal::from_median(600.0, 1.0),
+            short_fraction: 0.2,
+            short_range: (10.0, 60.0),
+            size_runtime_alpha: 0.1,
+            runtime_min: 10,
+            runtime_max: 86_400,
+            estimates: EstimateModel::UserFactor { max_factor: 5.0 },
+            batch_p: 0.2,
+            batch_mean: 3.0,
+        }
+    }
+
+    #[test]
+    fn generates_requested_job_count() {
+        let t = tiny_model().generate(42);
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.header.max_nodes(), Some(64));
+        assert_eq!(t.header.max_procs(), Some(512));
+    }
+
+    #[test]
+    fn jobs_sorted_and_renumbered() {
+        let t = tiny_model().generate(42);
+        assert!(t.jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        for (i, j) in t.jobs.iter().enumerate() {
+            assert_eq!(j.job_id, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn sizes_within_bounds_and_whole_nodes() {
+        let m = tiny_model();
+        let t = m.generate(1);
+        for j in &t.jobs {
+            let procs = j.procs().unwrap();
+            assert_eq!(procs % 8, 0, "whole-node proc counts");
+            let nodes = procs / 8;
+            assert!((1..=32).contains(&nodes), "nodes {nodes}");
+        }
+    }
+
+    #[test]
+    fn runtimes_clamped() {
+        let t = tiny_model().generate(2);
+        for j in &t.jobs {
+            let rt = j.runtime().unwrap();
+            assert!((10..=86_400).contains(&rt));
+            assert!(j.requested_time().unwrap() >= rt, "estimates never low");
+        }
+    }
+
+    #[test]
+    fn exact_estimates_mode() {
+        let mut m = tiny_model();
+        m.estimates = EstimateModel::Exact;
+        let t = m.generate(3);
+        for j in &t.jobs {
+            assert_eq!(j.req_time, j.run_time);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = tiny_model();
+        assert_eq!(m.generate(9).jobs, m.generate(9).jobs);
+        assert_ne!(m.generate(9).jobs, m.generate(10).jobs);
+    }
+
+    #[test]
+    fn batches_create_simultaneous_submissions() {
+        let t = tiny_model().generate(4);
+        // With batch_p = 0.2 and mean 3 extra jobs, clusters of nearby
+        // submissions must exist.
+        let close = t
+            .jobs
+            .windows(2)
+            .filter(|w| w[1].submit - w[0].submit <= 1)
+            .count();
+        assert!(close > 30, "campaign batches present ({close})");
+    }
+
+    #[test]
+    fn max_job_nodes_capped_by_system() {
+        let mut m = tiny_model();
+        m.stages[1].hi = 10_000;
+        assert_eq!(m.max_job_nodes(), 64);
+        let t = m.generate(5);
+        for j in &t.jobs {
+            assert!(j.procs().unwrap() / 8 <= 64);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests: trace generation invariants across seeds and scales.
+
+use proptest::prelude::*;
+use workload::PaperWorkload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))] // generation is heavy
+
+    /// Every generated trace is structurally sound: ids dense from 1,
+    /// submit-sorted, sizes within machine, runtimes within clamps,
+    /// requested times never below runtimes.
+    #[test]
+    fn traces_are_structurally_sound(
+        seed in 0u64..1000,
+        scale in 0.02f64..0.08,
+        widx in 0usize..4,
+    ) {
+        let w = PaperWorkload::SIMULATED[widx];
+        let model = w.model(scale);
+        let trace = model.generate(seed);
+        prop_assert_eq!(trace.len(), model.n_jobs);
+        let mut last_submit = 0i64;
+        for (i, j) in trace.jobs.iter().enumerate() {
+            prop_assert_eq!(j.job_id, i as u64 + 1, "dense ids");
+            prop_assert!(j.submit >= last_submit, "submit sorted");
+            last_submit = j.submit;
+            let procs = j.procs().expect("procs present");
+            prop_assert_eq!(procs % model.cores_per_node as u64, 0, "whole nodes");
+            prop_assert!(procs / model.cores_per_node as u64 <= model.max_job_nodes() as u64);
+            let rt = j.runtime().expect("runtime present");
+            prop_assert!(rt >= model.runtime_min && rt <= model.runtime_max);
+            prop_assert!(j.requested_time().unwrap() >= rt, "estimates never below runtime");
+        }
+    }
+
+    /// Generation is a pure function of the seed.
+    #[test]
+    fn generation_deterministic(seed in 0u64..500) {
+        let a = PaperWorkload::W3Ricc.generate(seed, 0.03);
+        let b = PaperWorkload::W3Ricc.generate(seed, 0.03);
+        prop_assert_eq!(a.jobs, b.jobs);
+    }
+
+    /// Different seeds produce different traces (no seed aliasing).
+    #[test]
+    fn seeds_matter(seed in 0u64..500) {
+        let a = PaperWorkload::W1Cirne.generate(seed, 0.02);
+        let b = PaperWorkload::W1Cirne.generate(seed + 1, 0.02);
+        prop_assert_ne!(a.jobs, b.jobs);
+    }
+}

@@ -1,0 +1,75 @@
+//! Mini MAX_SLOWDOWN sweep (a fast, single-workload version of the
+//! Figs. 1–3 experiment) showing how the cut-off trades mate protection
+//! against malleability opportunities.
+//!
+//! ```sh
+//! cargo run --release --example policy_sweep
+//! ```
+
+use sd_sched::prelude::*;
+
+fn main() {
+    let w = PaperWorkload::W4Curie;
+    let scale = 0.01;
+    let seed = 42;
+    let trace = w.generate(seed, scale);
+    let cluster = w.cluster(scale);
+    println!(
+        "{}: {} jobs on {} nodes\n",
+        w.label(),
+        trace.len(),
+        cluster.nodes
+    );
+
+    let baseline = run_trace(
+        cluster.clone(),
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        StaticBackfill,
+    );
+    let base = Summary::from_result("static", &baseline, cluster.total_cores());
+
+    let mut t = sched_metrics::Table::new(&[
+        "cut-off",
+        "slowdown",
+        "norm",
+        "response",
+        "norm",
+        "malleable",
+    ]);
+    t.row(vec![
+        "static".into(),
+        format!("{:.1}", base.mean_slowdown),
+        "1.000".into(),
+        format!("{:.0}", base.mean_response),
+        "1.000".into(),
+        "0".into(),
+    ]);
+    for cutoff in MaxSlowdown::paper_sweep() {
+        let res = run_trace(
+            cluster.clone(),
+            SlurmConfig::default(),
+            &trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            SdPolicy::new(SdPolicyConfig {
+                max_slowdown: cutoff,
+                ..SdPolicyConfig::default()
+            }),
+        );
+        let s = Summary::from_result(&cutoff.label(), &res, cluster.total_cores());
+        t.row(vec![
+            cutoff.label(),
+            format!("{:.1}", s.mean_slowdown),
+            format!("{:.3}", s.mean_slowdown / base.mean_slowdown),
+            format!("{:.0}", s.mean_response),
+            format!("{:.3}", s.mean_response / base.mean_response),
+            format!("{}", s.malleable_started),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("low cut-offs protect running jobs but forgo malleability;");
+    println!("the dynamic cut-off (DynAVGSD) adapts to the system's own slowdown.");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: simulate a small cluster under static backfill and under
+//! SD-Policy, and compare the paper's metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sd_sched::prelude::*;
+
+fn main() {
+    // A RICC-like workload scaled to ~2000 jobs on a 204-node machine.
+    let workload = PaperWorkload::W3Ricc;
+    let scale = 0.2;
+    let seed = 42;
+    let trace = workload.generate(seed, scale);
+    let cluster = workload.cluster(scale);
+    println!(
+        "workload: {} — {} jobs on {} nodes ({} cores)",
+        workload.label(),
+        trace.len(),
+        cluster.nodes,
+        cluster.total_cores()
+    );
+
+    // Baseline: SLURM-style conservative backfill, exclusive nodes.
+    let baseline = run_trace(
+        cluster.clone(),
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        StaticBackfill,
+    );
+
+    // SD-Policy: same machine, same trace, malleable co-scheduling.
+    let sd = run_trace(
+        cluster.clone(),
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        SdPolicy::default(),
+    );
+
+    let base = Summary::from_result("static backfill", &baseline, cluster.total_cores());
+    let sdm = Summary::from_result("SD-Policy (DynAVGSD)", &sd, cluster.total_cores());
+
+    let mut t = sched_metrics::Table::new(&["metric", "static", "SD-Policy", "change"]);
+    let pct = |a: f64, b: f64| format!("{:+.1}%", (b / a - 1.0) * 100.0);
+    t.row(vec![
+        "makespan (s)".into(),
+        format!("{}", base.makespan),
+        format!("{}", sdm.makespan),
+        pct(base.makespan as f64, sdm.makespan as f64),
+    ]);
+    t.row(vec![
+        "avg response (s)".into(),
+        format!("{:.0}", base.mean_response),
+        format!("{:.0}", sdm.mean_response),
+        pct(base.mean_response, sdm.mean_response),
+    ]);
+    t.row(vec![
+        "avg slowdown".into(),
+        format!("{:.1}", base.mean_slowdown),
+        format!("{:.1}", sdm.mean_slowdown),
+        pct(base.mean_slowdown, sdm.mean_slowdown),
+    ]);
+    t.row(vec![
+        "energy (kWh)".into(),
+        format!("{:.0}", base.energy_kwh),
+        format!("{:.0}", sdm.energy_kwh),
+        pct(base.energy_kwh, sdm.energy_kwh),
+    ]);
+    println!("\n{}", t.render());
+    println!(
+        "jobs started through malleable backfill: {} ({} mates were shrunk)",
+        sd.stats.started_malleable, sd.stats.unique_mates
+    );
+}

@@ -1,0 +1,108 @@
+//! Conservation and sanity invariants over full runs: every job completes
+//! exactly once, causality holds, and the slowdown metric is well formed.
+
+use sd_sched::prelude::*;
+use std::collections::HashSet;
+
+fn full_run(policy_sd: bool, seed: u64) -> (SimResult, usize) {
+    let w = PaperWorkload::W1Cirne;
+    let trace = w.generate(seed, 0.05);
+    let jobs = trace.len();
+    let cluster = w.cluster(0.05);
+    let res = if policy_sd {
+        run_trace(
+            cluster,
+            SlurmConfig::default(),
+            &trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            SdPolicy::default(),
+        )
+    } else {
+        run_trace(
+            cluster,
+            SlurmConfig::default(),
+            &trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            StaticBackfill,
+        )
+    };
+    (res, jobs)
+}
+
+#[test]
+fn every_job_completes_exactly_once_static() {
+    let (res, jobs) = full_run(false, 3);
+    assert_eq!(res.outcomes.len(), jobs);
+    assert_eq!(res.leftover_pending, 0);
+    assert_eq!(res.leftover_running, 0);
+    let ids: HashSet<u64> = res.outcomes.iter().map(|o| o.id.0).collect();
+    assert_eq!(ids.len(), jobs, "no duplicate completions");
+}
+
+#[test]
+fn every_job_completes_exactly_once_sd() {
+    let (res, jobs) = full_run(true, 3);
+    assert_eq!(res.outcomes.len(), jobs);
+    assert_eq!(res.leftover_pending, 0);
+    assert_eq!(res.leftover_running, 0);
+}
+
+#[test]
+fn causality_and_metric_sanity() {
+    let (res, _) = full_run(true, 9);
+    for o in &res.outcomes {
+        assert!(o.start >= o.submit, "{}: starts after submission", o.id);
+        assert!(o.end > o.start, "{}: positive runtime", o.id);
+        assert!(
+            o.runtime() >= o.static_runtime,
+            "{}: wall time never below static runtime ({} < {})",
+            o.id,
+            o.runtime(),
+            o.static_runtime
+        );
+        assert!(o.slowdown() >= 1.0 - 1e-9, "{}: slowdown ≥ 1", o.id);
+        if !o.malleable_backfilled && !o.was_mate {
+            assert_eq!(
+                o.runtime(),
+                o.static_runtime,
+                "{}: untouched jobs run exactly their static time",
+                o.id
+            );
+        }
+    }
+}
+
+#[test]
+fn static_jobs_never_stretched_by_static_policy() {
+    let (res, _) = full_run(false, 4);
+    for o in &res.outcomes {
+        assert_eq!(o.runtime(), o.static_runtime);
+        assert!(!o.malleable_backfilled);
+        assert!(!o.was_mate);
+    }
+}
+
+#[test]
+fn makespan_bounds() {
+    let (res, _) = full_run(true, 12);
+    let last_end = res.outcomes.iter().map(|o| o.end).max().unwrap();
+    let first_submit = res.outcomes.iter().map(|o| o.submit).min().unwrap();
+    assert_eq!(res.makespan, last_end.since(first_submit));
+    assert_eq!(res.first_submit, first_submit);
+    assert_eq!(res.last_end, last_end);
+}
+
+#[test]
+fn energy_has_idle_floor() {
+    let (res, _) = full_run(false, 7);
+    let w = PaperWorkload::W1Cirne.cluster(0.05);
+    let idle_floor = w.nodes as f64 * w.node.power.idle_watts * res.makespan as f64;
+    assert!(
+        res.energy_joules >= idle_floor * 0.999,
+        "energy {} below idle floor {}",
+        res.energy_joules,
+        idle_floor
+    );
+}

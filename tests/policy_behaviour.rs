@@ -1,0 +1,167 @@
+//! Cross-crate behavioural tests of SD-Policy against the baseline —
+//! the paper's qualitative claims as assertions.
+
+use sd_sched::prelude::*;
+
+fn compare(w: PaperWorkload, scale: f64, seed: u64) -> (SimResult, SimResult) {
+    let trace = w.generate(seed, scale);
+    let cluster = w.cluster(scale);
+    let stat = run_trace(
+        cluster.clone(),
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        StaticBackfill,
+    );
+    let sd = run_trace(
+        cluster,
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        SdPolicy::new(SdPolicyConfig {
+            max_slowdown: MaxSlowdown::Static(50.0),
+            ..SdPolicyConfig::default()
+        }),
+    );
+    (stat, sd)
+}
+
+#[test]
+fn sd_improves_slowdown_on_congested_workloads() {
+    // The headline claim, on two different workload families.
+    for (w, scale) in [
+        (PaperWorkload::W1Cirne, 0.05),
+        (PaperWorkload::W4Curie, 0.01),
+    ] {
+        let (stat, sd) = compare(w, scale, 42);
+        assert!(sd.stats.started_malleable > 0, "{w:?}: malleability used");
+        assert!(
+            sd.mean_slowdown() < stat.mean_slowdown(),
+            "{w:?}: SD {} vs static {}",
+            sd.mean_slowdown(),
+            stat.mean_slowdown()
+        );
+    }
+}
+
+#[test]
+fn sd_keeps_makespan_roughly_constant() {
+    // Paper: "reduction of makespan … up to 7%"; at minimum it must not
+    // blow up (shrinking stretches jobs but fills holes).
+    let (stat, sd) = compare(PaperWorkload::W1Cirne, 0.05, 42);
+    let ratio = sd.makespan as f64 / stat.makespan as f64;
+    assert!((0.85..1.25).contains(&ratio), "makespan ratio {ratio}");
+}
+
+#[test]
+fn malleable_backfilled_jobs_skip_the_queue() {
+    let (stat, sd) = compare(PaperWorkload::W1Cirne, 0.05, 7);
+    // Find jobs that were malleable-backfilled in the SD run and compare
+    // their waits against the same jobs in the static run.
+    let static_wait: std::collections::HashMap<u64, u64> = stat
+        .outcomes
+        .iter()
+        .map(|o| (o.id.0, o.wait()))
+        .collect();
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for o in sd.outcomes.iter().filter(|o| o.malleable_backfilled) {
+        total += 1;
+        if o.wait() < static_wait[&o.id.0] {
+            improved += 1;
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        improved as f64 >= total as f64 * 0.8,
+        "most backfilled jobs wait less: {improved}/{total}"
+    );
+}
+
+#[test]
+fn mates_are_always_expanded_back() {
+    // A mate that lent cores must end at full width unless it finished
+    // while still lending — verified via the invariant that its wall time
+    // never exceeds worst-case stretch for the overlap it hosted.
+    let (_, sd) = compare(PaperWorkload::W1Cirne, 0.05, 13);
+    for o in sd.outcomes.iter().filter(|o| o.was_mate) {
+        // A mate at sharing 0.5 loses at most 0.5·(co-residency); the
+        // co-residency never exceeds its own requested time (finish-inside
+        // constraint), so wall ≤ static + req/… — use the loose bound 2×req.
+        assert!(
+            o.runtime() <= o.static_runtime + o.req_time,
+            "{}: mate stretched beyond the worst-case bound ({} vs {} + {})",
+            o.id,
+            o.runtime(),
+            o.static_runtime,
+            o.req_time
+        );
+    }
+}
+
+#[test]
+fn zero_malleable_fraction_degenerates_to_static() {
+    let w = PaperWorkload::W3Ricc;
+    let trace = w.generate(21, 0.02);
+    let cluster = w.cluster(0.02);
+    let cfg = SlurmConfig {
+        malleable_fraction: 0.0,
+        ..SlurmConfig::default()
+    };
+    let stat = run_trace(
+        cluster.clone(),
+        cfg.clone(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        StaticBackfill,
+    );
+    let sd = run_trace(
+        cluster,
+        cfg,
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        SdPolicy::default(),
+    );
+    assert_eq!(stat.outcomes, sd.outcomes);
+}
+
+#[test]
+fn worst_case_model_never_beats_ideal_for_the_same_schedule() {
+    // Eq. 5 is the lower bound on the increase, Eq. 6 the upper bound; under
+    // the same policy the ideal-model run must finish jobs no later on
+    // average… schedules diverge after the first decision, so assert the
+    // weaker aggregate form.
+    let w = PaperWorkload::W1Cirne;
+    let trace = w.generate(5, 0.05);
+    let cluster = w.cluster(0.05);
+    let run_model = |ideal: bool| {
+        let model: Box<dyn slurm_sim::RateModel> = if ideal {
+            Box::new(IdealModel)
+        } else {
+            Box::new(WorstCaseModel)
+        };
+        run_trace(
+            cluster.clone(),
+            SlurmConfig::default(),
+            &trace,
+            model,
+            SharingFactor::HALF,
+            SdPolicy::default(),
+        )
+    };
+    let ideal = run_model(true);
+    let worst = run_model(false);
+    // Both complete everything; stretched runtimes differ.
+    assert_eq!(ideal.outcomes.len(), worst.outcomes.len());
+    let mean_rt = |r: &SimResult| {
+        r.outcomes.iter().map(|o| o.runtime() as f64).sum::<f64>() / r.outcomes.len() as f64
+    };
+    assert!(
+        mean_rt(&worst) >= mean_rt(&ideal) * 0.98,
+        "worst-case stretches at least as much on average"
+    );
+}
