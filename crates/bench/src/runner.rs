@@ -164,25 +164,28 @@ pub fn sweep(configs: &[RunConfig]) -> Vec<SimResult> {
     let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let results: Vec<parking_lot::Mutex<Option<SimResult>>> =
-        configs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
+        configs.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..max_threads.min(configs.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
                 let res = run_config(&configs[i]);
-                *results[i].lock() = Some(res);
+                *results[i].lock().expect("sweep lock poisoned") = Some(res);
             });
         }
-    })
-    .expect("sweep threads must not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every config ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep lock poisoned")
+                .expect("every config ran")
+        })
         .collect()
 }
 

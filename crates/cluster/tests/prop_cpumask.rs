@@ -69,3 +69,21 @@ proptest! {
         prop_assert_eq!(v, sorted);
     }
 }
+
+/// Regression: every mask operation must also hold on zero-width masks
+/// (a node with no cores), which the random model above never generates.
+#[test]
+fn zero_width_masks_are_inert() {
+    let mut a = CpuMask::empty(0);
+    let b = CpuMask::full(0);
+    a.union_with(&b);
+    a.intersect_with(&b);
+    a.subtract(&b);
+    assert_eq!(a.count(), 0);
+    assert!(a.is_empty());
+    assert!(a.is_disjoint(&b));
+    assert_eq!(a.take_lowest(5).count(), 0);
+    assert_eq!(CpuMask::range(0, 0, 0).count(), 0);
+    assert_eq!(a.iter().count(), 0);
+    assert_eq!(format!("{a:?}"), "CpuMask[0/0:]");
+}

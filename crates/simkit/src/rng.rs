@@ -4,11 +4,12 @@
 //! application assignment …) takes its own forked stream so that adding a new
 //! consumer never perturbs the draws seen by existing ones — a requirement
 //! for comparing policies on *identical* workloads.
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64,
+//! so the crate has no external dependencies and the streams are stable
+//! across platforms and toolchain upgrades.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step, used to derive independent sub-seeds from a master seed.
+/// SplitMix64 step, used to expand seeds and derive independent sub-seeds.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -21,17 +22,23 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// A deterministic, forkable random number generator.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    rng: StdRng,
+    s: [u64; 4],
     seed: u64,
 }
 
 impl DetRng {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            rng: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        // Expand the 64-bit seed into xoshiro256++ state via SplitMix64, the
+        // initialisation recommended by the xoshiro authors.
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s, seed }
     }
 
     /// The seed this stream was created with.
@@ -51,10 +58,42 @@ impl DetRng {
         DetRng::new(a ^ b.rotate_left(17))
     }
 
+    /// Next 64 bits of the stream (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32 bits of the stream.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 high bits → the dyadic rationals k / 2^53 in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`; `lo == hi` returns `lo`.
@@ -63,7 +102,14 @@ impl DetRng {
         if hi <= lo {
             lo
         } else {
-            self.rng.gen_range(lo..hi)
+            let x = lo + self.f64() * (hi - lo);
+            // Guard the open upper bound: if the sum rounds up to `hi`,
+            // clamp to the next float below it rather than jumping to `lo`.
+            if x < hi {
+                x
+            } else {
+                hi.next_down().max(lo)
+            }
         }
     }
 
@@ -71,9 +117,20 @@ impl DetRng {
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         if hi <= lo {
-            lo
-        } else {
-            self.rng.gen_range(lo..=hi)
+            return lo;
+        }
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // lo = 0, hi = u64::MAX: the whole domain.
+            return self.next_u64();
+        }
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return lo + x % span;
+            }
         }
     }
 
@@ -102,21 +159,6 @@ impl DetRng {
             x -= w;
         }
         weights.len() - 1
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
     }
 }
 
@@ -196,5 +238,13 @@ mod tests {
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
         assert!(r.chance(2.0), "clamped above 1");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::new(42);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is astronomically unlikely");
     }
 }

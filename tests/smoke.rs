@@ -1,0 +1,40 @@
+//! Smoke test for the umbrella crate's headline promise: the exact workflow
+//! from the `src/lib.rs` doctest, kept as a plain integration test so it runs
+//! even when doctests are skipped (e.g. `cargo test --tests`).
+
+use sd_sched::prelude::*;
+
+#[test]
+fn sd_policy_does_not_regress_mean_slowdown() {
+    let workload = PaperWorkload::W3Ricc;
+    let trace = workload.generate(7, 0.02);
+    let cluster = workload.cluster(0.02);
+
+    let baseline = run_trace(
+        cluster.clone(),
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        StaticBackfill,
+    );
+    let sd = run_trace(
+        cluster,
+        SlurmConfig::default(),
+        &trace,
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        SdPolicy::default(),
+    );
+
+    assert!(
+        sd.mean_slowdown() <= baseline.mean_slowdown() * 1.05,
+        "SD-Policy mean slowdown {} vs baseline {}",
+        sd.mean_slowdown(),
+        baseline.mean_slowdown()
+    );
+    // Both runs must actually finish the trace for the comparison to mean
+    // anything.
+    assert_eq!(baseline.leftover_pending, 0);
+    assert_eq!(sd.leftover_pending, 0);
+}
