@@ -19,6 +19,7 @@ use workload::PaperWorkload;
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("ablations", &[]);
     let w = PaperWorkload::W3Ricc;
     let scale = args.effective_scale(sd_bench::default_scale(w));
     let cores = w.cluster(scale).total_cores();
@@ -26,7 +27,7 @@ fn main() {
     let base = || {
         RunConfig::new(w, PolicyKind::Sd(MaxSlowdown::DynAvg))
             .with_scale(scale)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::Ideal)
     };
     let run = |label: String, cfg: RunConfig| -> Vec<String> {
@@ -48,7 +49,7 @@ fn main() {
         "static backfill".into(),
         RunConfig::new(w, PolicyKind::StaticBackfill)
             .with_scale(scale)
-            .with_seed(args.seed),
+            .with_seed(args.effective_seed()),
     ));
 
     // m sweep.

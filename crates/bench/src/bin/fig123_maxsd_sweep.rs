@@ -6,13 +6,14 @@
 //! (W2), 25.7 % (W3) and 70.4 % (W4); makespan roughly constant; response
 //! time down by up to 50 % on W4.
 
-use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_bench::{run_config, sweep_with, CliArgs, ModelKind, PolicyKind, RunConfig};
 use sd_policy::MaxSlowdown;
 use sched_metrics::{normalized, Summary, Table};
 use workload::PaperWorkload;
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("fig123_maxsd_sweep", &["--threads"]);
     // "using SharingFactor of 0.5 and the ideal runtime model" (§4.1).
     let cutoffs = MaxSlowdown::paper_sweep();
 
@@ -22,20 +23,20 @@ fn main() {
         configs.push(
             RunConfig::new(w, PolicyKind::StaticBackfill)
                 .with_scale(scale)
-                .with_seed(args.seed)
+                .with_seed(args.effective_seed())
                 .with_model(ModelKind::Ideal),
         );
         for &c in &cutoffs {
             configs.push(
                 RunConfig::new(w, PolicyKind::Sd(c))
                     .with_scale(scale)
-                    .with_seed(args.seed)
+                    .with_seed(args.effective_seed())
                     .with_model(ModelKind::Ideal),
             );
         }
     }
     eprintln!("running {} simulations…", configs.len());
-    let results = sweep(&configs);
+    let results = sweep_with(&configs, args.threads, run_config);
 
     let per_workload = 1 + cutoffs.len();
     let metric_tables = [

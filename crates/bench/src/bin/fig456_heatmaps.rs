@@ -9,27 +9,28 @@
 //! Fig. 5) while wait times improve broadly (Fig. 6); a single category
 //! (512–1024 nodes, 12 h–1 d) loses ~15 % slowdown.
 
-use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_bench::{run_config, sweep_with, CliArgs, ModelKind, PolicyKind, RunConfig};
 use sd_policy::MaxSlowdown;
 use sched_metrics::heatmap::{HeatMetric, Heatmap, HeatmapSpec, RatioHeatmap};
 use workload::PaperWorkload;
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("fig456_heatmaps", &["--threads"]);
     let w = PaperWorkload::W4Curie;
     let scale = args.effective_scale(sd_bench::default_scale(w));
     let configs = vec![
         RunConfig::new(w, PolicyKind::StaticBackfill)
             .with_scale(scale)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::Ideal),
         RunConfig::new(w, PolicyKind::Sd(MaxSlowdown::Static(10.0)))
             .with_scale(scale)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::Ideal),
     ];
     eprintln!("running static + SD (MAXSD 10) on {} at scale {scale}…", w.label());
-    let results = sweep(&configs);
+    let results = sweep_with(&configs, args.threads, run_config);
 
     let max_nodes = w.cluster(scale).nodes;
     let spec = HeatmapSpec::paper_style(max_nodes);

@@ -5,27 +5,28 @@
 //! 20 476 malleable-scheduled jobs and 17 102 mates (10.3 % / 8.6 % of the
 //! 198 K-job workload).
 
-use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_bench::{run_config, sweep_with, CliArgs, ModelKind, PolicyKind, RunConfig};
 use sd_policy::MaxSlowdown;
 use sched_metrics::{DailySeries, Table};
 use workload::PaperWorkload;
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("fig7_daily", &["--threads"]);
     let w = PaperWorkload::W4Curie;
     let scale = args.effective_scale(sd_bench::default_scale(w));
     let configs = vec![
         RunConfig::new(w, PolicyKind::StaticBackfill)
             .with_scale(scale)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::Ideal),
         RunConfig::new(w, PolicyKind::Sd(MaxSlowdown::Static(10.0)))
             .with_scale(scale)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::Ideal),
     ];
     eprintln!("running static + SD (MAXSD 10) on {}…", w.label());
-    let results = sweep(&configs);
+    let results = sweep_with(&configs, args.threads, run_config);
 
     let static_daily = DailySeries::compute(&results[0].outcomes);
     let sd_daily = DailySeries::compute(&results[1].outcomes);

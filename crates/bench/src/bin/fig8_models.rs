@@ -6,13 +6,14 @@
 //! +1 % (W4); makespan +9 % (W3), < 1 % elsewhere; W2 is unaffected because
 //! exact estimates prevent the load imbalance entirely.
 
-use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_bench::{run_config, sweep_with, CliArgs, ModelKind, PolicyKind, RunConfig};
 use sd_policy::MaxSlowdown;
 use sched_metrics::{normalized, Summary, Table};
 use workload::PaperWorkload;
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("fig8_models", &["--threads"]);
     let mut configs = Vec::new();
     for &w in &PaperWorkload::SIMULATED {
         let scale = args.effective_scale(sd_bench::default_scale(w));
@@ -20,19 +21,19 @@ fn main() {
             configs.push(
                 RunConfig::new(w, PolicyKind::StaticBackfill)
                     .with_scale(scale)
-                    .with_seed(args.seed)
+                    .with_seed(args.effective_seed())
                     .with_model(model),
             );
             configs.push(
                 RunConfig::new(w, PolicyKind::Sd(MaxSlowdown::DynAvg))
                     .with_scale(scale)
-                    .with_seed(args.seed)
+                    .with_seed(args.effective_seed())
                     .with_model(model),
             );
         }
     }
     eprintln!("running {} simulations…", configs.len());
-    let results = sweep(&configs);
+    let results = sweep_with(&configs, args.threads, run_config);
 
     println!("=== Figure 8: ideal vs worst-case runtime model (SD DynAVGSD, normalized to static) ===\n");
     let mut t = Table::new(&[

@@ -7,24 +7,25 @@
 //! slowdown ≈ −16 %, energy −6 %; 449 of 539 malleable-scheduled jobs had
 //! better resource-proportional runtime than their static execution.
 
-use sd_bench::{sweep, CliArgs, ModelKind, PolicyKind, RunConfig};
+use sd_bench::{run_config, sweep_with, CliArgs, ModelKind, PolicyKind, RunConfig};
 use sd_policy::MaxSlowdown;
 use sched_metrics::{improvement_pct, Summary, Table};
 use workload::PaperWorkload;
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("fig9_realrun", &["--threads"]);
     let w = PaperWorkload::W5RealRun;
     let configs = vec![
         RunConfig::new(w, PolicyKind::StaticBackfill)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::AppAware),
         RunConfig::new(w, PolicyKind::Sd(MaxSlowdown::DynAvg))
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(ModelKind::AppAware),
     ];
     eprintln!("running static + SD on the 49-node MN4 subset (app-aware model)…");
-    let results = sweep(&configs);
+    let results = sweep_with(&configs, args.threads, run_config);
     let cores = w.cluster(1.0).total_cores();
     let stat = Summary::from_result("static", &results[0], cores);
     let sd = Summary::from_result("sd", &results[1], cores);

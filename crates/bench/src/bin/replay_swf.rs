@@ -16,6 +16,7 @@ use slurm_sim::{Controller, IdealModel, SlurmConfig, StaticBackfill};
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("replay_swf", &["--swf"]);
     let Some(path) = args.swf.as_deref() else {
         eprintln!("usage: replay_swf --swf <trace.swf> [--seed N]");
         std::process::exit(2);

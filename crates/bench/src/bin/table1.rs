@@ -48,6 +48,7 @@ fn paper_row(w: PaperWorkload) -> PaperRow {
 
 fn main() {
     let args = CliArgs::from_env();
+    args.require_supported("table1", &[]);
     println!("=== Table 1: Description of workloads (static backfill) ===\n");
     let mut table = sched_metrics::Table::new(&[
         "ID",
@@ -66,7 +67,7 @@ fn main() {
         let scale = args.effective_scale(sd_bench::default_scale(*w));
         let cfg = RunConfig::new(*w, PolicyKind::StaticBackfill)
             .with_scale(scale)
-            .with_seed(args.seed)
+            .with_seed(args.effective_seed())
             .with_model(if *w == PaperWorkload::W5RealRun {
                 sd_bench::ModelKind::AppAware
             } else {

@@ -9,7 +9,8 @@ use workload::{AppId, PaperWorkload, APPS};
 
 fn main() {
     let args = sd_bench::CliArgs::from_env();
-    let at = PaperWorkload::generate_apps(args.seed);
+    args.require_supported("table2", &[]);
+    let at = PaperWorkload::generate_apps(args.effective_seed());
     let mix = at.mix();
     let total = at.apps.len() as f64;
 

@@ -6,13 +6,17 @@
 //! * [`runner`] — configure + execute a simulation (workload × policy ×
 //!   runtime model × scale) and parallel sweeps over configurations,
 //! * [`cli`] — the tiny flag parser shared by the binaries
-//!   (`--scale`, `--seed`, `--full`, `--swf <file>`).
+//!   (`--scale`, `--seed`, `--full`, `--swf <file>`, `--threads`, `--out`).
 //!
 //! Every binary prints the paper's rows/series next to the measured values
-//! so EXPERIMENTS.md can record paper-vs-measured directly.
+//! so EXPERIMENTS.md can record paper-vs-measured directly. The
+//! `run_scenario` binary goes beyond the paper: it executes declarative
+//! `sd-scenario` files/campaigns over the same [`runner::sweep_with`] pool.
 
 pub mod cli;
 pub mod runner;
 
-pub use cli::CliArgs;
-pub use runner::{default_scale, run_config, sweep, ModelKind, PolicyKind, RunConfig};
+pub use cli::{CliArgs, CliError, USAGE};
+pub use runner::{
+    default_scale, run_config, sweep, sweep_with, ModelKind, PolicyKind, RunConfig,
+};

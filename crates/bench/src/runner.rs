@@ -117,12 +117,7 @@ impl RunConfig {
 /// Default CI-sized scales per workload: a few thousand jobs, seconds of
 /// wall time, same offered load as the paper-scale runs.
 pub fn default_scale(w: PaperWorkload) -> f64 {
-    match w {
-        PaperWorkload::W1Cirne | PaperWorkload::W2CirneIdeal => 0.20,
-        PaperWorkload::W3Ricc => 0.20,
-        PaperWorkload::W4Curie => 0.02,
-        PaperWorkload::W5RealRun => 1.0, // already only 49 nodes / 2000 jobs
-    }
+    w.default_ci_scale()
 }
 
 /// Executes one experiment run.
@@ -161,20 +156,34 @@ pub fn run_config(cfg: &RunConfig) -> SimResult {
 /// Runs many configurations in parallel (one scoped thread each, bounded by
 /// the machine's parallelism) and returns results in input order.
 pub fn sweep(configs: &[RunConfig]) -> Vec<SimResult> {
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
-        configs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    sweep_with(configs, None, run_config)
+}
+
+/// Generic fan-out over scoped threads: applies `run` to every item and
+/// returns results in input order. `threads = None` uses the machine's
+/// available parallelism; the scenario campaign runner and the figure
+/// binaries share this pool.
+pub fn sweep_with<T, R>(items: &[T], threads: Option<usize>, run: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let max_threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for _ in 0..max_threads.min(configs.len()) {
+        for _ in 0..max_threads.max(1).min(items.len()) {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= configs.len() {
+                if i >= items.len() {
                     break;
                 }
-                let res = run_config(&configs[i]);
+                let res = run(&items[i]);
                 *results[i].lock().expect("sweep lock poisoned") = Some(res);
             });
         }
@@ -184,7 +193,7 @@ pub fn sweep(configs: &[RunConfig]) -> Vec<SimResult> {
         .map(|m| {
             m.into_inner()
                 .expect("sweep lock poisoned")
-                .expect("every config ran")
+                .expect("every item ran")
         })
         .collect()
 }
@@ -226,6 +235,16 @@ mod tests {
         let solo0 = run_config(&cfgs[0]);
         assert_eq!(swept[0].outcomes, solo0.outcomes, "sweep is deterministic");
         assert_eq!(swept.len(), 2);
+    }
+
+    #[test]
+    fn sweep_with_preserves_order_and_honours_thread_cap() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = sweep_with(&items, Some(3), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // A zero thread request still runs everything (floored to 1).
+        let out1 = sweep_with(&items, Some(0), |x| x + 1);
+        assert_eq!(out1.len(), 37);
     }
 
     #[test]

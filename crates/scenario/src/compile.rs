@@ -1,0 +1,455 @@
+//! Compiling a [`Scenario`] onto the simulator: sweep expansion into
+//! concrete [`RunPoint`]s, and execution of one point through
+//! `slurm_sim::run_trace` (or the app-bound / SWF-replay paths).
+
+use crate::scenario::{
+    ArrivalKind, BackfillDecl, ClusterPreset, ModelDecl, PolicyKindDecl, Scenario, SourceKind,
+};
+use cluster::ClusterSpec;
+use drom::SharingFactor;
+use sd_policy::{SdPolicy, SdPolicyConfig};
+use slurm_sim::replay::{infer_cluster, replay_state};
+use slurm_sim::{
+    AppAwareModel, BackfillMode, Controller, IdealModel, RateModel, SimResult, SimState,
+    SlurmConfig, StaticBackfill, WorstCaseModel,
+};
+use workload::{ArrivalModel, PaperWorkload};
+
+/// One fully resolved run: a scenario with every sweep axis substituted
+/// (`scenario.sweep` is empty) plus the human-readable axis assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPoint {
+    pub scenario: Scenario,
+    /// `seed=1 malleable_fraction=0.5 maxsd=10` — only swept axes appear;
+    /// empty for sweep-less scenarios.
+    pub variant: String,
+}
+
+/// Expands the sweep cross-product in a fixed order (seed, scale, sharing,
+/// malleable fraction, MAXSD — outermost to innermost), so campaign output
+/// ordering is deterministic.
+pub fn expand(s: &Scenario) -> Vec<RunPoint> {
+    use std::fmt::Write as _;
+    let seeds: Vec<u64> = if s.sweep.seed.is_empty() {
+        vec![s.seed]
+    } else {
+        s.sweep.seed.clone()
+    };
+    let scales: Vec<Option<f64>> = if s.sweep.scale.is_empty() {
+        vec![s.scale]
+    } else {
+        s.sweep.scale.iter().map(|&v| Some(v)).collect()
+    };
+    let sharings: Vec<f64> = if s.sweep.sharing.is_empty() {
+        vec![s.policy.sharing]
+    } else {
+        s.sweep.sharing.clone()
+    };
+    let fractions: Vec<f64> = if s.sweep.malleable_fraction.is_empty() {
+        vec![s.slurm.malleable_fraction]
+    } else {
+        s.sweep.malleable_fraction.clone()
+    };
+    let maxsds = if s.sweep.maxsd.is_empty() {
+        vec![s.policy.maxsd]
+    } else {
+        s.sweep.maxsd.clone()
+    };
+
+    let mut out = Vec::with_capacity(s.sweep.run_count());
+    for &seed in &seeds {
+        for &scale in &scales {
+            for &sharing in &sharings {
+                for &fraction in &fractions {
+                    for &maxsd in &maxsds {
+                        let mut resolved = s.clone();
+                        resolved.sweep = Default::default();
+                        resolved.seed = seed;
+                        resolved.scale = scale;
+                        resolved.policy.sharing = sharing;
+                        resolved.policy.maxsd = maxsd;
+                        resolved.slurm.malleable_fraction = fraction;
+                        let mut variant = String::new();
+                        let mut push = |part: String| {
+                            if !variant.is_empty() {
+                                variant.push(' ');
+                            }
+                            variant.push_str(&part);
+                        };
+                        if !s.sweep.seed.is_empty() {
+                            push(format!("seed={seed}"));
+                        }
+                        if !s.sweep.scale.is_empty() {
+                            let mut p = String::new();
+                            let _ = write!(p, "scale={}", scale.expect("swept scale is set"));
+                            push(p);
+                        }
+                        if !s.sweep.sharing.is_empty() {
+                            push(format!("sharing={sharing}"));
+                        }
+                        if !s.sweep.malleable_fraction.is_empty() {
+                            push(format!("malleable_fraction={fraction}"));
+                        }
+                        if !s.sweep.maxsd.is_empty() {
+                            push(format!("maxsd={maxsd}"));
+                        }
+                        out.push(RunPoint {
+                            scenario: resolved,
+                            variant,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Everything one executed run produced, plus the labels the campaign
+/// exporters need.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    pub scenario: String,
+    pub variant: String,
+    /// `static`, `MAXSD 10`, `DynAVGSD`, …
+    pub policy_label: String,
+    pub seed: u64,
+    pub scale: f64,
+    pub total_cores: u64,
+    pub result: SimResult,
+}
+
+/// Why a run point could not execute (I/O or trace problems; scenario
+/// validation itself happens at parse time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError(pub String);
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+fn rate_model(decl: ModelDecl) -> Box<dyn RateModel> {
+    match decl {
+        ModelDecl::Ideal => Box::new(IdealModel),
+        ModelDecl::WorstCase => Box::new(WorstCaseModel),
+        ModelDecl::AppAware => Box::new(AppAwareModel),
+    }
+}
+
+/// The SLURM config for a resolved scenario. Mirrors the figure binaries'
+/// heuristic (EASY backfill once a Curie-scale run gets big) unless the
+/// scenario pins the mode explicitly.
+fn slurm_config(s: &Scenario, big_trace: bool) -> SlurmConfig {
+    let mut cfg = if big_trace {
+        SlurmConfig::large_scale()
+    } else {
+        SlurmConfig::default()
+    };
+    if let Some(mode) = s.slurm.backfill {
+        cfg.backfill_mode = match mode {
+            BackfillDecl::Easy => BackfillMode::Easy,
+            BackfillDecl::Conservative => BackfillMode::Conservative,
+        };
+    }
+    if let Some(depth) = s.slurm.backfill_depth {
+        cfg.backfill_depth = depth;
+    }
+    if let Some(ranks) = s.slurm.ranks_per_node {
+        cfg.ranks_per_node = ranks;
+    }
+    cfg.malleable_fraction = s.slurm.malleable_fraction;
+    // The malleability draw forks from the scenario seed so seed sweeps
+    // re-draw which jobs are malleable, not just their shapes.
+    cfg.malleable_seed = s.seed ^ 0xD20;
+    cfg
+}
+
+/// A preset machine. `nodes = None` keeps the preset's native node count
+/// (full RICC/Curie, the fixed 49-node MN4 subset, 1024 MN4 nodes).
+fn preset_spec(preset: ClusterPreset, nodes: Option<u32>) -> Option<ClusterSpec> {
+    let mut spec = match preset {
+        ClusterPreset::Auto => return None,
+        ClusterPreset::Mn4 => ClusterSpec::marenostrum4(1024),
+        ClusterPreset::Ricc => ClusterSpec::ricc(),
+        ClusterPreset::Curie => ClusterSpec::cea_curie(),
+        ClusterPreset::Mn4RealRun => ClusterSpec::mn4_real_run(),
+    };
+    if let Some(n) = nodes {
+        spec.nodes = n;
+    }
+    Some(spec)
+}
+
+fn finish<S: slurm_sim::Scheduler>(
+    state: SimState,
+    scheduler: S,
+    s: &Scenario,
+    variant: &str,
+    scale: f64,
+    total_cores: u64,
+) -> ScenarioOutcome {
+    let result = Controller::new(state, scheduler).run();
+    ScenarioOutcome {
+        scenario: s.name.clone(),
+        variant: variant.to_string(),
+        policy_label: match s.policy.kind {
+            PolicyKindDecl::Static => "static".to_string(),
+            PolicyKindDecl::Sd => s.policy.maxsd.to_policy().label(),
+        },
+        seed: s.seed,
+        scale,
+        total_cores,
+        result,
+    }
+}
+
+fn run_state(state: SimState, s: &Scenario, variant: &str, scale: f64, cores: u64) -> ScenarioOutcome {
+    match s.policy.kind {
+        PolicyKindDecl::Static => finish(state, StaticBackfill, s, variant, scale, cores),
+        PolicyKindDecl::Sd => {
+            let cfg = SdPolicyConfig {
+                max_slowdown: s.policy.maxsd.to_policy(),
+                ..SdPolicyConfig::default()
+            };
+            finish(state, SdPolicy::new(cfg), s, variant, scale, cores)
+        }
+    }
+}
+
+/// Executes one resolved run point. Deterministic: the same point always
+/// produces the same [`SimResult`].
+pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
+    let s = &p.scenario;
+    let scale = s.effective_scale();
+    let sharing = SharingFactor::new(s.policy.sharing);
+    let model = rate_model(s.policy.model);
+
+    match s.workload.source {
+        SourceKind::RealRun => {
+            let apps = PaperWorkload::generate_apps(s.seed);
+            let spec = ClusterSpec::mn4_real_run();
+            let cores = spec.total_cores();
+            let cfg = slurm_config(s, false);
+            let state = SimState::with_apps(spec, cfg, &apps, model, sharing);
+            Ok(run_state(state, s, &p.variant, scale, cores))
+        }
+        SourceKind::Swf => {
+            let path = s.workload.path.as_deref().expect("validated at parse time");
+            let (trace, _skipped) = swf::parse_file(std::path::Path::new(path))
+                .map_err(|e| RunError(format!("{}: {e:?}", s.name)))?;
+            let mut spec = preset_spec(s.cluster.preset, s.cluster.nodes)
+                .unwrap_or_else(|| infer_cluster(&trace));
+            if s.cluster.preset == ClusterPreset::Auto {
+                if let Some(n) = s.cluster.nodes {
+                    spec.nodes = n;
+                }
+            }
+            let cores = spec.total_cores();
+            let big = trace.len() > 50_000;
+            let cfg = slurm_config(s, big);
+            let (state, kept) = replay_state(trace, spec, cfg, model, sharing);
+            if kept == 0 {
+                return Err(RunError(format!(
+                    "{}: no simulatable jobs survived cleaning of {path}",
+                    s.name
+                )));
+            }
+            Ok(run_state(state, s, &p.variant, scale, cores))
+        }
+        _ => {
+            let w = s
+                .workload
+                .source
+                .paper_workload()
+                .expect("synthetic sources map to paper workloads");
+            let mut gen = w.model(scale);
+            let decl = &s.workload;
+            if let Some(n) = decl.jobs {
+                gen = gen.with_jobs(n);
+            }
+            if let Some(kind) = decl.arrivals {
+                let mean = decl
+                    .mean_interarrival
+                    .unwrap_or(gen.arrivals.mean_interarrival);
+                gen = gen.with_arrivals(match kind {
+                    ArrivalKind::Anl => ArrivalModel::anl(mean),
+                    ArrivalKind::Uniform => ArrivalModel::uniform(mean),
+                    ArrivalKind::DayNight => {
+                        ArrivalModel::day_night(mean, decl.day_night_contrast.unwrap_or(3.0))
+                    }
+                });
+            } else if let Some(mean) = decl.mean_interarrival {
+                gen = gen.with_mean_interarrival(mean);
+            }
+            if let Some(wf) = decl.weekend_factor {
+                let arrivals = gen.arrivals.clone().with_weekend_factor(wf);
+                gen = gen.with_arrivals(arrivals);
+            }
+            if decl.batch_p.is_some() || decl.batch_mean.is_some() {
+                let (p_, m_) = (
+                    decl.batch_p.unwrap_or(gen.batch_p),
+                    decl.batch_mean.unwrap_or(gen.batch_mean),
+                );
+                gen = gen.with_batching(p_, m_);
+            }
+
+            // Presets default to the generator's (scaled) machine size so a
+            // preset swap changes the node architecture, not the capacity.
+            let mut spec =
+                preset_spec(s.cluster.preset, Some(s.cluster.nodes.unwrap_or(gen.system_nodes)))
+                    .unwrap_or_else(|| w.cluster(scale));
+            if let Some(n) = s.cluster.nodes {
+                spec.nodes = n;
+            }
+            // Express the machine in the generator's node units so every
+            // sampled job fits it, whatever preset/override was chosen.
+            let capacity_nodes =
+                (spec.total_cores() / gen.cores_per_node.max(1) as u64).max(1) as u32;
+            gen = gen.with_system_nodes(capacity_nodes);
+
+            let cores = spec.total_cores();
+            let big = matches!(w, PaperWorkload::W4Curie) && scale > 0.15;
+            let cfg = slurm_config(s, big);
+            let trace = gen.generate(s.seed);
+            let state = SimState::new(spec, cfg, &trace, model, sharing);
+            Ok(run_state(state, s, &p.variant, scale, cores))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MaxSdDecl;
+
+    fn tiny(source: SourceKind) -> Scenario {
+        let mut s = Scenario::new("t", source);
+        s.scale = Some(0.02);
+        s
+    }
+
+    #[test]
+    fn expand_without_sweep_is_one_point() {
+        let s = tiny(SourceKind::Ricc);
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].variant, "");
+        assert_eq!(pts[0].scenario, s);
+    }
+
+    #[test]
+    fn expand_cross_product_and_labels() {
+        let mut s = tiny(SourceKind::Ricc);
+        s.sweep.seed = vec![1, 2];
+        s.sweep.malleable_fraction = vec![0.0, 1.0];
+        s.sweep.maxsd = vec![MaxSdDecl::Value(5.0), MaxSdDecl::Infinite, MaxSdDecl::Dyn];
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 2 * 2 * 3);
+        assert_eq!(pts[0].variant, "seed=1 malleable_fraction=0 maxsd=5");
+        let last = pts.last().unwrap();
+        assert_eq!(last.variant, "seed=2 malleable_fraction=1 maxsd=dyn");
+        assert_eq!(last.scenario.seed, 2);
+        assert_eq!(last.scenario.slurm.malleable_fraction, 1.0);
+        assert_eq!(last.scenario.policy.maxsd, MaxSdDecl::Dyn);
+        assert!(last.scenario.sweep.is_empty(), "resolved points carry no sweep");
+        // Every point is distinct.
+        let mut variants: Vec<&str> = pts.iter().map(|p| p.variant.as_str()).collect();
+        variants.sort();
+        variants.dedup();
+        assert_eq!(variants.len(), pts.len());
+    }
+
+    #[test]
+    fn executes_synthetic_run_end_to_end() {
+        let s = tiny(SourceKind::Ricc);
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert!(out.result.outcomes.len() >= 300);
+        assert_eq!(out.result.leftover_pending, 0);
+        assert_eq!(out.policy_label, "DynAVGSD");
+        assert!(out.total_cores > 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let mut s = tiny(SourceKind::Ricc);
+        s.workload.batch_p = Some(0.6);
+        s.slurm.malleable_fraction = 0.5;
+        let p = &expand(&s)[0];
+        let a = execute(p).unwrap();
+        let b = execute(p).unwrap();
+        assert_eq!(a.result.outcomes, b.result.outcomes);
+        assert_eq!(a.result.energy_joules, b.result.energy_joules);
+    }
+
+    #[test]
+    fn malleable_fraction_zero_disables_malleability() {
+        let mut s = tiny(SourceKind::Ricc);
+        s.slurm.malleable_fraction = 0.0;
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert_eq!(out.result.stats.started_malleable, 0);
+        let mut s1 = tiny(SourceKind::Ricc);
+        s1.slurm.malleable_fraction = 1.0;
+        let out1 = execute(&expand(&s1)[0]).unwrap();
+        assert!(out1.result.stats.started_malleable > 0);
+    }
+
+    #[test]
+    fn static_policy_runs_baseline() {
+        let mut s = tiny(SourceKind::Ricc);
+        s.policy.kind = PolicyKindDecl::Static;
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert_eq!(out.policy_label, "static");
+        assert_eq!(out.result.stats.started_malleable, 0);
+    }
+
+    #[test]
+    fn cluster_override_keeps_jobs_fitting() {
+        let mut s = tiny(SourceKind::Ricc);
+        s.cluster.nodes = Some(24);
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert_eq!(out.total_cores, 24 * 8);
+        assert_eq!(out.result.leftover_pending, 0, "every job fits and runs");
+    }
+
+    #[test]
+    fn swf_source_replays_a_file() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let path = dir.join("../../tests/fixtures/tiny.swf");
+        let mut s = Scenario::new("replay", SourceKind::Swf);
+        s.workload.path = Some(path.to_string_lossy().into_owned());
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert!(out.result.outcomes.len() >= 10);
+        assert_eq!(out.result.leftover_pending, 0);
+    }
+
+    #[test]
+    fn swf_preset_without_nodes_uses_native_machine_size() {
+        // Regression: `preset = ricc` with no `nodes` key used to build a
+        // 0-node cluster on the SWF path.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let path = dir.join("../../tests/fixtures/tiny.swf");
+        let mut s = Scenario::new("replay-preset", SourceKind::Swf);
+        s.workload.path = Some(path.to_string_lossy().into_owned());
+        s.cluster.preset = ClusterPreset::Ricc;
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert_eq!(out.total_cores, 1024 * 8, "full RICC machine");
+        assert_eq!(out.result.leftover_pending, 0);
+        // And an explicit node count still overrides the preset.
+        let mut s2 = s.clone();
+        s2.name = "replay-preset-sized".into();
+        s2.cluster.nodes = Some(32);
+        let out2 = execute(&expand(&s2)[0]).unwrap();
+        assert_eq!(out2.total_cores, 32 * 8);
+    }
+
+    #[test]
+    fn missing_swf_is_a_run_error() {
+        let mut s = Scenario::new("gone", SourceKind::Swf);
+        s.workload.path = Some("/nonexistent/trace.swf".into());
+        assert!(execute(&expand(&s)[0]).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # sd-scenario — declarative experiments for the SD-Policy reproduction
+//!
+//! Experiments as *data*, not code: a scenario file declares the machine,
+//! the workload source and its knobs, the policy and MAXSD variant, the
+//! runtime model, SLURM-side configuration, and sweep axes whose
+//! cross-product becomes a campaign. The `run_scenario` binary in
+//! `sd-bench` executes campaigns over scoped worker threads and exports
+//! deterministic JSON/CSV.
+//!
+//! * [`format`] — the tiny section/key-value text format (line-precise
+//!   errors, no dependencies),
+//! * [`scenario`] — the typed [`Scenario`] model: parse, validate, render
+//!   (`parse(render(s)) == s`),
+//! * [`compile`] — sweep expansion into [`RunPoint`]s and execution through
+//!   the simulator,
+//! * [`registry`] — built-in scenarios: the five paper workloads plus
+//!   bursty / diurnal / mixed-malleability / oversubscription studies.
+//!
+//! ```
+//! use sd_scenario::{expand, execute, Scenario};
+//!
+//! let text = "\
+//! [scenario]
+//! name = quick
+//! scale = 0.02
+//!
+//! [workload]
+//! source = ricc
+//! batch_p = 0.6
+//!
+//! [slurm]
+//! malleable_fraction = 0.5
+//! ";
+//! let scenario = Scenario::parse(text).unwrap();
+//! assert_eq!(Scenario::parse(&scenario.render()).unwrap(), scenario);
+//! let points = expand(&scenario);
+//! assert_eq!(points.len(), 1);
+//! let outcome = execute(&points[0]).unwrap();
+//! assert_eq!(outcome.result.leftover_pending, 0);
+//! ```
+
+pub mod compile;
+pub mod format;
+pub mod registry;
+pub mod scenario;
+
+pub use compile::{execute, expand, RunError, RunPoint, ScenarioOutcome};
+pub use format::ParseError;
+pub use registry::{builtin_scenarios, find_builtin};
+pub use scenario::{
+    ArrivalKind, BackfillDecl, ClusterDecl, ClusterPreset, MaxSdDecl, ModelDecl, PolicyDecl,
+    PolicyKindDecl, Scenario, SlurmDecl, SourceKind, SweepDecl, WorkloadDecl,
+};

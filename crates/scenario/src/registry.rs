@@ -1,0 +1,181 @@
+//! Built-in scenarios: the paper's five workloads plus studies the
+//! hand-coded figure binaries cannot express — bursty campaigns, diurnal
+//! load, mixed static/malleable populations, an oversubscribed machine.
+//!
+//! The same scenarios ship as text files under `scenarios/` at the
+//! repository root (written by `run_scenario --write-builtin <dir>`); a test
+//! keeps the two in sync.
+
+use crate::scenario::{ArrivalKind, MaxSdDecl, ModelDecl, Scenario, SourceKind};
+
+fn paper(name: &str, description: &str, source: SourceKind) -> Scenario {
+    let mut s = Scenario::new(name, source);
+    s.description = description.to_string();
+    s
+}
+
+/// All built-in scenarios, in presentation order.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let mut w5 = paper(
+        "w5-realrun",
+        "Paper Workload 5: real-run applications on the 49-node MN4 subset",
+        SourceKind::RealRun,
+    );
+    w5.policy.model = ModelDecl::AppAware;
+
+    let mut all = vec![
+        paper(
+            "w1-cirne",
+            "Paper Workload 1: Cirne model, ANL arrivals, user estimates",
+            SourceKind::Cirne,
+        ),
+        paper(
+            "w2-cirne-ideal",
+            "Paper Workload 2: Cirne model with exact runtime estimates",
+            SourceKind::CirneIdeal,
+        ),
+        paper(
+            "w3-ricc",
+            "Paper Workload 3: RICC-like trace, many small jobs",
+            SourceKind::Ricc,
+        ),
+        paper(
+            "w4-curie",
+            "Paper Workload 4: CEA-Curie-like trace (the big workload)",
+            SourceKind::Curie,
+        ),
+        w5,
+    ];
+
+    // ----- beyond the paper -----
+
+    let mut bursty = paper(
+        "bursty",
+        "Campaign bursts: 70% of submissions arrive in ~18-job batches, half the jobs rigid",
+        SourceKind::Ricc,
+    );
+    bursty.workload.arrivals = Some(ArrivalKind::Uniform);
+    bursty.workload.batch_p = Some(0.7);
+    bursty.workload.batch_mean = Some(18.0);
+    bursty.slurm.malleable_fraction = 0.5;
+    all.push(bursty);
+
+    let mut diurnal = paper(
+        "diurnal",
+        "Hard day/night cycle (6x daytime intensity, quiet weekends) on the Cirne model",
+        SourceKind::Cirne,
+    );
+    diurnal.workload.arrivals = Some(ArrivalKind::DayNight);
+    diurnal.workload.day_night_contrast = Some(6.0);
+    diurnal.workload.weekend_factor = Some(0.25);
+    all.push(diurnal);
+
+    let mut fraction = paper(
+        "malleable-fraction-sweep",
+        "How much malleability is enough: sweep the malleable-job fraction on W3",
+        SourceKind::Ricc,
+    );
+    fraction.sweep.malleable_fraction = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    all.push(fraction);
+
+    let mut oversub = paper(
+        "oversubscribed",
+        "Curie-like machine under ~2.2x the paper's offered load",
+        SourceKind::Curie,
+    );
+    oversub.workload.mean_interarrival = Some(50.0);
+    oversub.scale = Some(0.02);
+    all.push(oversub);
+
+    let mut maxsd = paper(
+        "maxsd-sweep",
+        "The paper's Figs. 1-3 cut-off sweep as one declarative campaign (W2)",
+        SourceKind::CirneIdeal,
+    );
+    maxsd.sweep.maxsd = vec![
+        MaxSdDecl::Value(5.0),
+        MaxSdDecl::Value(10.0),
+        MaxSdDecl::Value(50.0),
+        MaxSdDecl::Infinite,
+        MaxSdDecl::Dyn,
+    ];
+    all.push(maxsd);
+
+    all
+}
+
+/// Looks up a built-in scenario by name.
+pub fn find_builtin(name: &str) -> Option<Scenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{execute, expand};
+
+    #[test]
+    fn at_least_eight_unique_named_scenarios() {
+        let all = builtin_scenarios();
+        assert!(all.len() >= 8, "{} scenarios", all.len());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "names are unique");
+        assert!(all.iter().all(|s| !s.description.is_empty()));
+    }
+
+    #[test]
+    fn every_builtin_renders_and_roundtrips() {
+        for s in builtin_scenarios() {
+            let text = s.render();
+            let back = Scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(back, s, "{}", s.name);
+            assert!(!expand(&s).is_empty(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn shipped_scenario_files_match_the_registry() {
+        // `scenarios/` at the repo root is written by
+        // `run_scenario --write-builtin scenarios`; re-run that after
+        // changing the registry.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+        for s in builtin_scenarios() {
+            let path = dir.join(format!("{}.scn", s.name));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e} (regenerate with --write-builtin)", s.name));
+            assert_eq!(text, s.render(), "{} file is stale", s.name);
+            assert_eq!(Scenario::parse(&text).unwrap(), s, "{}", s.name);
+        }
+        let on_disk = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(on_disk, builtin_scenarios().len(), "no orphan files");
+    }
+
+    #[test]
+    fn find_builtin_works() {
+        assert!(find_builtin("bursty").is_some());
+        assert!(find_builtin("nope").is_none());
+    }
+
+    #[test]
+    fn bursty_is_outside_the_figure_binaries_envelope() {
+        // The hand-coded binaries only run the paper presets: always
+        // malleable_fraction = 1.0, never overridden batching. `bursty`
+        // needs both knobs at once.
+        let s = find_builtin("bursty").unwrap();
+        assert!(s.slurm.malleable_fraction < 1.0);
+        assert!(s.workload.batch_p.is_some());
+        let out = execute(&expand(&s.at_scale(0.02))[0]).unwrap();
+        assert!(out.result.outcomes.len() >= 300);
+        assert_eq!(out.result.leftover_pending, 0);
+    }
+
+    #[test]
+    fn fraction_sweep_expands_to_five_runs() {
+        let s = find_builtin("malleable-fraction-sweep").unwrap();
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| p.variant.starts_with("malleable_fraction=")));
+    }
+}

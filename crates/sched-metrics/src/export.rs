@@ -1,11 +1,14 @@
-//! CSV export of figures and series for external plotting.
+//! CSV/JSON export of figures, series and scenario campaigns.
 //!
 //! The experiment binaries print human-readable tables; these writers emit
-//! machine-readable CSV so the paper's plots can be regenerated with any
-//! plotting tool. Output is plain `std::fmt::Write` — no serialisation
-//! dependency needed for flat numeric tables.
+//! machine-readable CSV/JSON so the paper's plots can be regenerated with
+//! any plotting tool. Output is plain `std::fmt::Write` — no serialisation
+//! dependency needed. All writers are deterministic: fixed key order, fixed
+//! float formatting (Rust's shortest-roundtrip `Display`), no timestamps —
+//! two runs of the same seeded experiment produce byte-identical files.
 
 use crate::heatmap::RatioHeatmap;
+use crate::summary::Summary;
 use crate::timeseries::DailySeries;
 use std::fmt::Write as _;
 
@@ -65,6 +68,138 @@ pub fn series_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
     out
 }
 
+/// One row of a scenario campaign: which run it was (scenario × sweep
+/// variant × seed × scale) plus the run's [`Summary`].
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    pub scenario: String,
+    /// Swept-axis assignment, e.g. `malleable_fraction=0.5 maxsd=10`
+    /// (empty when the scenario has no sweep).
+    pub variant: String,
+    pub seed: u64,
+    pub scale: f64,
+    pub summary: Summary,
+}
+
+/// The flat numeric fields of a [`CampaignRow`], in export order.
+const CAMPAIGN_FIELDS: [&str; 11] = [
+    "jobs",
+    "makespan",
+    "mean_response",
+    "mean_slowdown",
+    "mean_wait",
+    "mean_bounded_slowdown",
+    "slowdown_stddev",
+    "energy_kwh",
+    "utilization",
+    "malleable_started",
+    "unique_mates",
+];
+
+fn campaign_values(r: &CampaignRow) -> [f64; 11] {
+    let s = &r.summary;
+    [
+        s.jobs as f64,
+        s.makespan as f64,
+        s.mean_response,
+        s.mean_slowdown,
+        s.mean_wait,
+        s.mean_bounded_slowdown,
+        s.slowdown_stddev,
+        s.energy_kwh,
+        s.utilization,
+        s.malleable_started as f64,
+        s.unique_mates as f64,
+    ]
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for export: integers without a trailing `.0`, everything
+/// else with Rust's shortest-roundtrip `Display` (deterministic). Non-finite
+/// values become `null` — `NaN`/`inf` are not valid JSON.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Deterministic JSON array of campaign rows: fixed key order, no
+/// timestamps; identical inputs yield byte-identical output.
+pub fn campaign_json(rows: &[CampaignRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mut obj = format!(
+            "  {{\"scenario\": \"{}\", \"variant\": \"{}\", \"policy\": \"{}\", \
+             \"seed\": {}, \"scale\": {}",
+            json_escape(&r.scenario),
+            json_escape(&r.variant),
+            json_escape(&r.summary.label),
+            r.seed,
+            fmt_num(r.scale),
+        );
+        for (k, v) in CAMPAIGN_FIELDS.iter().zip(campaign_values(r)) {
+            let _ = write!(obj, ", \"{k}\": {}", fmt_num(v));
+        }
+        obj.push('}');
+        if i + 1 < rows.len() {
+            obj.push(',');
+        }
+        out.push_str(&obj);
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Deterministic CSV of campaign rows (same columns as the JSON export).
+pub fn campaign_csv(rows: &[CampaignRow]) -> String {
+    let mut out = String::from("scenario,variant,policy,seed,scale");
+    for k in CAMPAIGN_FIELDS {
+        out.push(',');
+        out.push_str(k);
+    }
+    out.push('\n');
+    for r in rows {
+        let _ = write!(
+            out,
+            "{},{},{},{},{}",
+            r.scenario.replace(',', ";"),
+            r.variant.replace(',', ";"),
+            r.summary.label.replace(',', ";"),
+            r.seed,
+            fmt_num(r.scale)
+        );
+        for v in campaign_values(r) {
+            out.push(',');
+            out.push_str(&fmt_num(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +230,74 @@ mod tests {
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.lines().nth(1).unwrap().starts_with("0,1.000,0.500,2,3"));
         assert!(csv.lines().nth(2).unwrap().starts_with("1,2.000,0.000,0,0"));
+    }
+
+    fn row(scenario: &str, variant: &str, seed: u64) -> CampaignRow {
+        let s = Summary {
+            label: "MAXSD 10".into(),
+            jobs: 100,
+            makespan: 5000,
+            mean_response: 321.5,
+            mean_slowdown: 2.25,
+            mean_wait: 12.0,
+            mean_bounded_slowdown: 1.5,
+            energy_kwh: 3.0,
+            utilization: 0.75,
+            malleable_started: 7,
+            unique_mates: 3,
+            slowdown_stddev: 0.5,
+        };
+        CampaignRow {
+            scenario: scenario.into(),
+            variant: variant.into(),
+            seed,
+            scale: 0.05,
+            summary: s,
+        }
+    }
+
+    #[test]
+    fn campaign_json_is_deterministic_and_escaped() {
+        let rows = vec![row("bursty", "maxsd=10 \"q\"", 1), row("bursty", "maxsd=inf", 2)];
+        let a = campaign_json(&rows);
+        let b = campaign_json(&rows);
+        assert_eq!(a, b, "byte-identical across calls");
+        assert!(a.starts_with("[\n"));
+        assert!(a.ends_with("]\n"));
+        assert!(a.contains("\\\"q\\\""), "quotes escaped: {a}");
+        assert!(a.contains("\"mean_slowdown\": 2.25"));
+        assert!(a.contains("\"makespan\": 5000"), "ints have no .0");
+        assert_eq!(a.matches("\"scenario\"").count(), 2);
+    }
+
+    #[test]
+    fn campaign_csv_shape_matches_json_fields() {
+        let rows = vec![row("a,b", "", 1)];
+        let csv = campaign_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let header_cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), header_cols);
+        assert!(lines[1].starts_with("a;b,,MAXSD 10,1,0.05"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn fmt_num_roundtrip_friendly() {
+        assert_eq!(fmt_num(5000.0), "5000");
+        assert_eq!(fmt_num(0.05), "0.05");
+        assert_eq!(fmt_num(-1.5), "-1.5");
+        assert_eq!(fmt_num(f64::NAN), "null", "NaN is not valid JSON");
+        assert_eq!(fmt_num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn campaign_json_survives_degenerate_metrics() {
+        let mut r = row("empty", "", 1);
+        r.summary.mean_slowdown = f64::NAN;
+        r.summary.utilization = f64::INFINITY;
+        let json = campaign_json(&[r]);
+        assert!(json.contains("\"mean_slowdown\": null"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!   and the static/SD ratio heatmaps of Figs. 4–6,
 //! * [`timeseries`] — per-day slowdown and malleable-start series (Fig. 7),
 //! * [`normalize`] — "normalized to static backfill" helpers (Figs. 1–3, 8),
-//! * [`table`] — plain-text table rendering for the experiment binaries.
+//! * [`table`] — plain-text table rendering for the experiment binaries,
+//! * [`export`] — deterministic CSV/JSON writers (figures + scenario
+//!   campaigns).
 
 pub mod export;
 pub mod heatmap;
@@ -18,7 +20,7 @@ pub mod summary;
 pub mod table;
 pub mod timeseries;
 
-pub use export::{daily_csv, heatmap_csv, series_csv};
+pub use export::{campaign_csv, campaign_json, daily_csv, heatmap_csv, series_csv, CampaignRow};
 pub use heatmap::{Heatmap, HeatmapSpec, RatioHeatmap};
 pub use normalize::{improvement_pct, normalized};
 pub use percentiles::Percentiles;

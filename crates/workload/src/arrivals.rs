@@ -47,6 +47,35 @@ impl ArrivalModel {
         }
     }
 
+    /// A stylised square-wave day/night cycle: working hours (8 h–20 h) run
+    /// at `contrast` times the night intensity, normalised so the profile's
+    /// mean stays 1.0 (the configured `mean_interarrival` is preserved).
+    /// `contrast` is clamped to ≥ 1.
+    pub fn day_night(mean_interarrival: f64, contrast: f64) -> ArrivalModel {
+        let c = contrast.max(1.0);
+        let mut hourly = [1.0; 24];
+        for (h, v) in hourly.iter_mut().enumerate() {
+            if (8..20).contains(&h) {
+                *v = c;
+            }
+        }
+        let mean: f64 = hourly.iter().sum::<f64>() / 24.0;
+        for v in hourly.iter_mut() {
+            *v /= mean;
+        }
+        ArrivalModel {
+            mean_interarrival,
+            hourly,
+            weekend_factor: 1.0,
+        }
+    }
+
+    /// Sets the weekend intensity multiplier (builder-style).
+    pub fn with_weekend_factor(mut self, factor: f64) -> ArrivalModel {
+        self.weekend_factor = factor.max(0.0);
+        self
+    }
+
     /// Relative intensity at a given instant (hour cycle × weekend factor).
     pub fn intensity(&self, t: u64) -> f64 {
         let hour = ((t % DAY) / HOUR) as usize;
@@ -151,6 +180,28 @@ mod tests {
         let a = m.generate(100, 0, &mut DetRng::new(5));
         let b = m.generate(100, 0, &mut DetRng::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn day_night_contrast_and_mean_preserved() {
+        let m = ArrivalModel::day_night(50.0, 4.0);
+        // Mean intensity stays 1.0 so the configured rate is honoured.
+        let mean: f64 = m.hourly.iter().sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 1e-12, "mean {mean}");
+        // Day vs night ratio equals the contrast.
+        assert!((m.hourly[12] / m.hourly[2] - 4.0).abs() < 1e-12);
+        assert_eq!(m.weekend_factor, 1.0);
+        // Degenerate contrast collapses to uniform.
+        let flat = ArrivalModel::day_night(50.0, 0.5);
+        assert!(flat.hourly.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn weekend_factor_builder() {
+        let m = ArrivalModel::day_night(30.0, 2.0).with_weekend_factor(0.3);
+        assert!((m.weekend_factor - 0.3).abs() < 1e-12);
+        let sat = 5 * DAY + 12 * HOUR;
+        assert!(m.intensity(sat) < m.intensity(12 * HOUR));
     }
 
     #[test]

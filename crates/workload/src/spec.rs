@@ -61,6 +61,17 @@ impl PaperWorkload {
         }
     }
 
+    /// The default CI-sized scale for this workload: a few thousand jobs,
+    /// seconds of wall time, same offered load as the paper-scale run.
+    pub fn default_ci_scale(self) -> f64 {
+        match self {
+            PaperWorkload::W1Cirne | PaperWorkload::W2CirneIdeal => 0.20,
+            PaperWorkload::W3Ricc => 0.20,
+            PaperWorkload::W4Curie => 0.02,
+            PaperWorkload::W5RealRun => 1.0, // already only 49 nodes / 2000 jobs
+        }
+    }
+
     /// The generative model for simulator workloads (panics for W5, which
     /// carries applications — use [`PaperWorkload::generate_apps`]).
     pub fn model(self, scale: f64) -> SyntheticTraceModel {

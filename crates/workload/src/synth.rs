@@ -72,6 +72,45 @@ pub struct SyntheticTraceModel {
 }
 
 impl SyntheticTraceModel {
+    // ----- builder-style knobs (used by the scenario engine) -----
+
+    /// Overrides the job count.
+    pub fn with_jobs(mut self, n_jobs: usize) -> Self {
+        self.n_jobs = n_jobs.max(1);
+        self
+    }
+
+    /// Replaces the whole arrival process.
+    pub fn with_arrivals(mut self, arrivals: ArrivalModel) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Overrides only the mean interarrival (seconds), keeping the pattern.
+    pub fn with_mean_interarrival(mut self, secs: f64) -> Self {
+        self.arrivals.mean_interarrival = secs.max(1e-9);
+        self
+    }
+
+    /// Overrides the campaign-batch behaviour (`batch_p`, `batch_mean`).
+    pub fn with_batching(mut self, batch_p: f64, batch_mean: f64) -> Self {
+        self.batch_p = batch_p.clamp(0.0, 1.0);
+        self.batch_mean = batch_mean.max(0.0);
+        self
+    }
+
+    /// Overrides the estimate model.
+    pub fn with_estimates(mut self, estimates: EstimateModel) -> Self {
+        self.estimates = estimates;
+        self
+    }
+
+    /// Resizes the machine; size stages are clamped to it at sampling time.
+    pub fn with_system_nodes(mut self, nodes: u32) -> Self {
+        self.system_nodes = nodes.max(1);
+        self
+    }
+
     /// Draws a node count according to the staged size model.
     fn sample_nodes(&self, rng: &mut DetRng) -> u32 {
         let weights: Vec<f64> = self.stages.iter().map(|s| s.weight).collect();
@@ -322,6 +361,26 @@ mod tests {
             .filter(|w| w[1].submit - w[0].submit <= 1)
             .count();
         assert!(close > 30, "campaign batches present ({close})");
+    }
+
+    #[test]
+    fn builder_knobs_apply() {
+        let m = tiny_model()
+            .with_jobs(123)
+            .with_mean_interarrival(17.0)
+            .with_batching(0.9, 12.0)
+            .with_estimates(EstimateModel::Exact)
+            .with_system_nodes(32);
+        assert_eq!(m.n_jobs, 123);
+        assert!((m.arrivals.mean_interarrival - 17.0).abs() < 1e-12);
+        assert!((m.batch_p - 0.9).abs() < 1e-12);
+        assert!((m.batch_mean - 12.0).abs() < 1e-12);
+        assert_eq!(m.estimates, EstimateModel::Exact);
+        assert_eq!(m.system_nodes, 32);
+        let t = m.generate(8);
+        assert_eq!(t.len(), 123);
+        assert!(t.jobs.iter().all(|j| j.procs().unwrap() / 8 <= 32));
+        assert!(t.jobs.iter().all(|j| j.req_time == j.run_time));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use cluster;
 pub use drom;
 pub use sched_metrics;
 pub use sd_policy;
+pub use sd_scenario;
 pub use simkit;
 pub use slurm_sim;
 pub use swf;
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use drom::{DromRegistry, NodeManager, SharingFactor};
     pub use sched_metrics::{DailySeries, Heatmap, RatioHeatmap, Summary};
     pub use sd_policy::{MaxSlowdown, SdPolicy, SdPolicyConfig};
+    pub use sd_scenario::{builtin_scenarios, execute, expand, Scenario, SourceKind};
     pub use simkit::{DetRng, SimTime};
     pub use slurm_sim::{
         run_trace, AppAwareModel, Controller, IdealModel, Scheduler, SimResult, SimState,
