@@ -13,9 +13,12 @@
 //! Running the same scenario twice with the same `--seed` produces
 //! byte-identical output files.
 
-use sched_metrics::{campaign_csv, campaign_json, CampaignRow, Summary, Table};
+use sched_metrics::{campaign_csv, campaign_json, CampaignDeltas, CampaignRow, Summary, Table};
 use sd_bench::{sweep_with, CliArgs, CliError, USAGE};
-use sd_scenario::{builtin_scenarios, execute, expand, find_builtin, Scenario, ScenarioOutcome};
+use sd_scenario::{
+    baseline_point, builtin_scenarios, execute, expand, find_builtin, PolicyKindDecl, RunPoint,
+    Scenario, ScenarioOutcome,
+};
 
 const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campaign
 
@@ -151,16 +154,42 @@ fn main() {
     }
 
     let points = expand(&scenario);
+
+    // Every point gets a static-backfill twin so each campaign row can carry
+    // Δ-vs-static columns; a `maxsd` sweep's variants share one baseline
+    // (the cut-off is canonicalised away). Points that *are* static runs
+    // serve as their own baseline.
+    let mut baselines: Vec<RunPoint> = Vec::new();
+    let mut baseline_idx: Vec<usize> = Vec::with_capacity(points.len());
+    for p in &points {
+        let b = baseline_point(p);
+        let idx = baselines
+            .iter()
+            .position(|x| *x == b)
+            .unwrap_or_else(|| {
+                baselines.push(b);
+                baselines.len() - 1
+            });
+        baseline_idx.push(idx);
+    }
+    let all_static = scenario.policy.kind == PolicyKindDecl::Static && scenario.sweep.maxsd.is_empty();
+
     eprintln!(
-        "scenario `{}`: {} run{} (scale {}, base seed {})",
+        "scenario `{}`: {} run{} + {} baseline{} (scale {}, base seed {})",
         scenario.name,
         points.len(),
         if points.len() == 1 { "" } else { "s" },
+        if all_static { 0 } else { baselines.len() },
+        if baselines.len() == 1 { "" } else { "s" },
         scenario.effective_scale(),
         scenario.seed,
     );
 
-    let results = sweep_with(&points, cli.common.threads, execute);
+    let mut work: Vec<RunPoint> = points.clone();
+    if !all_static {
+        work.extend(baselines.iter().cloned());
+    }
+    let results = sweep_with(&work, cli.common.threads, execute);
     let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(results.len());
     for r in results {
         match r {
@@ -168,22 +197,52 @@ fn main() {
             Err(e) => fail(&format!("run failed: {e}")),
         }
     }
+    let (point_outcomes, baseline_outcomes) = outcomes.split_at(points.len());
+    let baseline_summaries: Vec<Summary> = if all_static {
+        Vec::new()
+    } else {
+        baseline_outcomes
+            .iter()
+            .map(|o| Summary::from_result(&o.policy_label, &o.result, o.total_cores))
+            .collect()
+    };
 
-    let rows: Vec<CampaignRow> = outcomes
+    let rows: Vec<CampaignRow> = point_outcomes
         .iter()
-        .map(|o| CampaignRow {
-            scenario: o.scenario.clone(),
-            variant: o.variant.clone(),
-            seed: o.seed,
-            scale: o.scale,
-            summary: Summary::from_result(&o.policy_label, &o.result, o.total_cores),
+        .enumerate()
+        .map(|(i, o)| {
+            let summary = Summary::from_result(&o.policy_label, &o.result, o.total_cores);
+            let deltas = if all_static {
+                Some(CampaignDeltas::against(&summary, &summary))
+            } else {
+                Some(CampaignDeltas::against(
+                    &summary,
+                    &baseline_summaries[baseline_idx[i]],
+                ))
+            };
+            CampaignRow {
+                scenario: o.scenario.clone(),
+                variant: o.variant.clone(),
+                seed: o.seed,
+                scale: o.scale,
+                summary,
+                deltas,
+            }
         })
         .collect();
 
     let mut t = Table::new(&[
         "variant", "policy", "jobs", "makespan", "resp(s)", "slowdown", "util", "malleable",
+        "Δslow%", "Δmksp%",
     ]);
     for r in &rows {
+        let (dslow, dmksp) = match &r.deltas {
+            Some(d) => (
+                format!("{:+.1}", d.d_slowdown_pct),
+                format!("{:+.2}", d.d_makespan_pct),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         t.row(vec![
             if r.variant.is_empty() {
                 "-".to_string()
@@ -197,6 +256,8 @@ fn main() {
             format!("{:.1}", r.summary.mean_slowdown),
             format!("{:.2}", r.summary.utilization),
             format!("{}", r.summary.malleable_started),
+            dslow,
+            dmksp,
         ]);
     }
     println!("{}", t.render());

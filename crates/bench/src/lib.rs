@@ -6,7 +6,9 @@
 //! * [`runner`] — configure + execute a simulation (workload × policy ×
 //!   runtime model × scale) and parallel sweeps over configurations,
 //! * [`cli`] — the tiny flag parser shared by the binaries
-//!   (`--scale`, `--seed`, `--full`, `--swf <file>`, `--threads`, `--out`).
+//!   (`--scale`, `--seed`, `--full`, `--swf <file>`, `--threads`, `--out`),
+//! * [`validate`] — the paper-expectations harness behind the
+//!   `sd_validate` binary (machine-checkable claims vs the static baseline).
 //!
 //! Every binary prints the paper's rows/series next to the measured values
 //! so EXPERIMENTS.md can record paper-vs-measured directly. The
@@ -15,6 +17,7 @@
 
 pub mod cli;
 pub mod runner;
+pub mod validate;
 
 pub use cli::{CliArgs, CliError, USAGE};
 pub use runner::{

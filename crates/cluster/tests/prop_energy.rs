@@ -1,0 +1,76 @@
+//! Property test (ISSUE 3 satellite): [`EnergyMeter`] integration over a
+//! randomly generated piecewise-constant weighted-busy timeline equals the
+//! closed-form `Σ power·dt` to 1e-9 — including zero-duration slots and
+//! repeated updates at the same timestamp (the meter must keep the *last*
+//! level registered at an instant, matching step-function semantics).
+
+use cluster::{EnergyMeter, PowerModel};
+use proptest::prelude::*;
+use simkit::SimTime;
+
+/// A timeline step: wait `dt` seconds (possibly 0), then set a new level.
+fn arb_timeline() -> impl Strategy<Value = (u64, Vec<(u64, f64)>, u64)> {
+    (
+        0u64..5_000,                                           // measurement start
+        prop::collection::vec((0u64..500, 0.0f64..2_000.0), 1..40),
+        0u64..800,                                             // tail after last update
+    )
+}
+
+proptest! {
+    #[test]
+    fn meter_equals_closed_form((start, steps, tail) in arb_timeline(),
+                                idle in 0.0f64..500.0,
+                                core in 0.0f64..20.0,
+                                nodes in 1u32..200) {
+        let model = PowerModel { idle_watts: idle, core_watts: core };
+        let mut meter = EnergyMeter::new(model, nodes);
+        meter.start(SimTime(start));
+
+        // Closed form: Σ over constant-level intervals of power × dt. The
+        // level effective over [t_i, t_{i+1}) is the *last* level set at or
+        // before t_i.
+        let mut expected = 0.0f64;
+        let mut level = 0.0f64;
+        let mut now = start;
+        let power = |lvl: f64| nodes as f64 * idle + core * lvl;
+
+        for &(dt, new_level) in &steps {
+            let t = now + dt;
+            expected += power(level) * dt as f64;
+            meter.update(SimTime(t), new_level);
+            level = new_level;
+            now = t;
+        }
+        expected += power(level) * tail as f64;
+        let joules = meter.finish(SimTime(now + tail));
+
+        prop_assert!(
+            (joules - expected).abs() < 1e-9 * expected.abs().max(1.0),
+            "meter {} vs closed form {}",
+            joules,
+            expected
+        );
+    }
+
+    /// Same-timestamp updates: only the last level at an instant matters,
+    /// regardless of how many zero-duration slots precede it.
+    #[test]
+    fn same_instant_updates_keep_last(levels in prop::collection::vec(0.0f64..100.0, 2..10),
+                                      dt in 1u64..1_000) {
+        let model = PowerModel { idle_watts: 0.0, core_watts: 1.0 };
+        let mut meter = EnergyMeter::new(model, 1);
+        meter.start(SimTime(0));
+        for &l in &levels {
+            meter.update(SimTime(0), l); // all at t = 0
+        }
+        let joules = meter.finish(SimTime(dt));
+        let last = *levels.last().unwrap();
+        prop_assert!(
+            (joules - last * dt as f64).abs() < 1e-9,
+            "joules {} vs last-level integral {}",
+            joules,
+            last * dt as f64
+        );
+    }
+}

@@ -19,6 +19,12 @@ pub struct SdPolicyConfig {
     /// Maximum flexible (malleable) trials per scheduling pass; bounds
     /// scheduler latency on deep queues, like SLURM's `bf_max_job_start`.
     pub max_trials_per_pass: usize,
+    /// The expand half of the resource manager: once the queue is drained,
+    /// move shrunk borrowers onto idle whole nodes at full width (DMR-style
+    /// node reconfiguration), returning their mates to full rate. Without it
+    /// co-scheduled pairs stay shrunk while the machine idles — the
+    /// makespan/energy regression.
+    pub expand_on_idle: bool,
 }
 
 impl Default for SdPolicyConfig {
@@ -29,6 +35,7 @@ impl Default for SdPolicyConfig {
             candidate_cap: 64,
             include_free_nodes: false,
             max_trials_per_pass: 32,
+            expand_on_idle: true,
         }
     }
 }

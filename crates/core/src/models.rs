@@ -52,9 +52,18 @@ pub fn worst_case_wall_time(slots: &[Slot], full_cores: u32) -> f64 {
 }
 
 /// Runtime **increase** (the paper's `increase` term): wall time minus the
-/// static duration.
+/// static duration, returned **raw**.
+///
+/// A negative value means the wall-clock model disagrees with the static
+/// duration it was integrated from — under Eqs. 5/6 the per-slot stretch is
+/// ≥ 1, so `wall ≥ static` always holds for consistent inputs. Clamping here
+/// (as an earlier revision did) masked exactly that class of integration
+/// bug; the invariant is now pinned by property tests
+/// (`tests/prop_models.rs` drives the simulator's integrator through random
+/// timelines and asserts the raw increase stays non-negative), and any new
+/// call site should assert it too rather than re-clamp.
 pub fn increase(wall: f64, static_duration: f64) -> f64 {
-    (wall - static_duration).max(0.0)
+    wall - static_duration
 }
 
 #[cfg(test)]
@@ -81,6 +90,25 @@ mod tests {
         assert_eq!(ideal_wall_time(&slots, 48), 1000.0);
         assert_eq!(worst_case_wall_time(&slots, 48), 1000.0);
         assert_eq!(increase(1000.0, 500.0), 500.0);
+    }
+
+    #[test]
+    fn increase_is_raw_not_clamped() {
+        // A wall time below the static duration signals an inconsistent
+        // model/integrator pair; the raw negative must surface.
+        assert_eq!(increase(400.0, 500.0), -100.0);
+    }
+
+    #[test]
+    fn increase_non_negative_for_model_wall_times() {
+        // For wall times produced by Eqs. 5/6 the raw value is always ≥ 0 —
+        // the invariant call sites assert.
+        for cores in [&[1u32, 48][..], &[24, 24], &[48, 48], &[5, 40, 10]] {
+            let work = 321.0;
+            let slots = [slot(cores, work)];
+            assert!(increase(ideal_wall_time(&slots, 48), work) >= 0.0);
+            assert!(increase(worst_case_wall_time(&slots, 48), work) >= 0.0);
+        }
     }
 
     #[test]

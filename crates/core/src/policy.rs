@@ -119,9 +119,35 @@ impl Scheduler for SdPolicy {
     fn schedule(&mut self, st: &mut SimState) {
         self.pass_cutoff = None; // refresh DynAVGSD feedback per pass
         self.trials_this_pass = 0;
-        backfill_pass(st, |st, id, est, profile| {
+        let mut profile = backfill_pass(st, |st, id, est, profile| {
             self.try_malleable(st, id, est, profile)
         });
+        // Expand side: idle whole nodes that no pending job is counting on
+        // (per the end-of-pass profile, reservations included) can host
+        // shrunk borrowers at full width, returning their mates to full
+        // rate. Relocation is itself a backfill decision: the borrower's
+        // remaining *requested* wall time must fit before any reservation.
+        if self.cfg.expand_on_idle && st.cluster.empty_node_count() > 0 {
+            for id in st.shrunk_borrowers() {
+                let (width, remaining) = {
+                    let job = st.job(id);
+                    let run = job.running().expect("shrunk borrower runs");
+                    // Remaining *requested* work at full width: req_time
+                    // minus progress (DMR reports iteration progress, so the
+                    // scheduler may use it — same liberty as DynAVGSD).
+                    let left = (job.spec.req_time as f64 - run.work_done).ceil();
+                    (run.nodes.len() as u32, (left.max(1.0)) as u64)
+                };
+                if st.cluster.empty_node_count() < width
+                    || profile.earliest_start(width, remaining, st.now) != st.now
+                {
+                    continue;
+                }
+                if st.relocate_borrower(id) {
+                    profile.reserve(st.now, remaining, width);
+                }
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

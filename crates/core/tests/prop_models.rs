@@ -1,0 +1,88 @@
+//! Property tests for the §3.4 closed forms: the raw `increase` term is
+//! non-negative for every wall time Eqs. 5/6 can produce (the invariant its
+//! call sites assert now that the function no longer clamps), and the
+//! closed forms agree with the simulator's continuous integrator.
+
+use cluster::NodeId;
+use proptest::prelude::*;
+use sd_policy::models::{
+    ideal_wall_time, increase, worst_case_wall_time, IdealModel, RateInputs, RateModel, Slot,
+    WorstCaseModel,
+};
+use simkit::SimTime;
+use slurm_sim::RunningJob;
+
+const FULL: u32 = 48;
+
+fn arb_slots() -> impl Strategy<Value = Vec<(Vec<u32>, u64)>> {
+    prop::collection::vec(
+        (prop::collection::vec(1u32..=FULL, 2..=2), 1u64..800),
+        1..6,
+    )
+}
+
+proptest! {
+    /// Any Eq. 5/6 wall time satisfies `wall ≥ static work`, so the raw
+    /// increase is non-negative — a negative value would mean the model and
+    /// the work it integrates disagree.
+    #[test]
+    fn increase_non_negative_over_model_outputs(slots in arb_slots()) {
+        let total_work: f64 = slots.iter().map(|(_, w)| *w as f64).sum();
+        let model_slots: Vec<Slot> = slots
+            .iter()
+            .map(|(cores, w)| Slot { cpus_per_node: cores.clone(), static_work: *w as f64 })
+            .collect();
+        let ideal = ideal_wall_time(&model_slots, FULL);
+        let worst = worst_case_wall_time(&model_slots, FULL);
+        prop_assert!(increase(ideal, total_work) >= -1e-9, "ideal wall {ideal} < work {total_work}");
+        prop_assert!(increase(worst, total_work) >= -1e-9, "worst wall {worst} < work {total_work}");
+        // And the bound pairing: ideal increase ≤ worst-case increase.
+        prop_assert!(increase(ideal, total_work) <= increase(worst, total_work) + 1e-9);
+    }
+
+    /// The closed forms invert the integrator: drive a job through an
+    /// integer slot timeline, convert the banked work per slot into the
+    /// paper's `Slot` records, and the closed-form wall time of those slots
+    /// recovers exactly the wall time spent — so the raw `increase` over
+    /// integrator-produced values is non-negative, the invariant call sites
+    /// assert.
+    #[test]
+    fn closed_forms_invert_the_integrator(slots in arb_slots(), ideal in any::<bool>()) {
+        let model: Box<dyn RateModel> = if ideal { Box::new(IdealModel) } else { Box::new(WorstCaseModel) };
+        let mut job = RunningJob::new(
+            SimTime(0),
+            vec![NodeId(0), NodeId(1)],
+            vec![FULL, FULL],
+            FULL,
+            1_000_000,
+        );
+        let mut now = 0u64;
+        let mut paper_slots: Vec<Slot> = Vec::new();
+        for (cores, wall) in &slots {
+            let inputs = RateInputs { cores, full_cores: FULL, app: None, neighbour_mem: 0.0 };
+            let rate = model.rate(&inputs);
+            job.cores = cores.clone();
+            job.set_rate(SimTime(now), rate);
+            let before = job.work_done;
+            now += wall;
+            job.bank(SimTime(now));
+            paper_slots.push(Slot {
+                cpus_per_node: cores.clone(),
+                static_work: job.work_done - before,
+            });
+        }
+        let wall = if ideal {
+            ideal_wall_time(&paper_slots, FULL)
+        } else {
+            worst_case_wall_time(&paper_slots, FULL)
+        };
+        prop_assert!(
+            (wall - now as f64).abs() < 1e-6,
+            "closed form {} vs wall actually spent {}",
+            wall,
+            now
+        );
+        let inc = increase(wall, job.work_done);
+        prop_assert!(inc >= -1e-9, "negative increase {inc} from integrator-consistent inputs");
+    }
+}

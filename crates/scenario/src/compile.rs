@@ -220,6 +220,27 @@ fn run_state(state: SimState, s: &Scenario, variant: &str, scale: f64, cores: u6
     }
 }
 
+/// The static-backfill twin of a run point: the same workload, machine,
+/// seed and scale under [`PolicyKindDecl::Static`]. Axes static backfill
+/// never reads — the MAXSD cut-off, the SharingFactor (only `co_launch`
+/// consults it) and the malleable fraction (it only flags jobs the static
+/// scheduler treats identically) — are canonicalised, so every variant of a
+/// `maxsd`/`sharing`/`malleable_fraction` sweep shares one baseline run.
+/// Campaign exports normalise each row against its twin's result.
+pub fn baseline_point(p: &RunPoint) -> RunPoint {
+    let mut s = p.scenario.clone();
+    s.policy.kind = PolicyKindDecl::Static;
+    s.policy.maxsd = crate::scenario::MaxSdDecl::Dyn;
+    s.policy.sharing = 0.5;
+    s.slurm.malleable_fraction = 1.0;
+    RunPoint {
+        scenario: s,
+        // The variant tag is canonicalised away too: two variants that differ
+        // only in swept policy axes compare equal and share the baseline run.
+        variant: String::new(),
+    }
+}
+
 /// Executes one resolved run point. Deterministic: the same point always
 /// produces the same [`SimResult`].
 pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {

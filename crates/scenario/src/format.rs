@@ -83,6 +83,13 @@ impl RawDoc {
 /// duplicate keys within a section are errors (a scenario is a description,
 /// not a script — last-wins semantics would hide typos).
 pub fn parse_raw(text: &str) -> Result<RawDoc, ParseError> {
+    parse_raw_with(text, false)
+}
+
+/// Like [`parse_raw`], but optionally allowing a section name to repeat —
+/// list-like documents (the `sd-validate` expectation files' `[claim]`
+/// records) use repetition; scenario files stay strict.
+pub fn parse_raw_with(text: &str, allow_repeated_sections: bool) -> Result<RawDoc, ParseError> {
     let mut doc = RawDoc::default();
     for (idx, raw_line) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -98,7 +105,7 @@ pub fn parse_raw(text: &str) -> Result<RawDoc, ParseError> {
             if name.is_empty() {
                 return Err(ParseError::new(line_no, "empty section name"));
             }
-            if doc.section(name).is_some() {
+            if !allow_repeated_sections && doc.section(name).is_some() {
                 return Err(ParseError::new(line_no, format!("duplicate section [{name}]")));
             }
             doc.sections.push(RawSection {

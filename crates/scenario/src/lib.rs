@@ -44,7 +44,7 @@ pub mod format;
 pub mod registry;
 pub mod scenario;
 
-pub use compile::{execute, expand, RunError, RunPoint, ScenarioOutcome};
+pub use compile::{baseline_point, execute, expand, RunError, RunPoint, ScenarioOutcome};
 pub use format::ParseError;
 pub use registry::{builtin_scenarios, find_builtin};
 pub use scenario::{

@@ -148,8 +148,19 @@ mod tests {
             assert_eq!(text, s.render(), "{} file is stale", s.name);
             assert_eq!(Scenario::parse(&text).unwrap(), s, "{}", s.name);
         }
-        let on_disk = std::fs::read_dir(&dir).unwrap().count();
-        assert_eq!(on_disk, builtin_scenarios().len(), "no orphan files");
+        // Count only `.scn` files: the directory also ships the
+        // `sd-validate` expectation file(s).
+        let on_disk = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "scn")
+            })
+            .count();
+        assert_eq!(on_disk, builtin_scenarios().len(), "no orphan .scn files");
     }
 
     #[test]

@@ -78,7 +78,13 @@ pub enum SourceKind {
 
 impl SourceKind {
     fn parse(e: &RawEntry) -> Result<Self, ParseError> {
-        match e.value.as_str() {
+        Self::parse_str(&e.value, e.line)
+    }
+
+    /// Parses the `source` vocabulary from a bare string (shared with the
+    /// `sd-validate` expectation files).
+    pub fn parse_str(v: &str, line: usize) -> Result<Self, ParseError> {
+        match v {
             "cirne" => Ok(SourceKind::Cirne),
             "cirne_ideal" => Ok(SourceKind::CirneIdeal),
             "ricc" => Ok(SourceKind::Ricc),
@@ -86,7 +92,7 @@ impl SourceKind {
             "real_run" => Ok(SourceKind::RealRun),
             "swf" => Ok(SourceKind::Swf),
             v => Err(ParseError::new(
-                e.line,
+                line,
                 format!(
                     "`source`: unknown workload source `{v}` \
                      (cirne|cirne_ideal|ricc|curie|real_run|swf)"
@@ -204,7 +210,9 @@ pub enum MaxSdDecl {
 }
 
 impl MaxSdDecl {
-    fn parse_str(v: &str, line: usize) -> Result<Self, ParseError> {
+    /// Parses the `maxsd` vocabulary (`number | inf | dyn`); shared with the
+    /// `sd-validate` expectation files.
+    pub fn parse_str(v: &str, line: usize) -> Result<Self, ParseError> {
         match v {
             "inf" => Ok(MaxSdDecl::Infinite),
             "dyn" => Ok(MaxSdDecl::Dyn),
@@ -262,12 +270,18 @@ pub enum ModelDecl {
 
 impl ModelDecl {
     fn parse(e: &RawEntry) -> Result<Self, ParseError> {
-        match e.value.as_str() {
+        Self::parse_str(&e.value, e.line)
+    }
+
+    /// Parses the `model` vocabulary from a bare string (shared with the
+    /// `sd-validate` expectation files).
+    pub fn parse_str(v: &str, line: usize) -> Result<Self, ParseError> {
+        match v {
             "ideal" => Ok(ModelDecl::Ideal),
             "worst_case" => Ok(ModelDecl::WorstCase),
             "app_aware" => Ok(ModelDecl::AppAware),
             v => Err(ParseError::new(
-                e.line,
+                line,
                 format!("`model`: unknown runtime model `{v}` (ideal|worst_case|app_aware)"),
             )),
         }

@@ -68,8 +68,44 @@ pub fn series_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
     out
 }
 
+/// Per-row Δ-vs-baseline columns (the paper's "normalized to static
+/// backfill" y-axes, as percentages: negative = the variant improves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignDeltas {
+    /// Label of the baseline policy the deltas are against (`static`).
+    pub vs: String,
+    pub d_makespan_pct: f64,
+    pub d_response_pct: f64,
+    pub d_slowdown_pct: f64,
+    pub d_wait_pct: f64,
+    pub d_energy_pct: f64,
+}
+
+impl CampaignDeltas {
+    /// Δ% columns of `row` against `baseline` (same scenario point run under
+    /// the baseline policy).
+    pub fn against(row: &Summary, baseline: &Summary) -> CampaignDeltas {
+        fn pct(v: f64, b: f64) -> f64 {
+            if b == 0.0 {
+                0.0
+            } else {
+                (v / b - 1.0) * 100.0
+            }
+        }
+        CampaignDeltas {
+            vs: baseline.label.clone(),
+            d_makespan_pct: pct(row.makespan as f64, baseline.makespan as f64),
+            d_response_pct: pct(row.mean_response, baseline.mean_response),
+            d_slowdown_pct: pct(row.mean_slowdown, baseline.mean_slowdown),
+            d_wait_pct: pct(row.mean_wait, baseline.mean_wait),
+            d_energy_pct: pct(row.energy_kwh, baseline.energy_kwh),
+        }
+    }
+}
+
 /// One row of a scenario campaign: which run it was (scenario × sweep
-/// variant × seed × scale) plus the run's [`Summary`].
+/// variant × seed × scale) plus the run's [`Summary`] and, when the campaign
+/// ran a baseline for the point, the Δ-vs-baseline columns.
 #[derive(Debug, Clone)]
 pub struct CampaignRow {
     pub scenario: String,
@@ -79,6 +115,8 @@ pub struct CampaignRow {
     pub seed: u64,
     pub scale: f64,
     pub summary: Summary,
+    /// Baseline-normalised Δ columns; `None` when no baseline was run.
+    pub deltas: Option<CampaignDeltas>,
 }
 
 /// The flat numeric fields of a [`CampaignRow`], in export order.
@@ -95,6 +133,25 @@ const CAMPAIGN_FIELDS: [&str; 11] = [
     "malleable_started",
     "unique_mates",
 ];
+
+/// The Δ-vs-baseline columns, in export order (after the flat fields).
+const DELTA_FIELDS: [&str; 5] = [
+    "d_makespan_pct",
+    "d_response_pct",
+    "d_slowdown_pct",
+    "d_wait_pct",
+    "d_energy_pct",
+];
+
+fn delta_values(d: &CampaignDeltas) -> [f64; 5] {
+    [
+        d.d_makespan_pct,
+        d.d_response_pct,
+        d.d_slowdown_pct,
+        d.d_wait_pct,
+        d.d_energy_pct,
+    ]
+}
 
 fn campaign_values(r: &CampaignRow) -> [f64; 11] {
     let s = &r.summary;
@@ -145,6 +202,16 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
+/// Rounds to 4 decimals — Δ columns are percentages; full f64 precision is
+/// noise and bloats the export.
+fn round4(v: f64) -> f64 {
+    if v.is_finite() {
+        (v * 1e4).round() / 1e4
+    } else {
+        v
+    }
+}
+
 /// Deterministic JSON array of campaign rows: fixed key order, no
 /// timestamps; identical inputs yield byte-identical output.
 pub fn campaign_json(rows: &[CampaignRow]) -> String {
@@ -161,6 +228,20 @@ pub fn campaign_json(rows: &[CampaignRow]) -> String {
         );
         for (k, v) in CAMPAIGN_FIELDS.iter().zip(campaign_values(r)) {
             let _ = write!(obj, ", \"{k}\": {}", fmt_num(v));
+        }
+        match &r.deltas {
+            Some(d) => {
+                let _ = write!(obj, ", \"baseline\": \"{}\"", json_escape(&d.vs));
+                for (k, v) in DELTA_FIELDS.iter().zip(delta_values(d)) {
+                    let _ = write!(obj, ", \"{k}\": {}", fmt_num(round4(v)));
+                }
+            }
+            None => {
+                let _ = write!(obj, ", \"baseline\": null");
+                for k in DELTA_FIELDS {
+                    let _ = write!(obj, ", \"{k}\": null");
+                }
+            }
         }
         obj.push('}');
         if i + 1 < rows.len() {
@@ -180,6 +261,11 @@ pub fn campaign_csv(rows: &[CampaignRow]) -> String {
         out.push(',');
         out.push_str(k);
     }
+    out.push_str(",baseline");
+    for k in DELTA_FIELDS {
+        out.push(',');
+        out.push_str(k);
+    }
     out.push('\n');
     for r in rows {
         let _ = write!(
@@ -194,6 +280,17 @@ pub fn campaign_csv(rows: &[CampaignRow]) -> String {
         for v in campaign_values(r) {
             out.push(',');
             out.push_str(&fmt_num(v));
+        }
+        match &r.deltas {
+            Some(d) => {
+                out.push(',');
+                out.push_str(&d.vs.replace(',', ";"));
+                for v in delta_values(d) {
+                    out.push(',');
+                    out.push_str(&fmt_num(round4(v)));
+                }
+            }
+            None => out.push_str(",,,,,,"),
         }
         out.push('\n');
     }
@@ -253,6 +350,7 @@ mod tests {
             seed,
             scale: 0.05,
             summary: s,
+            deltas: None,
         }
     }
 
@@ -279,6 +377,52 @@ mod tests {
         let header_cols = lines[0].split(',').count();
         assert_eq!(lines[1].split(',').count(), header_cols);
         assert!(lines[1].starts_with("a;b,,MAXSD 10,1,0.05"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn campaign_exports_carry_delta_columns() {
+        let mut r = row("w3", "maxsd=10", 1);
+        let mut base = r.summary.clone();
+        base.label = "static".into();
+        base.makespan = 10_000;
+        base.mean_slowdown = 4.5;
+        base.energy_kwh = 6.0;
+        r.summary.makespan = 9_000;
+        r.deltas = Some(CampaignDeltas::against(&r.summary, &base));
+        let json = campaign_json(std::slice::from_ref(&r));
+        assert!(json.contains("\"baseline\": \"static\""), "{json}");
+        assert!(json.contains("\"d_makespan_pct\": -10"), "{json}");
+        assert!(json.contains("\"d_slowdown_pct\": -50"), "{json}");
+        assert!(json.contains("\"d_energy_pct\": -50"), "{json}");
+        let csv = campaign_csv(&[r]);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with(
+            "baseline,d_makespan_pct,d_response_pct,d_slowdown_pct,d_wait_pct,d_energy_pct"
+        ));
+        let line = csv.lines().nth(1).unwrap();
+        assert_eq!(line.split(',').count(), header.split(',').count());
+        assert!(line.contains(",static,-10,"), "{line}");
+    }
+
+    #[test]
+    fn campaign_exports_without_baseline_are_padded() {
+        let r = row("w3", "", 1);
+        assert!(r.deltas.is_none());
+        let json = campaign_json(std::slice::from_ref(&r));
+        assert!(json.contains("\"baseline\": null"), "{json}");
+        assert!(json.contains("\"d_energy_pct\": null"), "{json}");
+        let csv = campaign_csv(&[r]);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), header_cols);
+    }
+
+    #[test]
+    fn deltas_against_self_are_zero() {
+        let s = row("x", "", 1).summary;
+        let d = CampaignDeltas::against(&s, &s);
+        assert_eq!(d.d_makespan_pct, 0.0);
+        assert_eq!(d.d_slowdown_pct, 0.0);
+        assert_eq!(d.d_energy_pct, 0.0);
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod summary;
 pub mod table;
 pub mod timeseries;
 
-pub use export::{campaign_csv, campaign_json, daily_csv, heatmap_csv, series_csv, CampaignRow};
+pub use export::{
+    campaign_csv, campaign_json, daily_csv, heatmap_csv, series_csv, CampaignDeltas, CampaignRow,
+};
 pub use heatmap::{Heatmap, HeatmapSpec, RatioHeatmap};
 pub use normalize::{improvement_pct, normalized};
 pub use percentiles::Percentiles;

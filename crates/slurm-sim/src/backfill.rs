@@ -31,12 +31,17 @@ pub type FlexStarted = bool;
 /// Runs one backfill pass. `flexible(st, job, est_static_start, profile)`
 /// may start `job` by other means (malleable co-scheduling) and must return
 /// whether it did; on `true` the profile is rebuilt (the machine changed).
-pub fn backfill_pass<F>(st: &mut SimState, mut flexible: F)
+///
+/// Returns the end-of-pass availability profile (current starts and the
+/// waiting jobs' reservations applied) so callers can make further
+/// reservation-respecting decisions — SD-Policy's borrower relocation uses
+/// it to take only nodes no pending job is counting on.
+pub fn backfill_pass<F>(st: &mut SimState, mut flexible: F) -> Profile
 where
     F: FnMut(&mut SimState, JobId, SimTime, &mut Profile) -> FlexStarted,
 {
     if st.queue.is_empty() {
-        return;
+        return st.build_profile();
     }
     let depth = st.cfg.backfill_depth;
     let mode = st.cfg.backfill_mode;
@@ -83,6 +88,7 @@ where
             head_reserved = true;
         }
     }
+    profile
 }
 
 /// The paper's baseline: plain (static) backfill, no malleability.

@@ -92,6 +92,10 @@ pub struct RunningJob {
     pub ever_shrunk: bool,
     /// True if this job was started through malleable backfill.
     pub malleable_backfilled: bool,
+    /// Contribution currently registered with the energy meter
+    /// (`cores × cpu-utilisation`); maintained by the simulator's
+    /// incremental energy accounting.
+    pub energy_weight: f64,
 }
 
 impl RunningJob {
@@ -112,6 +116,7 @@ impl RunningJob {
             lent_to: Vec::new(),
             ever_shrunk: false,
             malleable_backfilled: false,
+            energy_weight: 0.0,
         }
     }
 

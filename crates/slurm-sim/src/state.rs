@@ -46,6 +46,9 @@ pub struct SimStats {
     pub unique_mates: u64,
     pub shrink_events: u64,
     pub expand_events: u64,
+    /// Shrunk borrowers moved to idle whole nodes (expand side of the
+    /// resource manager).
+    pub relocations: u64,
     pub sched_passes: u64,
 }
 
@@ -161,6 +164,10 @@ impl SimState {
         }
         let nodes = spec.nodes;
         let node_power = spec.node.power;
+        // Measure energy over the makespan window (first arrival → last
+        // end), matching the paper's definitions for both metrics.
+        let mut meter = EnergyMeter::new(node_power, nodes);
+        meter.start(first_submit);
         SimState {
             now: SimTime::ZERO,
             cluster: ClusterState::new(spec.clone()),
@@ -177,7 +184,7 @@ impl SimState {
             releases: ReleaseMap::new(nodes),
             events,
             outcomes: Vec::new(),
-            meter: EnergyMeter::new(node_power, nodes),
+            meter,
             weighted_busy: 0.0,
             rate_model,
             sharing,
@@ -395,7 +402,6 @@ impl SimState {
                     mj.spec.ranks_per_node,
                 )
             };
-            let mut kept_min = full;
             for &n in &m_nodes {
                 let updates = self.node_mgrs[n.0 as usize]
                     .co_launch(&mut self.drom, new_id, m, self.sharing, m_ranks)
@@ -403,7 +409,6 @@ impl SimState {
                 // updates[0] = mate's shrunken mask, updates[1] = new job's.
                 let keep = updates[0].cores();
                 let given = updates[1].cores();
-                kept_min = kept_min.min(keep);
                 self.cluster
                     .set_cores(m, n, keep)
                     .expect("shrink within capacity");
@@ -417,9 +422,13 @@ impl SimState {
                 let idx = run.nodes.binary_search(&n).expect("mate owns node");
                 run.cores[idx] = keep;
             }
-            // Re-rate the mate and extend its requested end by the planned
-            // worst-case increase over the co-residency window.
-            let increase = ((1.0 - kept_min as f64 / full as f64) * new_wall as f64).ceil() as u64;
+            // Re-rate the mate. Its requested end (wall-clock limit) stays
+            // fixed: SLURM never extends a job's time limit on shrink — the
+            // stretch eats the job's own over-request slack, and §3.2.4's
+            // finish-inside constraint is defined against the *original*
+            // requested end. (Extending it here created a feedback loop:
+            // later profiles grew more pessimistic, admitting ever longer
+            // borrowers — the makespan/energy regression.)
             {
                 let now = self.now;
                 let rate = self.compute_rate(m);
@@ -427,7 +436,6 @@ impl SimState {
                     let run = self.jobs[(m.0 - 1) as usize].running_mut().unwrap();
                     let was = run.ever_shrunk;
                     run.set_rate(now, rate);
-                    run.req_end = run.req_end.after(increase);
                     run.lent_to.push(new_id);
                     was
                 };
@@ -488,7 +496,9 @@ impl SimState {
             self.update_release(n);
         }
         self.queue.remove(new_id);
-        self.energy_reweigh_all_of(&nodes_sorted);
+        let mut reweigh: Vec<JobId> = mates.to_vec();
+        reweigh.push(new_id);
+        self.energy_reweigh(&reweigh);
         self.stats.started_malleable += 1;
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
@@ -497,6 +507,130 @@ impl SimState {
             }
         }
         Ok(())
+    }
+
+    /// Running malleable-backfilled jobs currently shrunk below full width —
+    /// the candidates for [`SimState::relocate_borrower`] (ascending id).
+    pub fn shrunk_borrowers(&self) -> Vec<JobId> {
+        self.running
+            .iter()
+            .copied()
+            .filter(|&id| {
+                self.job(id)
+                    .running()
+                    .is_some_and(|r| r.malleable_backfilled && !r.at_full_allocation())
+            })
+            .collect()
+    }
+
+    /// Moves a shrunk malleable-backfilled job onto idle whole nodes at full
+    /// width, expanding its former mates back — the expand half of the
+    /// resource manager (DMR-style node reconfiguration). Without it, a
+    /// co-scheduled pair stays at reduced rate even when the machine drains,
+    /// which stretches the tail and charges idle power: the makespan/energy
+    /// regression. Returns `false` when `id` is not a shrunk borrower or the
+    /// cluster lacks enough empty nodes.
+    pub fn relocate_borrower(&mut self, id: JobId) -> bool {
+        let now = self.now;
+        let (old_nodes, mates) = {
+            let Some(r) = self.job(id).running() else {
+                return false;
+            };
+            if !r.malleable_backfilled || r.at_full_allocation() {
+                return false;
+            }
+            (r.nodes.clone(), r.mates.clone())
+        };
+        let width = old_nodes.len() as u32;
+        if self.cluster.empty_node_count() < width {
+            return false;
+        }
+
+        // Leave the shared nodes; former mates expand into the cores.
+        let mut touched: Vec<JobId> = Vec::new();
+        for &n in &old_nodes {
+            self.cluster
+                .remove_from_node(id, n)
+                .expect("borrower occupies its nodes");
+            let updates = self.node_mgrs[n.0 as usize].finish(&mut self.drom, id);
+            for up in updates {
+                let cores = up.cores();
+                self.cluster
+                    .set_cores(up.job, n, cores)
+                    .expect("expansion within capacity");
+                let other = self.jobs[(up.job.0 - 1) as usize]
+                    .running_mut()
+                    .expect("beneficiary is running");
+                let idx = other.nodes.binary_search(&n).expect("owns node");
+                other.cores[idx] = cores;
+                if !touched.contains(&up.job) {
+                    touched.push(up.job);
+                }
+            }
+            self.update_release(n);
+        }
+        for &m in &mates {
+            if let Some(other) = self.jobs[(m.0 - 1) as usize].running_mut() {
+                other.lent_to.retain(|&x| x != id);
+            }
+        }
+
+        // Take the idle nodes at full width.
+        let full = self.spec.node.cores();
+        let new_nodes = self
+            .cluster
+            .take_empty_nodes(width)
+            .expect("checked empty count above");
+        self.cluster
+            .place(id, &new_nodes, full)
+            .expect("empty nodes accept a full-width placement");
+        for &n in &new_nodes {
+            self.node_mgrs[n.0 as usize]
+                .launch(&mut self.drom, id, full, true)
+                .expect("empty node accepts launch");
+        }
+        {
+            let run = self.jobs[(id.0 - 1) as usize].running_mut().unwrap();
+            let mut nodes = new_nodes.clone();
+            nodes.sort();
+            run.cores = vec![full; nodes.len()];
+            run.nodes = nodes;
+            run.mates.clear();
+        }
+        let rate = self.compute_rate(id);
+        self.job_mut(id).running_mut().unwrap().set_rate(now, rate);
+        self.arm_end(id);
+        for &n in &new_nodes {
+            self.update_release(n);
+        }
+        self.refresh_eligibility(id);
+
+        // Re-rate the expanded former mates.
+        for &t in &touched {
+            let rate = self.compute_rate(t);
+            self.jobs[(t.0 - 1) as usize]
+                .running_mut()
+                .unwrap()
+                .set_rate(now, rate);
+            self.stats.expand_events += 1;
+            self.arm_end(t);
+            self.refresh_eligibility(t);
+            let nodes = self.job(t).running().unwrap().nodes.clone();
+            for n in nodes {
+                self.update_release(n);
+            }
+        }
+        let mut reweigh = touched.clone();
+        reweigh.push(id);
+        self.energy_reweigh(&reweigh);
+        self.stats.relocations += 1;
+        if self.cfg.self_check {
+            self.cluster.validate().expect("cluster consistent");
+            for &n in &new_nodes {
+                self.drom.validate_node(n).expect("masks disjoint");
+            }
+        }
+        true
     }
 
     /// Whether `id` currently qualifies as a mate: running, malleable, at
@@ -592,8 +726,8 @@ impl SimState {
                 self.update_release(n);
             }
         }
+        self.energy_sub_job(run.energy_weight);
         self.energy_reweigh(&touched);
-        self.energy_sub_job(run.total_cores(), spec.app);
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
         }
@@ -684,30 +818,62 @@ impl SimState {
         cores as f64 * util
     }
 
-    /// Recomputes the global weighted-busy figure after allocations of the
-    /// given jobs changed. Exact recomputation of deltas is fiddly across
-    /// shrink/expand chains, so we recompute the affected jobs' weights from
-    /// their current cores and rebuild the global sum incrementally.
-    fn energy_reweigh(&mut self, _changed: &[JobId]) {
-        // Small running sets dominate (≤ thousands); a full recomputation at
-        // every change would be O(R). Instead track the sum directly.
-        let mut total = 0.0;
-        for &id in &self.running {
-            let job = self.job(id);
-            if let Some(r) = job.running() {
-                total += Self::job_weight(r.total_cores(), job.spec.app);
+    /// Updates the global weighted-busy figure after the allocations of
+    /// exactly the `changed` jobs moved: each job's delta against its
+    /// registered `energy_weight` is applied to the running sum — `O(|changed|)`
+    /// per event instead of a full `O(running)` rescan. The meter integrates
+    /// the pre-change level over the elapsed interval first, so the step
+    /// function stays piecewise-exact across shrink/expand boundaries.
+    /// `cfg.self_check` cross-validates the sum against a full rescan.
+    fn energy_reweigh(&mut self, changed: &[JobId]) {
+        for &id in changed {
+            let job = &mut self.jobs[(id.0 - 1) as usize];
+            let app = job.spec.app;
+            if let Some(r) = job.running_mut() {
+                let w = Self::job_weight(r.total_cores(), app);
+                self.weighted_busy += w - r.energy_weight;
+                r.energy_weight = w;
             }
         }
-        self.weighted_busy = total;
+        if self.weighted_busy < 0.0 {
+            // Float drift can leave a tiny negative residue on an empty
+            // machine; snap it away so idle power is exact.
+            debug_assert!(self.weighted_busy > -1e-6, "weight drift");
+            self.weighted_busy = 0.0;
+        }
+        if self.cfg.self_check {
+            let rescan: f64 = self
+                .running
+                .iter()
+                .map(|&id| {
+                    let job = self.job(id);
+                    job.running()
+                        .map_or(0.0, |r| Self::job_weight(r.total_cores(), job.spec.app))
+                })
+                .sum();
+            assert!(
+                (rescan - self.weighted_busy).abs() < 1e-6,
+                "incremental weighted-busy {} diverged from rescan {}",
+                self.weighted_busy,
+                rescan
+            );
+        }
         self.meter.update(self.now, self.weighted_busy);
     }
 
-    fn energy_reweigh_all_of(&mut self, _nodes: &[NodeId]) {
-        self.energy_reweigh(&[]);
-    }
-
-    fn energy_sub_job(&mut self, _cores: u64, _app: Option<workload::AppId>) {
-        self.energy_reweigh(&[]);
+    /// Removes a completed job's contribution. The caller passes the final
+    /// tracked weight from the torn-down [`RunningJob`] — the job is no
+    /// longer in the running set, so the incremental path cannot see it.
+    fn energy_sub_job(&mut self, last_weight: f64) {
+        self.weighted_busy -= last_weight;
+        // Anything beyond float drift means a core change bypassed
+        // energy_reweigh — fail loudly rather than undercount energy.
+        debug_assert!(self.weighted_busy > -1e-6, "weight drift after completion");
+        self.weighted_busy = self.weighted_busy.max(0.0);
+        // No meter update or rescan here: mid-completion the beneficiaries'
+        // deltas are still pending, so the sum is transiently inconsistent.
+        // `complete_job` always follows with `energy_reweigh`, which applies
+        // them, cross-validates under self_check and registers the level.
     }
 
     /// Finalises the meter and returns total joules.
@@ -949,6 +1115,104 @@ mod tests {
         // 4 nodes idle 120 W for 100 s + 32 cores × 15 W × 100 s.
         let expected = 4.0 * 120.0 * 100.0 + 32.0 * 15.0 * 100.0;
         assert!((joules - expected).abs() < 1e-6, "joules {joules}");
+    }
+
+    #[test]
+    fn shrink_does_not_extend_the_mates_requested_end() {
+        // SLURM wall-clock limits are fixed at start; lending cores must not
+        // move the mate's req_end (the old extension fed the profile a
+        // feedback loop — the makespan/energy regression).
+        let mut st = small_state(vec![job(1, 0, 1000, 2, 1000), job(2, 0, 100, 2, 100)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        let before = st.job(JobId(1)).running().unwrap().req_end;
+        st.co_schedule(JobId(2), &[JobId(1)], 0).unwrap();
+        let after = st.job(JobId(1)).running().unwrap().req_end;
+        assert_eq!(before, after, "mate limit must stay start + req_time");
+        assert_eq!(after, SimTime(1000));
+    }
+
+    #[test]
+    fn relocation_moves_borrower_to_idle_nodes_and_expands_mate() {
+        // 4-node machine: J1 static on 2 nodes, J2 co-scheduled into J1's
+        // cores, 2 nodes idle → J2 relocates to them at full width and both
+        // jobs return to rate 1.
+        let mut st = small_state(vec![job(1, 0, 1000, 2, 1000), job(2, 0, 400, 2, 400)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        st.co_schedule(JobId(2), &[JobId(1)], 0).unwrap();
+        assert_eq!(st.shrunk_borrowers(), vec![JobId(2)]);
+
+        st.now = SimTime(100);
+        assert!(st.relocate_borrower(JobId(2)));
+        assert!(st.deep_validate().is_ok());
+        assert_eq!(st.stats.relocations, 1);
+
+        let mate = st.job(JobId(1)).running().unwrap();
+        assert_eq!(mate.cores, vec![8, 8], "mate expanded back");
+        assert!((mate.rate - 1.0).abs() < 1e-12);
+        assert!(mate.lent_to.is_empty());
+
+        let borrower = st.job(JobId(2)).running().unwrap();
+        assert_eq!(borrower.cores, vec![8, 8], "borrower at full width");
+        assert!((borrower.rate - 1.0).abs() < 1e-12);
+        assert!(borrower.mates.is_empty());
+        // 100 s at rate 0.5 banked 50 work; 350 remain at full rate.
+        let end = borrower.predicted_end(SimTime(100), 400);
+        assert_eq!(end, SimTime(450));
+        assert!(st.shrunk_borrowers().is_empty());
+        // The pair dissolved: the mate is eligible again.
+        assert!(st.is_eligible_mate(JobId(1)));
+    }
+
+    #[test]
+    fn relocation_refused_without_idle_nodes_or_for_non_borrowers() {
+        let mut st = small_state(vec![
+            job(1, 0, 1000, 2, 1000),
+            job(2, 0, 1000, 2, 1000),
+            job(3, 0, 400, 2, 400),
+        ]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        st.start_static(JobId(2)); // machine full
+        st.co_schedule(JobId(3), &[JobId(1)], 0).unwrap();
+        assert!(!st.relocate_borrower(JobId(3)), "no idle nodes");
+        assert!(!st.relocate_borrower(JobId(1)), "mates are not borrowers");
+        assert!(!st.relocate_borrower(JobId(2)), "full-width jobs don't move");
+        assert_eq!(st.stats.relocations, 0);
+        assert!(st.deep_validate().is_ok());
+    }
+
+    #[test]
+    fn relocation_keeps_energy_accounting_exact() {
+        // Energy across a shrink + relocate + completions must equal the
+        // hand-computed step integral (self_check cross-validates the
+        // incremental sum at every event).
+        let mut st = small_state(vec![job(1, 0, 1000, 2, 1000), job(2, 0, 400, 2, 400)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        st.co_schedule(JobId(2), &[JobId(1)], 0).unwrap();
+        st.now = SimTime(100);
+        assert!(st.relocate_borrower(JobId(2)));
+        while let Some(ev) = st.events.pop() {
+            st.now = ev.time.max(st.now);
+            st.dispatch(ev.payload);
+        }
+        let joules = st.finish_energy();
+        // Timeline (RICC nodes: 120 W idle, 15 W/core):
+        //   0–100:   2 nodes busy, 16 weighted-busy cores (shared pair).
+        //   100–450: 4 nodes busy, 32 cores (J1 full + relocated J2 full;
+        //            J2 banked 50 work by t=100, finishes at 450).
+        //   450–1050: 2 nodes busy, 16 cores (J1: 100 s at half rate cost
+        //            50 s extra → ends at 1050).
+        // Idle draw runs over the whole 0–1050 window on all 4 nodes.
+        let busy = 15.0 * (16.0 * 100.0 + 32.0 * 350.0 + 16.0 * 600.0);
+        let idle = 4.0 * 120.0 * 1050.0;
+        let expected = busy + idle;
+        assert!(
+            (joules - expected).abs() < 1e-6,
+            "joules {joules} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -73,7 +73,12 @@ fn main() {
     ]);
     println!("\n{}", t.render());
     println!(
-        "jobs started through malleable backfill: {} ({} mates were shrunk)",
-        sd.stats.started_malleable, sd.stats.unique_mates
+        "jobs started through malleable backfill: {} ({} mates were shrunk, {} borrowers relocated)",
+        sd.stats.started_malleable, sd.stats.unique_mates, sd.stats.relocations
+    );
+    println!(
+        "\nnote: single-seed makespan/energy deltas at CI scale are tail noise of a few\n\
+         percent either way; the paper's signs are checked on a fixed seed panel by\n\
+         `cargo run --release --bin sd_validate` (see DESIGN.md §8)."
     );
 }
