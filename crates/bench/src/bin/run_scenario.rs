@@ -26,6 +26,8 @@ const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campa
   --list                  list the built-in scenarios and exit
   --format <json|csv>     output format for --out (default: by extension)
   --write-builtin <dir>   write every built-in scenario as <dir>/<name>.scn
+  --timing                print a wall-time/scheduler-work table to stderr
+                          (per-run wall is noisy unless --threads 1)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -38,6 +40,7 @@ struct ScenarioCli {
     list: bool,
     format: Option<String>,
     write_builtin: Option<String>,
+    timing: bool,
     common: CliArgs,
 }
 
@@ -46,6 +49,7 @@ fn parse_cli() -> ScenarioCli {
     let mut list = false;
     let mut format = None;
     let mut write_builtin = None;
+    let mut timing = false;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,6 +59,7 @@ fn parse_cli() -> ScenarioCli {
                 None => fail("--scenario needs a value"),
             },
             "--list" => list = true,
+            "--timing" => timing = true,
             "--format" => match it.next().as_deref() {
                 Some("json") => format = Some("json".to_string()),
                 Some("csv") => format = Some("csv".to_string()),
@@ -85,6 +90,7 @@ fn parse_cli() -> ScenarioCli {
         list,
         format,
         write_builtin,
+        timing,
         common,
     }
 }
@@ -189,13 +195,46 @@ fn main() {
     if !all_static {
         work.extend(baselines.iter().cloned());
     }
-    let results = sweep_with(&work, cli.common.threads, execute);
+    let results = sweep_with(&work, cli.common.threads, |p| {
+        let t0 = std::time::Instant::now();
+        (execute(p), t0.elapsed().as_secs_f64())
+    });
     let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(results.len());
-    for r in results {
+    let mut walls: Vec<f64> = Vec::with_capacity(results.len());
+    for (r, wall) in results {
         match r {
-            Ok(o) => outcomes.push(o),
+            Ok(o) => {
+                outcomes.push(o);
+                walls.push(wall);
+            }
             Err(e) => fail(&format!("run failed: {e}")),
         }
+    }
+    if cli.timing {
+        let mut tt = Table::new(&[
+            "run", "policy", "wall(s)", "events", "passes", "skipped", "peak-prof",
+        ]);
+        for (i, o) in outcomes.iter().enumerate() {
+            let s = &o.result.stats;
+            tt.row(vec![
+                if i < points.len() {
+                    if o.variant.is_empty() {
+                        o.scenario.clone()
+                    } else {
+                        o.variant.clone()
+                    }
+                } else {
+                    format!("baseline {}", i - points.len())
+                },
+                o.policy_label.clone(),
+                format!("{:.3}", walls[i]),
+                format!("{}", s.events_dispatched),
+                format!("{}", s.sched_passes),
+                format!("{}", s.passes_skipped),
+                format!("{}", s.peak_profile_len),
+            ]);
+        }
+        eprintln!("{}", tt.render());
     }
     let (point_outcomes, baseline_outcomes) = outcomes.split_at(points.len());
     let baseline_summaries: Vec<Summary> = if all_static {

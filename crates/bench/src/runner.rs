@@ -99,7 +99,10 @@ impl RunConfig {
         self
     }
 
-    fn slurm_config(&self) -> SlurmConfig {
+    /// The SLURM config this run executes with (the explicit override or
+    /// the per-workload heuristic). Public so the macro-benchmark can flip
+    /// `incremental` on an otherwise identical configuration.
+    pub fn slurm_config(&self) -> SlurmConfig {
         if let Some(c) = &self.slurm {
             return c.clone();
         }

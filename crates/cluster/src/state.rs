@@ -8,6 +8,7 @@
 //! the invariants (used liberally by tests and `debug_assert!`s).
 
 use crate::spec::ClusterSpec;
+use std::collections::BTreeSet;
 
 /// Identifier of a job, assigned by the workload manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -81,9 +82,9 @@ impl std::error::Error for AllocError {}
 pub struct ClusterState {
     spec: ClusterSpec,
     nodes: Vec<NodeOccupancy>,
-    /// Nodes with zero occupants — maintained incrementally because the
-    /// scheduler asks for it on every pass.
-    empty_nodes: u32,
+    /// Completely idle nodes, ascending — maintained incrementally so the
+    /// scheduler's "first n idle nodes" never scans the whole machine.
+    idle: BTreeSet<NodeId>,
     busy_cores: u64,
 }
 
@@ -93,7 +94,7 @@ impl ClusterState {
         ClusterState {
             spec,
             nodes: vec![NodeOccupancy::default(); n],
-            empty_nodes: n as u32,
+            idle: (0..n as u32).map(NodeId).collect(),
             busy_cores: 0,
         }
     }
@@ -104,7 +105,7 @@ impl ClusterState {
 
     /// Number of completely idle nodes.
     pub fn empty_node_count(&self) -> u32 {
-        self.empty_nodes
+        self.idle.len() as u32
     }
 
     /// Total busy cores across the machine.
@@ -126,19 +127,16 @@ impl ClusterState {
         self.spec.node.cores() - self.nodes[node.0 as usize].cores_used
     }
 
-    /// Iterates over the ids of completely idle nodes, ascending.
+    /// Iterates over the ids of completely idle nodes, ascending (served
+    /// from the idle index, not a machine scan).
     pub fn empty_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, occ)| occ.is_empty())
-            .map(|(i, _)| NodeId(i as u32))
+        self.idle.iter().copied()
     }
 
-    /// Collects the first `n` idle nodes (ascending id). Returns `None` when
-    /// fewer than `n` are idle — the static placement test.
+    /// Collects the first `n` idle nodes (ascending id) in O(n). Returns
+    /// `None` when fewer than `n` are idle — the static placement test.
     pub fn take_empty_nodes(&self, n: u32) -> Option<Vec<NodeId>> {
-        if self.empty_nodes < n {
+        if self.empty_node_count() < n {
             return None;
         }
         Some(self.empty_nodes().take(n as usize).collect())
@@ -168,7 +166,7 @@ impl ClusterState {
         for &n in nodes {
             let occ = &mut self.nodes[n.0 as usize];
             if occ.is_empty() {
-                self.empty_nodes -= 1;
+                self.idle.remove(&n);
             }
             occ.jobs.push((job, cores));
             occ.cores_used += cores;
@@ -212,7 +210,7 @@ impl ClusterState {
         occ.cores_used -= cores;
         self.busy_cores -= cores as u64;
         if occ.is_empty() {
-            self.empty_nodes += 1;
+            self.idle.insert(node);
         }
         Ok(cores)
     }
@@ -249,13 +247,18 @@ impl ClusterState {
             }
             if occ.is_empty() {
                 empty += 1;
+                if !self.idle.contains(&NodeId(i as u32)) {
+                    return Err(format!("node {i}: idle but missing from index"));
+                }
+            } else if self.idle.contains(&NodeId(i as u32)) {
+                return Err(format!("node {i}: occupied but in the idle index"));
             }
             busy += sum as u64;
         }
-        if empty != self.empty_nodes {
+        if empty != self.empty_node_count() {
             return Err(format!(
-                "empty_nodes counter {} != actual {empty}",
-                self.empty_nodes
+                "idle index size {} != actual {empty}",
+                self.empty_node_count()
             ));
         }
         if busy != self.busy_cores {

@@ -57,33 +57,41 @@ pub fn collect_candidates(
 ) -> Vec<Candidate> {
     let now = st.now;
     let new_end = now.after(mall_wall);
+    // Index prune (incremental mode): the running-by-end index knows the
+    // latest requested end among *all* running jobs (a superset of the mate
+    // pool). If even that falls short of the new job's end, the
+    // finish-inside constraint rejects every candidate — skip the
+    // scan-and-score entirely. The outcome is identical either way; the
+    // legacy path keeps the unconditional scan as the perf baseline.
+    if st.cfg.incremental && st.latest_running_req_end().is_none_or(|latest| latest < new_end) {
+        return Vec::new();
+    }
     let full = st.spec().node.cores();
     let mut out: Vec<Candidate> = Vec::with_capacity(cfg.candidate_cap.min(64));
     // The pool is sorted by base penalty ((wait+req)/req); the full Eq. 4
     // penalty adds increase/req, so pool order is a good (not perfect)
     // visiting order. We scan a bounded multiple of the cap, score exactly,
-    // then sort and truncate — the paper's sort-then-truncate.
+    // then sort and truncate — the paper's sort-then-truncate. The pool
+    // entries carry every filter/score input (denormalised at insertion),
+    // so the scan never touches the job table.
     let scan_limit = cfg.candidate_cap.saturating_mul(4).max(16);
-    for &(_base, id) in st.eligible_mates().iter().take(scan_limit) {
-        let job = st.job(id);
-        let Some(run) = job.running() else { continue };
+    for e in st.eligible_mates().iter().take(scan_limit) {
         // Finish-inside-mate constraint (requested-time based, §3.2.4).
-        if run.req_end < new_end {
+        if e.req_end < new_end {
             continue;
         }
-        let keep = st.sharing().keep_cores(full, job.spec.ranks_per_node);
+        let keep = st.sharing().keep_cores(full, e.ranks_per_node);
         if keep >= full {
             continue; // nothing can be freed
         }
         let increase = shrink_increase(keep as f64 / full as f64, mall_wall);
-        let wait = run.start.since(job.spec.submit);
-        let p = mate_penalty(wait, increase, job.spec.req_time);
+        let p = mate_penalty(e.wait, increase, e.req_time);
         if p >= cutoff {
             continue;
         }
         out.push(Candidate {
-            id,
-            weight: run.nodes.len() as u32,
+            id: e.id,
+            weight: e.weight,
             penalty: p,
         });
     }

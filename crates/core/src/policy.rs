@@ -24,7 +24,7 @@ use crate::penalty::malleable_wall_time;
 use cluster::JobId;
 use simkit::SimTime;
 use slurm_sim::reservation::Profile;
-use slurm_sim::{backfill_pass, Scheduler, SimState};
+use slurm_sim::{backfill_pass, DirtyFlags, Scheduler, SimState};
 
 /// The Slowdown Driven policy.
 #[derive(Debug, Clone)]
@@ -57,12 +57,19 @@ impl SdPolicy {
 
     /// The malleable trial for one job that failed the static trial.
     /// Returns `true` when the job was started through co-scheduling.
+    ///
+    /// `est_static_start` is `None` when the pass did not need the job's
+    /// est for its own bookkeeping (EASY non-head); it is resolved here,
+    /// *only* for jobs that actually reach a trial — the cheap disqualifiers
+    /// (trial budget, non-malleable) come first. An infeasible est
+    /// (`SimTime::MAX`) bails before the trial budget is charged, exactly
+    /// as the old always-computed flow never called the hook for such jobs.
     fn try_malleable(
         &mut self,
         st: &mut SimState,
         id: JobId,
-        est_static_start: SimTime,
-        _profile: &mut Profile,
+        est_static_start: Option<SimTime>,
+        profile: &mut Profile,
     ) -> bool {
         if self.trials_this_pass >= self.cfg.max_trials_per_pass {
             return false;
@@ -74,6 +81,17 @@ impl SdPolicy {
         if !malleable {
             return false;
         }
+        let est_static_start = match est_static_start {
+            Some(e) => e,
+            None => {
+                let e = profile.earliest_start(req_nodes, req_time, st.now);
+                if e == SimTime::MAX {
+                    return false;
+                }
+                debug_assert!(e > st.now, "the static trial already failed");
+                e
+            }
+        };
         self.trials_this_pass += 1;
 
         // Planned (worst-case, §3.4) rate if co-scheduled: the freed share
@@ -104,8 +122,22 @@ impl SdPolicy {
         let Some(selection) = pick_mates(&candidates, req_nodes, free_avail, &self.cfg) else {
             return false;
         };
-        st.co_schedule(id, &selection.mates, selection.free_nodes)
-            .is_ok()
+        if st
+            .co_schedule(id, &selection.mates, selection.free_nodes)
+            .is_err()
+        {
+            return false;
+        }
+        // In-place pass-profile delta (incremental mode; the legacy path
+        // rebuilds instead): a malleable start changes availability only
+        // through the idle nodes it took — the shared mate nodes keep their
+        // predicted release because the finish-inside constraint caps the
+        // borrower's requested end at the mates'.
+        if st.cfg.incremental && selection.free_nodes > 0 {
+            let req_end = st.job(id).running().expect("just started").req_end;
+            profile.reserve(st.now, req_end.since(st.now), selection.free_nodes);
+        }
+        true
     }
 }
 
@@ -138,9 +170,12 @@ impl Scheduler for SdPolicy {
                     let left = (job.spec.req_time as f64 - run.work_done).ceil();
                     (run.nodes.len() as u32, (left.max(1.0)) as u64)
                 };
-                if st.cluster.empty_node_count() < width
-                    || profile.earliest_start(width, remaining, st.now) != st.now
-                {
+                let start_now = if st.cfg.incremental {
+                    profile.earliest_start(width, remaining, st.now)
+                } else {
+                    profile.earliest_start_legacy(width, remaining, st.now)
+                };
+                if st.cluster.empty_node_count() < width || start_now != st.now {
                     continue;
                 }
                 if st.relocate_borrower(id) {
@@ -148,6 +183,19 @@ impl Scheduler for SdPolicy {
                 }
             }
         }
+        st.recycle_pass_profile(profile);
+    }
+
+    /// A pure-capacity change can only matter if there is a queue to serve
+    /// or a shrunk borrower that idle nodes could now host; otherwise the
+    /// pass is a provable no-op and the controller may skip it.
+    fn pass_needed(&self, st: &SimState, dirty: DirtyFlags) -> bool {
+        dirty.queue
+            || (dirty.capacity
+                && (!st.queue.is_empty()
+                    || (self.cfg.expand_on_idle
+                        && st.has_shrunk_borrowers()
+                        && st.cluster.empty_node_count() > 0)))
     }
 
     fn name(&self) -> &'static str {

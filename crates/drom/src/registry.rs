@@ -35,11 +35,20 @@ impl ProcessEntry {
 }
 
 /// The registry of all DROM-attached processes (one per node manager in the
-/// real system; global here for test convenience — entries are keyed by
-/// node, so per-node views are cheap).
+/// real system; global here for test convenience).
+///
+/// Indexed for a machine-sized population: a handle → entry map serves
+/// `get`/`set_mask`/`poll`/`detach` in O(1), and a per-node handle list (in
+/// registration order, so every per-node view stays deterministic) serves
+/// `processes_on`/`poll_node`/`find` in O(residents). The old flat `Vec`
+/// made each of these a scan over *every* registered process in the system
+/// — the dominant cost of full-scale Curie replays, where tens of thousands
+/// of processes are attached at once.
 #[derive(Debug, Default)]
 pub struct DromRegistry {
-    entries: Vec<ProcessEntry>,
+    entries: std::collections::HashMap<u64, ProcessEntry>,
+    /// Per node: handles in registration order (tiny vectors, 1–3 entries).
+    by_node: Vec<Vec<DromHandle>>,
     next_handle: u64,
 }
 
@@ -48,43 +57,61 @@ impl DromRegistry {
         Self::default()
     }
 
+    fn node_slot(&mut self, node: NodeId) -> &mut Vec<DromHandle> {
+        let idx = node.0 as usize;
+        if idx >= self.by_node.len() {
+            self.by_node.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.by_node[idx]
+    }
+
     /// Registers a process with its launch-time mask (`DROM_run`).
     pub fn attach(&mut self, job: JobId, node: NodeId, mask: CpuMask) -> DromHandle {
         let handle = DromHandle(self.next_handle);
         self.next_handle += 1;
-        self.entries.push(ProcessEntry {
-            handle,
-            job,
-            node,
-            current: mask,
-            pending: None,
-        });
+        self.entries.insert(
+            handle.0,
+            ProcessEntry {
+                handle,
+                job,
+                node,
+                current: mask,
+                pending: None,
+            },
+        );
+        self.node_slot(node).push(handle);
         handle
     }
 
     /// Removes a process (`DROM_clean`). Returns the final mask it held.
     pub fn detach(&mut self, handle: DromHandle) -> Option<CpuMask> {
-        let pos = self.entries.iter().position(|e| e.handle == handle)?;
-        Some(self.entries.remove(pos).current)
+        let e = self.entries.remove(&handle.0)?;
+        let slot = self.node_slot(e.node);
+        slot.retain(|&h| h != handle);
+        Some(e.current)
     }
 
     /// All processes on `node`, in registration order.
     pub fn processes_on(&self, node: NodeId) -> impl Iterator<Item = &ProcessEntry> {
-        self.entries.iter().filter(move |e| e.node == node)
+        self.by_node
+            .get(node.0 as usize)
+            .into_iter()
+            .flatten()
+            .map(|h| &self.entries[&h.0])
     }
 
     pub fn get(&self, handle: DromHandle) -> Option<&ProcessEntry> {
-        self.entries.iter().find(|e| e.handle == handle)
+        self.entries.get(&handle.0)
     }
 
     /// Looks up the process of `job` on `node`.
     pub fn find(&self, job: JobId, node: NodeId) -> Option<&ProcessEntry> {
-        self.entries.iter().find(|e| e.job == job && e.node == node)
+        self.processes_on(node).find(|e| e.job == job)
     }
 
     /// Stages a new mask for a process (`DROM_setprocessmask`).
     pub fn set_mask(&mut self, handle: DromHandle, mask: CpuMask) -> bool {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.handle == handle) {
+        if let Some(e) = self.entries.get_mut(&handle.0) {
             e.pending = Some(mask);
             true
         } else {
@@ -95,7 +122,7 @@ impl DromRegistry {
     /// The process reaches a malleability point: applies any pending mask.
     /// Returns the new current mask if a change was applied.
     pub fn poll(&mut self, handle: DromHandle) -> Option<&CpuMask> {
-        let e = self.entries.iter_mut().find(|e| e.handle == handle)?;
+        let e = self.entries.get_mut(&handle.0)?;
         if let Some(p) = e.pending.take() {
             e.current = p;
             Some(&e.current)
@@ -109,10 +136,13 @@ impl DromRegistry {
     /// once — DROM's measured overhead is negligible, paper §2.1).
     pub fn poll_node(&mut self, node: NodeId) -> usize {
         let mut applied = 0;
-        for e in self.entries.iter_mut().filter(|e| e.node == node) {
-            if let Some(p) = e.pending.take() {
-                e.current = p;
-                applied += 1;
+        if let Some(handles) = self.by_node.get(node.0 as usize) {
+            for h in handles {
+                let e = self.entries.get_mut(&h.0).expect("indexed handle exists");
+                if let Some(p) = e.pending.take() {
+                    e.current = p;
+                    applied += 1;
+                }
             }
         }
         applied

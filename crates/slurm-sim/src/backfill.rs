@@ -10,7 +10,7 @@
 
 use crate::config::BackfillMode;
 use crate::reservation::Profile;
-use crate::state::SimState;
+use crate::state::{DirtyFlags, SimState};
 use cluster::JobId;
 use simkit::SimTime;
 
@@ -18,6 +18,15 @@ use simkit::SimTime;
 /// simultaneous events that changed the system.
 pub trait Scheduler {
     fn schedule(&mut self, st: &mut SimState);
+
+    /// Whether a pass could act given what the event batch changed. Only
+    /// consulted in incremental mode; returning `false` must be *provably*
+    /// equivalent to running the pass (same `SimResult`) — the default is
+    /// the old controller's behaviour (any change ⇒ pass).
+    fn pass_needed(&self, st: &SimState, dirty: DirtyFlags) -> bool {
+        let _ = st;
+        dirty.queue || dirty.capacity
+    }
 
     /// Label used in experiment output.
     fn name(&self) -> &'static str {
@@ -30,64 +39,125 @@ pub type FlexStarted = bool;
 
 /// Runs one backfill pass. `flexible(st, job, est_static_start, profile)`
 /// may start `job` by other means (malleable co-scheduling) and must return
-/// whether it did; on `true` the profile is rebuilt (the machine changed).
+/// whether it did.
+///
+/// `est_static_start` is `Some` when the pass needed the job's earliest
+/// static start anyway (conservative reservations, the EASY head); it is
+/// `None` for EASY non-head jobs, where the est is only needed *if* the
+/// hook actually mounts a malleable trial — the hook resolves it lazily
+/// from the profile (and must bail on `SimTime::MAX`, preserving the old
+/// "never trial an impossible job" accounting). This laziness is what keeps
+/// deep EASY passes (full Curie: `bf_max_job_test = 200`) from paying an
+/// O(profile) walk per examined job; the common case is one O(1)
+/// [`Profile::can_start_now`] probe.
+///
+/// On a `true` return the pass profile must account for the taken idle
+/// nodes: in incremental mode the hook itself applies the in-place
+/// [`Profile::reserve`] delta (shared mate nodes keep their release — the
+/// finish-inside constraint caps the borrower's requested end at the
+/// mates'); on the legacy path the profile is rebuilt from scratch and the
+/// waiting jobs' reservations are replayed.
 ///
 /// Returns the end-of-pass availability profile (current starts and the
 /// waiting jobs' reservations applied) so callers can make further
 /// reservation-respecting decisions — SD-Policy's borrower relocation uses
-/// it to take only nodes no pending job is counting on.
+/// it to take only nodes no pending job is counting on. Callers should hand
+/// the profile back via [`SimState::recycle_pass_profile`] so the next pass
+/// reuses its allocations.
 pub fn backfill_pass<F>(st: &mut SimState, mut flexible: F) -> Profile
 where
-    F: FnMut(&mut SimState, JobId, SimTime, &mut Profile) -> FlexStarted,
+    F: FnMut(&mut SimState, JobId, Option<SimTime>, &mut Profile) -> FlexStarted,
 {
+    let mut profile = st.take_pass_profile();
     if st.queue.is_empty() {
-        return st.build_profile();
+        st.stats.peak_profile_len = st.stats.peak_profile_len.max(profile.len());
+        return profile;
     }
     let depth = st.cfg.backfill_depth;
     let mode = st.cfg.backfill_mode;
-    let mut profile = st.build_profile();
-    // Reservations made for still-waiting jobs this pass; re-applied after a
-    // malleable start forces a profile rebuild. (Started jobs are reflected
-    // in the release map, so they must NOT be re-applied.)
-    let mut waiting_resv: Vec<(SimTime, u64, u32)> = Vec::new();
+    let incremental = st.cfg.incremental;
+    // Reservations made for still-waiting jobs this pass; on the legacy path
+    // they are re-applied after a malleable start forces a profile rebuild.
+    // (Started jobs are reflected in the release map, so they must NOT be
+    // re-applied.)
+    let mut waiting_resv = st.take_resv_scratch();
     let mut head_reserved = false;
 
-    for id in st.queue.prefix(depth) {
-        let (req_nodes, req_time) = {
-            let s = &st.job(id).spec;
-            (s.req_nodes, s.req_time)
-        };
-        let est = profile.earliest_start(req_nodes, req_time, st.now);
-        if est == st.now {
-            if st.start_static(id) {
-                profile.reserve(st.now, req_time, req_nodes);
+    let mut prefix = st.take_prefix_scratch();
+    prefix.extend(st.queue.prefix(depth));
+    // Dimensions come from the queue entries (cached at submit): the hot
+    // loop reads this sequential buffer, no job-table dereference. The
+    // buffer is owned (taken from the scratch), so `st` stays mutable.
+    for &entry in &prefix {
+        let id = entry.job;
+        let (req_nodes, req_time) = (entry.req_nodes, entry.req_time);
+        if !incremental {
+            // Legacy flow, verbatim: full est for every examined job.
+            let est = profile.earliest_start_legacy(req_nodes, req_time, st.now);
+            if est == st.now {
+                if st.start_static(id) {
+                    profile.reserve(st.now, req_time, req_nodes);
+                }
                 continue;
             }
-            // Profile admitted the job but the cluster had no whole empty
-            // nodes (fragmentation across shared nodes). Skip silently; the
-            // next pass will see a consistent picture.
-            continue;
-        }
-        if est > st.now && est != SimTime::MAX && flexible(st, id, est, &mut profile) {
-            profile = st.build_profile();
-            for &(s, d, n) in &waiting_resv {
-                profile.reserve(s, d, n);
+            if est > st.now && est != SimTime::MAX && flexible(st, id, Some(est), &mut profile)
+            {
+                profile = st.build_profile();
+                for &(s, d, n) in &waiting_resv {
+                    profile.reserve(s, d, n);
+                }
+                continue;
+            }
+            if est == SimTime::MAX {
+                continue; // cannot ever run (larger than the machine)
+            }
+            let reserve = match mode {
+                BackfillMode::Conservative => true,
+                BackfillMode::Easy => !head_reserved,
+            };
+            if reserve {
+                profile.reserve(est, req_time, req_nodes);
+                waiting_resv.push((est, req_time, req_nodes));
+                head_reserved = true;
             }
             continue;
         }
-        if est == SimTime::MAX {
-            continue; // cannot ever run (larger than the machine)
+
+        // Incremental flow — same decisions, lazily computed.
+        if profile.can_start_now(req_nodes, req_time, st.now) {
+            if st.start_static(id) {
+                profile.reserve(st.now, req_time, req_nodes);
+            }
+            // On failure: the profile admitted the job but the cluster had
+            // no whole empty nodes (fragmentation across shared nodes).
+            // Skip silently; the next pass sees a consistent picture.
+            continue;
         }
-        let reserve = match mode {
+        let reserve_wanted = match mode {
             BackfillMode::Conservative => true,
             BackfillMode::Easy => !head_reserved,
         };
-        if reserve {
+        if reserve_wanted {
+            let est = profile.earliest_start(req_nodes, req_time, st.now);
+            if est == SimTime::MAX {
+                continue; // cannot ever run (larger than the machine)
+            }
+            debug_assert!(est > st.now, "can_start_now said otherwise");
+            if flexible(st, id, Some(est), &mut profile) {
+                continue; // hook applied the in-place delta
+            }
             profile.reserve(est, req_time, req_nodes);
             waiting_resv.push((est, req_time, req_nodes));
             head_reserved = true;
+        } else {
+            // EASY non-head: no reservation either way; the hook computes
+            // the est itself only if it mounts a trial.
+            let _ = flexible(st, id, None, &mut profile);
         }
     }
+    st.stats.peak_profile_len = st.stats.peak_profile_len.max(profile.len());
+    st.recycle_resv_scratch(waiting_resv);
+    st.recycle_prefix_scratch(prefix);
     profile
 }
 
@@ -97,7 +167,14 @@ pub struct StaticBackfill;
 
 impl Scheduler for StaticBackfill {
     fn schedule(&mut self, st: &mut SimState) {
-        backfill_pass(st, |_, _, _, _| false);
+        let profile = backfill_pass(st, |_, _, _: Option<SimTime>, _| false);
+        st.recycle_pass_profile(profile);
+    }
+
+    /// A pure-capacity change with an empty queue is a no-op pass: the
+    /// static scheduler only ever starts pending jobs.
+    fn pass_needed(&self, st: &SimState, dirty: DirtyFlags) -> bool {
+        dirty.queue || (dirty.capacity && !st.queue.is_empty())
     }
 
     fn name(&self) -> &'static str {
@@ -253,6 +330,9 @@ mod tests {
                 false
             });
         }
-        assert!(seen.contains(&(JobId(2), SimTime(1000))), "seen: {seen:?}");
+        assert!(
+            seen.contains(&(JobId(2), Some(SimTime(1000)))),
+            "seen: {seen:?}"
+        );
     }
 }

@@ -30,8 +30,18 @@ impl<S: Scheduler> Controller<S> {
                 changed |= self.state.dispatch(ev.payload);
             }
             if changed {
-                self.scheduler.schedule(&mut self.state);
-                self.state.stats.sched_passes += 1;
+                // Pass gating (incremental mode): skip the pass when the
+                // scheduler proves it could not act on what changed. The
+                // dirty flags are consumed either way so they always cover
+                // exactly the batches since the last pass opportunity.
+                let dirty = self.state.take_dirty();
+                if !self.state.cfg.incremental || self.scheduler.pass_needed(&self.state, dirty)
+                {
+                    self.scheduler.schedule(&mut self.state);
+                    self.state.stats.sched_passes += 1;
+                } else {
+                    self.state.stats.passes_skipped += 1;
+                }
             }
         }
         SimResult::from_state(self.state, self.scheduler.name())

@@ -34,8 +34,8 @@ pub use backfill::{backfill_pass, Scheduler, StaticBackfill};
 pub use config::{BackfillMode, SlurmConfig};
 pub use controller::{run_trace, Controller};
 pub use job::{Job, JobOutcome, JobSpec, JobState, RunningJob};
-pub use queue::PendingQueue;
+pub use queue::{PendingQueue, QueueEntry};
 pub use rate::{AppAwareModel, IdealModel, RateInputs, RateModel, WorstCaseModel};
 pub use reservation::{Profile, ReleaseMap};
 pub use result::SimResult;
-pub use state::{CoScheduleError, Event, SimState, SimStats};
+pub use state::{CoScheduleError, DirtyFlags, Event, MateEntry, SimState, SimStats};

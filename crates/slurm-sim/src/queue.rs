@@ -3,14 +3,40 @@
 //! SLURM's default priority is submit order (FIFO) within a partition; the
 //! queue preserves that order exactly and supports the scheduler's pattern
 //! of examining a bounded prefix and removing started jobs mid-scan.
+//!
+//! Removal used to be an O(n) scan + O(n) shift; with ~100 K-job traces the
+//! scheduler removes every started job from a deep queue, so the queue now
+//! keeps an id → slot index for O(1) removal. Removed slots become
+//! tombstones (`None`) that are drained from the front eagerly and compacted
+//! away once they outnumber live entries, so iteration stays O(live)
+//! amortised and FIFO order is never disturbed.
 
 use cluster::JobId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-/// FIFO pending queue with stable order and O(1) prefix iteration.
+/// One queued job with the dimensions the backfill loop needs, cached at
+/// submit time so a scheduling pass reads them sequentially from the queue
+/// instead of dereferencing the job table per examined job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    pub job: JobId,
+    /// Whole nodes requested.
+    pub req_nodes: u32,
+    /// User-requested wall time (seconds).
+    pub req_time: u64,
+}
+
+/// FIFO pending queue with stable order, O(1) prefix iteration and O(1)
+/// (amortised) removal by id.
 #[derive(Debug, Default, Clone)]
 pub struct PendingQueue {
-    jobs: VecDeque<JobId>,
+    /// Slots in arrival order; `None` marks a removed (tombstoned) job.
+    slots: VecDeque<Option<QueueEntry>>,
+    /// Sequence number of `slots[0]` (sequences grow monotonically).
+    head_seq: u64,
+    /// job → its slot sequence number. Only point lookups — never iterated —
+    /// so the hash map cannot introduce nondeterminism.
+    index: HashMap<JobId, u64>,
 }
 
 impl PendingQueue {
@@ -19,40 +45,69 @@ impl PendingQueue {
     }
 
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.index.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.index.is_empty()
     }
 
     /// Enqueues a newly submitted job at the tail.
-    pub fn push(&mut self, job: JobId) {
-        self.jobs.push_back(job);
+    pub fn push(&mut self, job: JobId, req_nodes: u32, req_time: u64) {
+        debug_assert!(!self.index.contains_key(&job), "{job} queued twice");
+        self.index
+            .insert(job, self.head_seq + self.slots.len() as u64);
+        self.slots.push_back(Some(QueueEntry {
+            job,
+            req_nodes,
+            req_time,
+        }));
     }
 
     /// Head of the queue (highest priority pending job).
     pub fn head(&self) -> Option<JobId> {
-        self.jobs.front().copied()
+        // Leading tombstones are drained on removal, so the front is live.
+        self.slots.front().copied().flatten().map(|e| e.job)
     }
 
-    /// Snapshot of the first `n` jobs in priority order.
-    pub fn prefix(&self, n: usize) -> Vec<JobId> {
-        self.jobs.iter().take(n).copied().collect()
+    /// The first `n` entries in priority order (allocation-free iterator).
+    pub fn prefix(&self, n: usize) -> impl Iterator<Item = QueueEntry> + '_ {
+        self.slots.iter().copied().flatten().take(n)
     }
 
-    /// Removes a job that was started (scan-safe: by value).
+    /// Removes a job that was started (scan-safe: by value, O(1) amortised).
     pub fn remove(&mut self, job: JobId) -> bool {
-        if let Some(pos) = self.jobs.iter().position(|&j| j == job) {
-            self.jobs.remove(pos);
-            true
-        } else {
-            false
+        let Some(seq) = self.index.remove(&job) else {
+            return false;
+        };
+        let slot = (seq - self.head_seq) as usize;
+        debug_assert_eq!(self.slots[slot].map(|e| e.job), Some(job));
+        self.slots[slot] = None;
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.head_seq += 1;
         }
+        // Keep iteration O(live): compact once tombstones dominate.
+        if self.slots.len() > 2 * self.index.len().max(8) {
+            self.compact();
+        }
+        true
     }
 
     pub fn iter(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.jobs.iter().copied()
+        self.slots.iter().copied().flatten().map(|e| e.job)
+    }
+
+    /// Rebuilds the slot ring without tombstones (order preserved).
+    fn compact(&mut self) {
+        self.head_seq = 0;
+        let live: VecDeque<Option<QueueEntry>> =
+            self.slots.iter().copied().flatten().map(Some).collect();
+        self.slots = live;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let job = slot.expect("compacted slots are live").job;
+            self.index.insert(job, i as u64);
+        }
     }
 }
 
@@ -64,10 +119,10 @@ mod tests {
     fn fifo_order_preserved() {
         let mut q = PendingQueue::new();
         for i in 0..5 {
-            q.push(JobId(i));
+            q.push(JobId(i), 1, 100);
         }
         assert_eq!(q.head(), Some(JobId(0)));
-        assert_eq!(q.prefix(3), vec![JobId(0), JobId(1), JobId(2)]);
+        assert_eq!(q.prefix(3).map(|e| e.job).collect::<Vec<_>>(), vec![JobId(0), JobId(1), JobId(2)]);
         assert_eq!(q.len(), 5);
     }
 
@@ -75,7 +130,7 @@ mod tests {
     fn remove_keeps_relative_order() {
         let mut q = PendingQueue::new();
         for i in 0..5 {
-            q.push(JobId(i));
+            q.push(JobId(i), 1, 100);
         }
         assert!(q.remove(JobId(2)));
         assert!(!q.remove(JobId(2)));
@@ -88,8 +143,48 @@ mod tests {
     #[test]
     fn prefix_clamps_to_len() {
         let mut q = PendingQueue::new();
-        q.push(JobId(9));
-        assert_eq!(q.prefix(100), vec![JobId(9)]);
-        assert!(PendingQueue::new().prefix(4).is_empty());
+        q.push(JobId(9), 1, 100);
+        assert_eq!(q.prefix(100).map(|e| e.job).collect::<Vec<_>>(), vec![JobId(9)]);
+        assert_eq!(PendingQueue::new().prefix(4).count(), 0);
+    }
+
+    #[test]
+    fn head_skips_removed_jobs() {
+        let mut q = PendingQueue::new();
+        for i in 0..4 {
+            q.push(JobId(i), 1, 100);
+        }
+        q.remove(JobId(0));
+        q.remove(JobId(1));
+        assert_eq!(q.head(), Some(JobId(2)));
+        assert_eq!(q.len(), 2);
+        q.remove(JobId(2));
+        q.remove(JobId(3));
+        assert!(q.is_empty());
+        assert_eq!(q.head(), None);
+    }
+
+    #[test]
+    fn interleaved_push_remove_matches_naive_model() {
+        // Exercise tombstoning + compaction against a Vec model.
+        let mut q = PendingQueue::new();
+        let mut model: Vec<JobId> = Vec::new();
+        let mut next = 0u64;
+        for round in 0..200u64 {
+            for _ in 0..(round % 4) + 1 {
+                q.push(JobId(next), 1, 100);
+                model.push(JobId(next));
+                next += 1;
+            }
+            // Remove a pseudo-random live entry (deterministic pattern).
+            if !model.is_empty() && round % 3 != 0 {
+                let victim = model[(round as usize * 7) % model.len()];
+                assert!(q.remove(victim));
+                model.retain(|&j| j != victim);
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.iter().collect::<Vec<_>>(), model);
+            assert_eq!(q.head(), model.first().copied());
+        }
     }
 }

@@ -147,7 +147,8 @@ mod tests {
         while let Some(ev) = st.events.pop() {
             st.now = ev.time;
             st.dispatch(ev.payload);
-            for id in st.queue.prefix(10) {
+            let pending: Vec<cluster::JobId> = st.queue.prefix(10).map(|e| e.job).collect();
+            for id in pending {
                 st.start_static(id);
             }
         }

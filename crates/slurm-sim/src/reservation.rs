@@ -23,6 +23,8 @@ pub struct ReleaseMap {
     node_release: Vec<Option<SimTime>>,
     /// release instant → number of nodes releasing then.
     counts: BTreeMap<SimTime, u32>,
+    /// Busy nodes tracked (maintained counter; the BTreeMap is never summed).
+    busy: u32,
 }
 
 impl ReleaseMap {
@@ -30,6 +32,7 @@ impl ReleaseMap {
         ReleaseMap {
             node_release: vec![None; nodes as usize],
             counts: BTreeMap::new(),
+            busy: 0,
         }
     }
 
@@ -41,6 +44,7 @@ impl ReleaseMap {
             return;
         }
         if let Some(old) = slot.take() {
+            self.busy -= 1;
             match self.counts.get_mut(&old) {
                 Some(c) if *c > 1 => *c -= 1,
                 _ => {
@@ -49,6 +53,7 @@ impl ReleaseMap {
             }
         }
         if let Some(new) = when {
+            self.busy += 1;
             *counts_entry(&mut self.counts, new) += 1;
         }
         *slot = when;
@@ -58,9 +63,9 @@ impl ReleaseMap {
         self.node_release[node.0 as usize]
     }
 
-    /// Busy nodes tracked.
+    /// Busy nodes tracked (O(1): a counter kept by [`ReleaseMap::set_release`]).
     pub fn busy_count(&self) -> u32 {
-        self.counts.values().sum()
+        self.busy
     }
 
     /// `(instant, nodes)` pairs in ascending order, skipping instants not
@@ -94,6 +99,18 @@ fn counts_entry(map: &mut BTreeMap<SimTime, u32>, key: SimTime) -> &mut u32 {
 pub struct Profile {
     times: Vec<SimTime>,
     free: Vec<i64>,
+}
+
+/// An empty placeholder (no domain). Only used as the resting value of
+/// reusable pass buffers; every real profile starts from [`Profile::build`],
+/// [`Profile::flat`] or a `clone_from` of a live profile.
+impl Default for Profile {
+    fn default() -> Self {
+        Profile {
+            times: Vec::new(),
+            free: Vec::new(),
+        }
+    }
 }
 
 impl Profile {
@@ -160,7 +177,88 @@ impl Profile {
 
     /// Earliest instant ≥ `after` at which `nodes` stay free for
     /// `duration` seconds.
+    ///
+    /// Single forward sweep over the step points (`O(len)`): a candidate
+    /// start (`after` or a later step point) is carried along and abandoned
+    /// as soon as a low-capacity segment intersects its window; the next
+    /// viable step point becomes the new candidate. Equivalent to probing
+    /// every candidate with [`Profile::min_free_in`] (the quadratic
+    /// [`Profile::earliest_start_legacy`], kept as the perf baseline and the
+    /// property-test oracle).
     pub fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        let need = nodes as i64;
+        let dur = duration.max(1);
+        let n = self.times.len();
+        // Segment containing `after` (clamped to the profile's domain).
+        let init = match self.times.binary_search(&after) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut i = init;
+        'candidates: loop {
+            // Phase A: find the next viable segment — its step point (or
+            // `after` itself for the initial segment) is the candidate.
+            while self.free[i] < need {
+                i += 1;
+                if i >= n {
+                    // Ran out of steps without a viable candidate: the job
+                    // never fits (bigger than the machine).
+                    return SimTime::MAX;
+                }
+            }
+            let cand = if i == init { after } else { self.times[i] };
+            let close = cand.after(dur);
+            // Phase B: capacity must hold until the window closes.
+            let mut j = i + 1;
+            loop {
+                if j >= n || self.times[j] >= close {
+                    return cand;
+                }
+                if self.free[j] < need {
+                    // The blocking segment invalidates every candidate up to
+                    // its step point; restart the search from it.
+                    i = j;
+                    continue 'candidates;
+                }
+                j += 1;
+            }
+        }
+    }
+
+    /// Whether `nodes` stay free for `duration` seconds starting *now* —
+    /// exactly `earliest_start(nodes, duration, now) == now`, but with an
+    /// early exit at the first blocking segment. Most queued jobs in a
+    /// congested system are blocked immediately, so this probe is O(1) in
+    /// the common case while a full `earliest_start` walks the profile to
+    /// find *when* the job would fit.
+    pub fn can_start_now(&self, nodes: u32, duration: u64, now: SimTime) -> bool {
+        let need = nodes as i64;
+        let dur = duration.max(1);
+        let mut i = match self.times.binary_search(&now) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        if self.free[i] < need {
+            return false;
+        }
+        let close = now.after(dur);
+        i += 1;
+        while i < self.times.len() && self.times[i] < close {
+            if self.free[i] < need {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// The original candidate-probing `earliest_start` (`O(len²)` worst
+    /// case). Retained verbatim for `incremental = false` runs so macro
+    /// benchmarks can A/B the seed hot path, and as the oracle for the
+    /// linear-sweep equivalence property test.
+    pub fn earliest_start_legacy(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
         let need = nodes as i64;
         // Candidate instants: `after` itself and every later step point.
         let first_idx = match self.times.binary_search(&after) {
@@ -191,16 +289,77 @@ impl Profile {
 
     /// Subtracts `nodes` over `[start, start + duration)` (a reservation or
     /// an actual start).
+    ///
+    /// Hot path: both split points are spliced in with a single tail shift
+    /// per vector (instead of two independent `Vec::insert` memmoves), then
+    /// the subtraction touches only the window's segments.
     pub fn reserve(&mut self, start: SimTime, duration: u64, nodes: u32) {
         let end = start.after(duration.max(1));
-        self.split_at(start);
-        if end != SimTime::MAX {
-            self.split_at(end);
-        }
-        for i in 0..self.times.len() {
-            if self.times[i] >= start && (end == SimTime::MAX || self.times[i] < end) {
-                self.free[i] -= nodes as i64;
+        let t0 = self.times[0];
+        // Where the two boundaries sit in the current arrays, and whether a
+        // step must be materialised (instants at/before the domain start are
+        // clamped, exactly like the original split_at).
+        let (ins_start, s_idx) = if start <= t0 {
+            (false, 0)
+        } else {
+            match self.times.binary_search(&start) {
+                Ok(i) => (false, i),
+                Err(i) => (true, i),
             }
+        };
+        let (ins_end, e_idx) = if end == SimTime::MAX {
+            (false, usize::MAX)
+        } else if end <= t0 {
+            (false, 0)
+        } else {
+            match self.times.binary_search(&end) {
+                Ok(i) => (false, i),
+                Err(i) => (true, i),
+            }
+        };
+        // Materialise the splits — at most one tail shift per vector — and
+        // derive the final half-open window of indices to subtract over.
+        let window = match (ins_start, ins_end) {
+            (true, true) => {
+                let (i1, i2) = (s_idx, e_idx);
+                debug_assert!(1 <= i1 && i1 <= i2);
+                let old = self.times.len();
+                // Each new step inherits the level of the segment it splits.
+                let v1 = self.free[i1 - 1];
+                let v2 = self.free[i2 - 1];
+                // Grow by two, then shift each region exactly once:
+                // [i2..old) moves by 2, [i1..i2) moves by 1.
+                self.times.resize(old + 2, SimTime::ZERO);
+                self.free.resize(old + 2, 0);
+                self.times.copy_within(i2..old, i2 + 2);
+                self.free.copy_within(i2..old, i2 + 2);
+                self.times.copy_within(i1..i2, i1 + 1);
+                self.free.copy_within(i1..i2, i1 + 1);
+                self.times[i1] = start;
+                self.free[i1] = v1;
+                self.times[i2 + 1] = end;
+                self.free[i2 + 1] = v2;
+                i1..i2 + 1
+            }
+            (true, false) => {
+                self.times.insert(s_idx, start);
+                self.free.insert(s_idx, self.free[s_idx - 1]);
+                let upper = if e_idx == usize::MAX {
+                    self.times.len()
+                } else {
+                    e_idx + 1 // shifted by the start insert (end > start)
+                };
+                s_idx..upper
+            }
+            (false, true) => {
+                self.times.insert(e_idx, end);
+                self.free.insert(e_idx, self.free[e_idx - 1]);
+                s_idx..e_idx
+            }
+            (false, false) => s_idx..e_idx.min(self.times.len()),
+        };
+        for f in &mut self.free[window] {
+            *f -= nodes as i64;
         }
     }
 
@@ -215,6 +374,95 @@ impl Profile {
                 self.free.insert(i, self.free[i - 1]);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance (the cached availability profile)
+    // ------------------------------------------------------------------
+
+    /// Moves the profile's origin forward to `now` without any state change:
+    /// leading steps collapse, and releases whose instant has passed while
+    /// the node is still busy become *overdue* — shown at `now + 1`, exactly
+    /// as a fresh [`Profile::build`] at `now` would show them.
+    pub fn advance_to(&mut self, now: SimTime) {
+        if now <= self.times[0] {
+            return;
+        }
+        let k = self.times.partition_point(|&t| t <= now);
+        debug_assert!(k >= 1);
+        // Free *now* is unchanged (nothing happened, time only passed);
+        // everything the collapsed steps promised is overdue.
+        let base = self.free[0];
+        let overdue_level = self.free[k - 1];
+        self.times.drain(..k);
+        self.free.drain(..k);
+        let bump = now.after(1);
+        if overdue_level > base && self.times.first() != Some(&bump) {
+            self.times.insert(0, bump);
+            self.free.insert(0, overdue_level);
+        }
+        self.times.insert(0, now);
+        self.free.insert(0, base);
+    }
+
+    /// Applies one node's predicted-release change (`old` → `new`, `None` =
+    /// the node is empty) as a delta, keeping the profile exactly equal to a
+    /// fresh [`Profile::build`] against the updated release map. The caller
+    /// must pass the current instant; the profile is advanced to it first.
+    pub fn patch_release(&mut self, now: SimTime, old: Option<SimTime>, new: Option<SimTime>) {
+        self.patch_release_many(now, old, new, 1);
+    }
+
+    /// [`Profile::patch_release`] for `count` nodes making the *same*
+    /// transition at once — a whole-job start or completion touches every
+    /// allocated node identically, so the simulator groups them into one
+    /// O(len) patch instead of one per node (full-Curie jobs span dozens of
+    /// nodes).
+    pub fn patch_release_many(
+        &mut self,
+        now: SimTime,
+        old: Option<SimTime>,
+        new: Option<SimTime>,
+        count: u32,
+    ) {
+        let count = count as i64;
+        self.advance_to(now);
+        let eff = |w: SimTime| if w <= now { now.after(1) } else { w };
+        match old {
+            // The nodes were empty: they contributed to free from `now` on.
+            None => self.add_from(now, -count),
+            Some(w) => self.add_from(eff(w), -count),
+        }
+        match new {
+            None => self.add_from(now, count),
+            Some(w) => self.add_from(eff(w), count),
+        }
+        self.compact();
+    }
+
+    /// Adds `delta` free nodes over `[t, ∞)`.
+    fn add_from(&mut self, t: SimTime, delta: i64) {
+        self.split_at(t);
+        let from = self.times.partition_point(|&x| x < t);
+        for f in &mut self.free[from..] {
+            *f += delta;
+        }
+    }
+
+    /// Removes redundant step points (equal adjacent values) so the
+    /// representation stays canonical — patched profiles compare equal
+    /// (`PartialEq`) to freshly built ones.
+    fn compact(&mut self) {
+        let mut w = 1;
+        for r in 1..self.times.len() {
+            if self.free[r] != self.free[w - 1] {
+                self.times[w] = self.times[r];
+                self.free[w] = self.free[r];
+                w += 1;
+            }
+        }
+        self.times.truncate(w);
+        self.free.truncate(w);
     }
 
     /// Number of step points (size/perf diagnostics).

@@ -50,6 +50,55 @@ pub struct SimStats {
     /// resource manager).
     pub relocations: u64,
     pub sched_passes: u64,
+    /// Event batches whose pass was provably a no-op and was skipped
+    /// (incremental mode only; always 0 on the legacy path).
+    pub passes_skipped: u64,
+    /// Events dispatched (incl. stale end events).
+    pub events_dispatched: u64,
+    /// Largest pass-profile step count seen (perf/size diagnostic).
+    pub peak_profile_len: usize,
+}
+
+/// What an event batch changed since the last scheduling pass — the
+/// controller consults these (through [`crate::Scheduler::pass_needed`]) to
+/// skip passes that provably cannot act.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirtyFlags {
+    /// A job entered the pending queue (submit).
+    pub queue: bool,
+    /// Capacity was freed or reshaped (a job completed).
+    pub capacity: bool,
+}
+
+/// Reusable buffers for the scheduling pass: the pass profile and the
+/// per-pass vectors live here between passes so the hot loop never
+/// allocates.
+#[derive(Debug, Default)]
+struct PassScratch {
+    profile: Profile,
+    resv: Vec<(SimTime, u64, u32)>,
+    prefix: Vec<crate::queue::QueueEntry>,
+}
+
+/// One mate-pool entry: the per-candidate inputs of Eq. 4 and the paper's
+/// filters, denormalised at insertion time. Everything here is immutable
+/// while the job runs, so the policy's candidate scan never touches the job
+/// table (one cache line per candidate instead of two dependent loads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MateEntry {
+    /// The fixed part of Eq. 4, `(wait + req)/req` — the pool sort key.
+    pub base: f64,
+    pub id: JobId,
+    /// Seconds the mate waited in the queue before starting.
+    pub wait: u64,
+    /// User-requested wall time.
+    pub req_time: u64,
+    /// Requested end (finish-inside filter input).
+    pub req_end: SimTime,
+    /// Whole nodes occupied — the weight `wᵢ` of Eq. 3.
+    pub weight: u32,
+    /// MPI ranks per node (shrink floor).
+    pub ranks_per_node: u32,
 }
 
 /// Full simulator state. See module docs.
@@ -64,10 +113,22 @@ pub struct SimState {
     jobs: Vec<Job>,
     /// Ids of running jobs, ascending (deterministic iteration).
     running: BTreeSet<JobId>,
-    /// Eligible mates `(base_penalty, id)` kept sorted ascending. The base
+    /// Eligible mates kept sorted ascending by `(base, id)`. The base
     /// penalty is the fixed part of Eq. 4: `(wait + req)/req`.
-    mate_pool: Vec<(f64, JobId)>,
+    mate_pool: Vec<MateEntry>,
+    /// Running jobs ordered by requested end — lets mate filtering prune
+    /// finish-inside-infeasible trials without touching the job table.
+    running_by_end: BTreeSet<(SimTime, JobId)>,
+    /// Running malleable-backfilled jobs currently below full width
+    /// (maintained at every reconfiguration; ascending id).
+    shrunk: BTreeSet<JobId>,
     releases: ReleaseMap,
+    /// Cached availability profile, patched on every release change
+    /// (incremental mode). Always equals `Profile::build(now', empty,
+    /// releases)` for the instant `now'` it was last advanced to.
+    avail: Profile,
+    dirty: DirtyFlags,
+    scratch: PassScratch,
     pub events: EventQueue<Event>,
     outcomes: Vec<JobOutcome>,
     meter: EnergyMeter,
@@ -181,7 +242,12 @@ impl SimState {
             jobs,
             running: BTreeSet::new(),
             mate_pool: Vec::new(),
+            running_by_end: BTreeSet::new(),
+            shrunk: BTreeSet::new(),
             releases: ReleaseMap::new(nodes),
+            avail: Profile::flat(SimTime::ZERO, nodes),
+            dirty: DirtyFlags::default(),
+            scratch: PassScratch::default(),
             events,
             outcomes: Vec::new(),
             meter,
@@ -236,16 +302,82 @@ impl SimState {
         std::mem::take(&mut self.outcomes)
     }
 
-    /// Eligible mates as `(base_penalty, id)`, ascending by penalty.
-    /// Base penalty is `(wait + req)/req`; the variable `increase/req` part
-    /// of Eq. 4 is added by the policy for a concrete co-schedule.
-    pub fn eligible_mates(&self) -> &[(f64, JobId)] {
+    /// Eligible mates as denormalised [`MateEntry`]s, ascending by base
+    /// penalty. The variable `increase/req` part of Eq. 4 is added by the
+    /// policy for a concrete co-schedule.
+    pub fn eligible_mates(&self) -> &[MateEntry] {
         &self.mate_pool
     }
 
-    /// Availability profile at `now` (requested-time based).
+    /// Availability profile at `now`, rebuilt from scratch (requested-time
+    /// based). In incremental mode this is the *slow path*: passes use the
+    /// cached [`SimState::availability`]; this rebuild remains the
+    /// validation oracle (`self_check`, [`SimState::deep_validate`], tests).
     pub fn build_profile(&self) -> Profile {
         Profile::build(self.now, self.cluster.empty_node_count(), &self.releases)
+    }
+
+    /// The incrementally maintained availability profile, advanced to `now`.
+    /// Equal to [`SimState::build_profile`] by construction (asserted under
+    /// `self_check` and by property tests).
+    pub fn availability(&mut self) -> &Profile {
+        self.avail.advance_to(self.now);
+        &self.avail
+    }
+
+    /// Running jobs ordered by requested end; `None` when idle. Lets the
+    /// policy prune malleable trials whose finish-inside constraint no
+    /// running job can satisfy, without scanning the job table.
+    pub fn latest_running_req_end(&self) -> Option<SimTime> {
+        self.running_by_end.iter().next_back().map(|&(t, _)| t)
+    }
+
+    /// What changed since the flags were last taken (the controller clears
+    /// them after every event batch).
+    pub fn take_dirty(&mut self) -> DirtyFlags {
+        std::mem::take(&mut self.dirty)
+    }
+
+    // ------------------------------------------------------------------
+    // Pass-scratch buffers (reused across scheduling passes)
+    // ------------------------------------------------------------------
+
+    /// Takes the reusable pass-profile buffer, filled with the current
+    /// availability: a `clone_from` of the cache in incremental mode (no
+    /// BTreeMap walk, allocations reused), a fresh build on the legacy path.
+    pub fn take_pass_profile(&mut self) -> Profile {
+        let mut p = std::mem::take(&mut self.scratch.profile);
+        if self.cfg.incremental {
+            p.clone_from(self.availability());
+        } else {
+            p = self.build_profile();
+        }
+        p
+    }
+
+    /// Returns a pass profile for reuse by the next pass.
+    pub fn recycle_pass_profile(&mut self, p: Profile) {
+        self.scratch.profile = p;
+    }
+
+    pub(crate) fn take_resv_scratch(&mut self) -> Vec<(SimTime, u64, u32)> {
+        let mut v = std::mem::take(&mut self.scratch.resv);
+        v.clear();
+        v
+    }
+
+    pub(crate) fn recycle_resv_scratch(&mut self, v: Vec<(SimTime, u64, u32)>) {
+        self.scratch.resv = v;
+    }
+
+    pub(crate) fn take_prefix_scratch(&mut self) -> Vec<crate::queue::QueueEntry> {
+        let mut v = std::mem::take(&mut self.scratch.prefix);
+        v.clear();
+        v
+    }
+
+    pub(crate) fn recycle_prefix_scratch(&mut self, v: Vec<crate::queue::QueueEntry>) {
+        self.scratch.prefix = v;
     }
 
     pub fn first_submit(&self) -> SimTime {
@@ -261,11 +393,16 @@ impl SimState {
     // ------------------------------------------------------------------
 
     /// Processes one event; returns `true` if the system state changed in a
-    /// way that warrants a scheduling pass.
+    /// way that warrants a scheduling pass. Also records *what* changed in
+    /// the [`DirtyFlags`] the controller uses for pass gating.
     pub fn dispatch(&mut self, ev: Event) -> bool {
+        self.stats.events_dispatched += 1;
         match ev {
             Event::Submit(id) => {
-                self.queue.push(id);
+                let spec = &self.jobs[(id.0 - 1) as usize].spec;
+                let (req_nodes, req_time) = (spec.req_nodes, spec.req_time);
+                self.queue.push(id, req_nodes, req_time);
+                self.dirty.queue = true;
                 true
             }
             Event::End { job, gen } => {
@@ -276,6 +413,7 @@ impl SimState {
                     .unwrap_or(false);
                 if is_current {
                     self.complete_job(job);
+                    self.dirty.capacity = true;
                     true
                 } else {
                     false // stale end event
@@ -311,17 +449,16 @@ impl SimState {
         let req_end = run.req_end;
         self.job_mut(id).state = JobState::Running(run);
         self.running.insert(id);
+        self.running_by_end.insert((req_end, id));
         self.arm_end(id);
-        for &n in &nodes {
-            self.update_release(n);
-        }
-        let _ = req_end;
+        self.update_releases(&nodes);
         self.queue.remove(id);
         self.refresh_eligibility(id);
         self.energy_reweigh(&[id]);
         self.stats.started_static += 1;
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
+            self.self_check_avail();
         }
         true
     }
@@ -446,6 +583,9 @@ impl SimState {
             self.stats.shrink_events += 1;
             self.arm_end(m);
             self.refresh_eligibility(m);
+            // A mate that was itself malleable-backfilled (a relocated
+            // ex-borrower lending again) just dropped below full width.
+            self.refresh_borrower_index(m);
         }
 
         // Optional free nodes: the new job takes the same per-node width as
@@ -483,8 +623,11 @@ impl SimState {
         run.malleable_backfilled = true;
         // Requested end uses the planned (worst-case) rate.
         run.req_end = self.now.after(new_wall);
+        let new_req_end = run.req_end;
         self.job_mut(new_id).state = JobState::Running(run);
         self.running.insert(new_id);
+        self.running_by_end.insert((new_req_end, new_id));
+        self.refresh_borrower_index(new_id);
         let rate = self.compute_rate(new_id);
         let now = self.now;
         self.job_mut(new_id)
@@ -492,9 +635,7 @@ impl SimState {
             .unwrap()
             .set_rate(now, rate);
         self.arm_end(new_id);
-        for &n in &nodes_sorted {
-            self.update_release(n);
-        }
+        self.update_releases(&nodes_sorted);
         self.queue.remove(new_id);
         let mut reweigh: Vec<JobId> = mates.to_vec();
         reweigh.push(new_id);
@@ -505,22 +646,35 @@ impl SimState {
             for &n in &nodes_sorted {
                 self.drom.validate_node(n).expect("masks disjoint");
             }
+            self.self_check_avail();
         }
         Ok(())
     }
 
     /// Running malleable-backfilled jobs currently shrunk below full width —
     /// the candidates for [`SimState::relocate_borrower`] (ascending id).
+    /// Incremental mode serves this from an index maintained at every
+    /// reconfiguration; the legacy path keeps the original running-set scan
+    /// as the perf baseline (both orders are ascending — identical output).
     pub fn shrunk_borrowers(&self) -> Vec<JobId> {
-        self.running
-            .iter()
-            .copied()
-            .filter(|&id| {
-                self.job(id)
-                    .running()
-                    .is_some_and(|r| r.malleable_backfilled && !r.at_full_allocation())
-            })
-            .collect()
+        if self.cfg.incremental {
+            self.shrunk.iter().copied().collect()
+        } else {
+            self.running
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    self.job(id)
+                        .running()
+                        .is_some_and(|r| r.malleable_backfilled && !r.at_full_allocation())
+                })
+                .collect()
+        }
+    }
+
+    /// Whether any shrunk borrower exists (O(1); pass gating).
+    pub fn has_shrunk_borrowers(&self) -> bool {
+        !self.shrunk.is_empty()
     }
 
     /// Moves a shrunk malleable-backfilled job onto idle whole nodes at full
@@ -532,19 +686,24 @@ impl SimState {
     /// cluster lacks enough empty nodes.
     pub fn relocate_borrower(&mut self, id: JobId) -> bool {
         let now = self.now;
-        let (old_nodes, mates) = {
+        {
             let Some(r) = self.job(id).running() else {
                 return false;
             };
             if !r.malleable_backfilled || r.at_full_allocation() {
                 return false;
             }
-            (r.nodes.clone(), r.mates.clone())
+            if self.cluster.empty_node_count() < r.nodes.len() as u32 {
+                return false;
+            }
+        }
+        // The old allocation and mate links are replaced wholesale below, so
+        // move them out instead of cloning.
+        let (old_nodes, mates) = {
+            let r = self.jobs[(id.0 - 1) as usize].running_mut().unwrap();
+            (std::mem::take(&mut r.nodes), std::mem::take(&mut r.mates))
         };
         let width = old_nodes.len() as u32;
-        if self.cluster.empty_node_count() < width {
-            return false;
-        }
 
         // Leave the shared nodes; former mates expand into the cores.
         let mut touched: Vec<JobId> = Vec::new();
@@ -567,8 +726,8 @@ impl SimState {
                     touched.push(up.job);
                 }
             }
-            self.update_release(n);
         }
+        self.update_releases(&old_nodes);
         for &m in &mates {
             if let Some(other) = self.jobs[(m.0 - 1) as usize].running_mut() {
                 other.lent_to.retain(|&x| x != id);
@@ -577,7 +736,7 @@ impl SimState {
 
         // Take the idle nodes at full width.
         let full = self.spec.node.cores();
-        let new_nodes = self
+        let mut new_nodes = self
             .cluster
             .take_empty_nodes(width)
             .expect("checked empty count above");
@@ -589,21 +748,20 @@ impl SimState {
                 .launch(&mut self.drom, id, full, true)
                 .expect("empty node accepts launch");
         }
+        new_nodes.sort();
+        // Releases first (reads occupancy + req_end only), while the node
+        // list is still ours — it moves into the run just below.
+        self.update_releases(&new_nodes);
         {
             let run = self.jobs[(id.0 - 1) as usize].running_mut().unwrap();
-            let mut nodes = new_nodes.clone();
-            nodes.sort();
-            run.cores = vec![full; nodes.len()];
-            run.nodes = nodes;
-            run.mates.clear();
+            run.cores.fill(full); // same width, now full everywhere
+            run.nodes = new_nodes; // moved, not cloned
         }
         let rate = self.compute_rate(id);
         self.job_mut(id).running_mut().unwrap().set_rate(now, rate);
         self.arm_end(id);
-        for &n in &new_nodes {
-            self.update_release(n);
-        }
         self.refresh_eligibility(id);
+        self.refresh_borrower_index(id);
 
         // Re-rate the expanded former mates.
         for &t in &touched {
@@ -615,20 +773,21 @@ impl SimState {
             self.stats.expand_events += 1;
             self.arm_end(t);
             self.refresh_eligibility(t);
-            let nodes = self.job(t).running().unwrap().nodes.clone();
-            for n in nodes {
+            self.refresh_borrower_index(t);
+            for i in 0..self.job(t).running().unwrap().nodes.len() {
+                let n = self.job(t).running().unwrap().nodes[i];
                 self.update_release(n);
             }
         }
-        let mut reweigh = touched.clone();
-        reweigh.push(id);
-        self.energy_reweigh(&reweigh);
+        self.energy_reweigh_iter(touched.iter().copied().chain(std::iter::once(id)));
         self.stats.relocations += 1;
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
-            for &n in &new_nodes {
+            for i in 0..width as usize {
+                let n = self.job(id).running().unwrap().nodes[i];
                 self.drom.validate_node(n).expect("masks disjoint");
             }
+            self.self_check_avail();
         }
         true
     }
@@ -675,7 +834,9 @@ impl SimState {
             app: spec.app,
         });
         self.running.remove(&id);
-        self.pool_remove(id);
+        self.running_by_end.remove(&(run.req_end, id));
+        self.shrunk.remove(&id);
+        self.pool_remove_keyed(Self::pool_key(&spec, run.start), id);
         self.last_end = self.last_end.max(now);
 
         // Free the cluster first so beneficiaries can expand into the cores.
@@ -699,8 +860,8 @@ impl SimState {
                     touched.push(up.job);
                 }
             }
-            self.update_release(n);
         }
+        self.update_releases(&run.nodes);
 
         // Unlink this job from partners' bookkeeping.
         for &m in run.mates.iter().chain(run.lent_to.iter()) {
@@ -720,9 +881,10 @@ impl SimState {
             self.stats.expand_events += 1;
             self.arm_end(t);
             self.refresh_eligibility(t);
+            self.refresh_borrower_index(t);
             // The beneficiary's predicted release may have moved.
-            let nodes = self.job(t).running().unwrap().nodes.clone();
-            for n in nodes {
+            for i in 0..self.job(t).running().unwrap().nodes.len() {
+                let n = self.job(t).running().unwrap().nodes[i];
                 self.update_release(n);
             }
         }
@@ -730,6 +892,7 @@ impl SimState {
         self.energy_reweigh(&touched);
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
+            self.self_check_avail();
         }
     }
 
@@ -776,9 +939,9 @@ impl SimState {
         self.events.push(when, Event::End { job: id, gen });
     }
 
-    /// Recomputes a node's predicted release instant (max over residents'
-    /// requested ends; `None` when empty).
-    fn update_release(&mut self, n: NodeId) {
+    /// The predicted release instant of a node: max over its residents'
+    /// requested ends; `None` when empty.
+    fn node_release(&self, n: NodeId) -> Option<SimTime> {
         let occ = self.cluster.occupancy(n);
         let mut latest: Option<SimTime> = None;
         for &(j, _) in &occ.jobs {
@@ -786,29 +949,112 @@ impl SimState {
                 latest = Some(latest.map_or(r.req_end, |l| l.max(r.req_end)));
             }
         }
+        latest
+    }
+
+    /// Recomputes a node's predicted release and, in incremental mode,
+    /// patches the cached availability profile with the delta.
+    fn update_release(&mut self, n: NodeId) {
+        let latest = self.node_release(n);
+        let old = self.releases.release_of(n);
+        if old == latest {
+            return;
+        }
         self.releases.set_release(n, latest);
+        if self.cfg.incremental {
+            self.avail.patch_release(self.now, old, latest);
+        }
+    }
+
+    /// [`SimState::update_release`] over a whole allocation: identical
+    /// transitions are grouped into one profile patch each (a whole-job
+    /// start or end moves every node the same way, so a W-node job costs
+    /// one O(len) patch instead of W).
+    fn update_releases(&mut self, nodes: &[NodeId]) {
+        // Distinct (old, new) transitions; virtually always a single entry.
+        let mut groups: Vec<(Option<SimTime>, Option<SimTime>, u32)> = Vec::new();
+        for &n in nodes {
+            let latest = self.node_release(n);
+            let old = self.releases.release_of(n);
+            if old == latest {
+                continue;
+            }
+            self.releases.set_release(n, latest);
+            if !self.cfg.incremental {
+                continue;
+            }
+            match groups.iter_mut().find(|g| g.0 == old && g.1 == latest) {
+                Some(g) => g.2 += 1,
+                None => groups.push((old, latest, 1)),
+            }
+        }
+        for (old, new, count) in groups {
+            self.avail.patch_release_many(self.now, old, new, count);
+        }
+    }
+
+    /// Re-evaluates whether `id` belongs in the shrunk-borrower index.
+    /// Called wherever a running job's per-node cores can change.
+    fn refresh_borrower_index(&mut self, id: JobId) {
+        let is_shrunk = self
+            .job(id)
+            .running()
+            .is_some_and(|r| r.malleable_backfilled && !r.at_full_allocation());
+        if is_shrunk {
+            self.shrunk.insert(id);
+        } else {
+            self.shrunk.remove(&id);
+        }
+    }
+
+    /// The mate pool's sort key for a job: the fixed part of Eq. 4,
+    /// `(wait + req)/req`. Deterministic from immutable job data, so the
+    /// same key can be recomputed for an O(log n) indexed removal.
+    fn pool_key(spec: &JobSpec, start: SimTime) -> f64 {
+        let wait = start.since(spec.submit) as f64;
+        let req = spec.req_time.max(1) as f64;
+        (wait + req) / req
     }
 
     /// Inserts/removes `id` from the mate pool according to eligibility.
     fn refresh_eligibility(&mut self, id: JobId) {
-        self.pool_remove(id);
+        let Some(start) = self.job(id).running().map(|r| r.start) else {
+            return; // never called on non-running jobs; nothing to refresh
+        };
+        let base = Self::pool_key(&self.job(id).spec, start);
+        self.pool_remove_keyed(base, id);
         if self.is_eligible_mate(id) {
-            let j = self.job(id);
-            let r = j.running().unwrap();
-            let wait = r.start.since(j.spec.submit) as f64;
-            let req = j.spec.req_time.max(1) as f64;
-            let base = (wait + req) / req;
-            let entry = (base, id);
+            let (spec, run) = (&self.job(id).spec, self.job(id).running().unwrap());
+            let entry = MateEntry {
+                base,
+                id,
+                wait: run.start.since(spec.submit),
+                req_time: spec.req_time,
+                req_end: run.req_end,
+                weight: run.nodes.len() as u32,
+                ranks_per_node: spec.ranks_per_node,
+            };
             let pos = self
                 .mate_pool
-                .partition_point(|&(b, i)| (b, i) < (entry.0, entry.1));
+                .partition_point(|e| (e.base, e.id) < (base, id));
             self.mate_pool.insert(pos, entry);
         }
     }
 
-    fn pool_remove(&mut self, id: JobId) {
-        if let Some(pos) = self.mate_pool.iter().position(|&(_, i)| i == id) {
+    /// Removes `id` from the mate pool by binary search on its recomputed
+    /// key (the pool is sorted by `(base, id)`), replacing the old O(n)
+    /// position scan.
+    fn pool_remove_keyed(&mut self, base: f64, id: JobId) {
+        let pos = self
+            .mate_pool
+            .partition_point(|e| (e.base, e.id) < (base, id));
+        if self.mate_pool.get(pos).is_some_and(|e| e.id == id) {
             self.mate_pool.remove(pos);
+        } else {
+            debug_assert!(
+                !self.mate_pool.iter().any(|e| e.id == id),
+                "{id} in mate pool under a different key"
+            );
         }
     }
 
@@ -826,7 +1072,13 @@ impl SimState {
     /// function stays piecewise-exact across shrink/expand boundaries.
     /// `cfg.self_check` cross-validates the sum against a full rescan.
     fn energy_reweigh(&mut self, changed: &[JobId]) {
-        for &id in changed {
+        self.energy_reweigh_iter(changed.iter().copied());
+    }
+
+    /// Iterator form of [`SimState::energy_reweigh`] so callers can chain id
+    /// sources without building a temporary `Vec`.
+    fn energy_reweigh_iter(&mut self, changed: impl IntoIterator<Item = JobId>) {
+        for id in changed {
             let job = &mut self.jobs[(id.0 - 1) as usize];
             let app = job.spec.app;
             if let Some(r) = job.running_mut() {
@@ -882,6 +1134,21 @@ impl SimState {
         self.meter.finish(end)
     }
 
+    /// Asserts the cached availability profile equals a fresh rebuild
+    /// (incremental mode; called from the `self_check` blocks).
+    fn self_check_avail(&mut self) {
+        if !self.cfg.incremental {
+            return;
+        }
+        let fresh = self.build_profile();
+        let now = self.now;
+        assert_eq!(
+            self.availability(),
+            &fresh,
+            "cached availability profile diverged from rebuild at {now:?}"
+        );
+    }
+
     /// Validates the full cross-structure consistency (tests).
     pub fn deep_validate(&self) -> Result<(), String> {
         self.cluster.validate()?;
@@ -898,9 +1165,43 @@ impl SimState {
                 }
             }
         }
-        for (_, id) in &self.mate_pool {
-            if !self.is_eligible_mate(*id) {
-                return Err(format!("{id} in mate pool but ineligible"));
+        for e in &self.mate_pool {
+            if !self.is_eligible_mate(e.id) {
+                return Err(format!("{} in mate pool but ineligible", e.id));
+            }
+            let r = self.job(e.id).running().expect("eligible ⇒ running");
+            if e.req_end != r.req_end || e.weight != r.nodes.len() as u32 {
+                return Err(format!("{} mate-pool entry stale", e.id));
+            }
+        }
+        // Index invariants (DESIGN.md §9).
+        if self.running_by_end.len() != self.running.len() {
+            return Err("running_by_end index out of sync".into());
+        }
+        for &(end, id) in &self.running_by_end {
+            let r = self.job(id).running().ok_or("running_by_end stale id")?;
+            if r.req_end != end {
+                return Err(format!("{id} req_end index stale: {end:?} vs {:?}", r.req_end));
+            }
+        }
+        for &id in &self.running {
+            let r = self.job(id).running().expect("checked above");
+            let shrunk = r.malleable_backfilled && !r.at_full_allocation();
+            if shrunk != self.shrunk.contains(&id) {
+                return Err(format!("{id} shrunk-borrower index stale"));
+            }
+        }
+        if self.shrunk.iter().any(|id| !self.running.contains(id)) {
+            return Err("shrunk index holds a non-running job".into());
+        }
+        if self.releases.busy_count() + self.cluster.empty_node_count() != self.spec.nodes {
+            return Err("release-map busy counter out of sync".into());
+        }
+        if self.cfg.incremental {
+            let mut cached = self.avail.clone();
+            cached.advance_to(self.now);
+            if cached != self.build_profile() {
+                return Err("cached availability profile diverged from rebuild".into());
             }
         }
         Ok(())
@@ -1226,7 +1527,7 @@ mod tests {
         while let Some(ev) = st.events.pop() {
             st.now = ev.time;
             st.dispatch(ev.payload);
-            let pending = st.queue.prefix(10);
+            let pending: Vec<JobId> = st.queue.prefix(10).map(|e| e.job).collect();
             for id in pending {
                 st.start_static(id);
             }
