@@ -16,13 +16,14 @@
 use sched_metrics::{campaign_csv, campaign_json, CampaignDeltas, CampaignRow, Summary, Table};
 use sd_bench::{sweep_with, CliArgs, CliError, USAGE};
 use sd_scenario::{
-    baseline_point, builtin_scenarios, execute, expand, find_builtin, PolicyKindDecl, RunPoint,
-    Scenario, ScenarioOutcome,
+    baseline_point, builtin_scenarios, execute, expand, find_builtin, Campaign, PolicyKindDecl,
+    RunPoint, Scenario, ScenarioOutcome,
 };
 
 const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campaign
 
   --scenario <name|path>  built-in scenario name or a scenario file
+  --campaign <path>       run every scenario named by a .campaign file
   --list                  list the built-in scenarios and exit
   --format <json|csv>     output format for --out (default: by extension)
   --write-builtin <dir>   write every built-in scenario as <dir>/<name>.scn
@@ -37,6 +38,7 @@ fn fail(msg: &str) -> ! {
 
 struct ScenarioCli {
     scenario: Option<String>,
+    campaign: Option<String>,
     list: bool,
     format: Option<String>,
     write_builtin: Option<String>,
@@ -46,6 +48,7 @@ struct ScenarioCli {
 
 fn parse_cli() -> ScenarioCli {
     let mut scenario = None;
+    let mut campaign = None;
     let mut list = false;
     let mut format = None;
     let mut write_builtin = None;
@@ -57,6 +60,10 @@ fn parse_cli() -> ScenarioCli {
             "--scenario" => match it.next() {
                 Some(v) => scenario = Some(v),
                 None => fail("--scenario needs a value"),
+            },
+            "--campaign" => match it.next() {
+                Some(v) => campaign = Some(v),
+                None => fail("--campaign needs a path"),
             },
             "--list" => list = true,
             "--timing" => timing = true,
@@ -85,8 +92,12 @@ fn parse_cli() -> ScenarioCli {
     if format.is_some() && common.out.is_none() {
         fail("--format requires --out");
     }
+    if scenario.is_some() && campaign.is_some() {
+        fail("--scenario and --campaign are mutually exclusive");
+    }
     ScenarioCli {
         scenario,
+        campaign,
         list,
         format,
         write_builtin,
@@ -143,31 +154,55 @@ fn main() {
         write_builtins(dir);
         return;
     }
-    let Some(name) = &cli.scenario else {
-        fail("--scenario <name|path> is required (or --list)");
+    let mut scenarios: Vec<Scenario> = match (&cli.scenario, &cli.campaign) {
+        (Some(name), None) => vec![resolve_scenario(name)],
+        (None, Some(path)) => {
+            let p = std::path::Path::new(path);
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+            let campaign =
+                Campaign::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            let base = p.parent().unwrap_or_else(|| std::path::Path::new("."));
+            let members = campaign
+                .resolve(base)
+                .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            eprintln!(
+                "campaign `{}`: {} scenario{}",
+                campaign.name,
+                members.len(),
+                if members.len() == 1 { "" } else { "s" }
+            );
+            members
+        }
+        _ => fail("--scenario <name|path> or --campaign <path> is required (or --list)"),
     };
-    let mut scenario = resolve_scenario(name);
 
     // CLI overrides pin the base values; a [sweep] over the same axis
     // still wins (expansion only reads the base when the axis is unswept).
-    if let Some(seed) = cli.common.seed {
-        scenario.seed = seed;
-    }
-    if cli.common.full {
-        scenario.scale = Some(1.0);
-    } else if let Some(scale) = cli.common.scale {
-        scenario.scale = Some(scale);
+    for scenario in &mut scenarios {
+        if let Some(seed) = cli.common.seed {
+            scenario.seed = seed;
+        }
+        if cli.common.full {
+            scenario.scale = Some(1.0);
+        } else if let Some(scale) = cli.common.scale {
+            scenario.scale = Some(scale);
+        }
     }
 
-    let points = expand(&scenario);
+    let points: Vec<RunPoint> = scenarios.iter().flat_map(expand).collect();
 
-    // Every point gets a static-backfill twin so each campaign row can carry
-    // Δ-vs-static columns; a `maxsd` sweep's variants share one baseline
-    // (the cut-off is canonicalised away). Points that *are* static runs
-    // serve as their own baseline.
+    // Every SD point gets a static-backfill twin so each campaign row can
+    // carry Δ-vs-static columns; a `maxsd` sweep's variants share one
+    // baseline (the cut-off is canonicalised away). Points that *are*
+    // static runs serve as their own baseline (`None`).
     let mut baselines: Vec<RunPoint> = Vec::new();
-    let mut baseline_idx: Vec<usize> = Vec::with_capacity(points.len());
+    let mut baseline_idx: Vec<Option<usize>> = Vec::with_capacity(points.len());
     for p in &points {
+        if p.scenario.policy.kind == PolicyKindDecl::Static {
+            baseline_idx.push(None);
+            continue;
+        }
         let b = baseline_point(p);
         let idx = baselines
             .iter()
@@ -176,25 +211,29 @@ fn main() {
                 baselines.push(b);
                 baselines.len() - 1
             });
-        baseline_idx.push(idx);
+        baseline_idx.push(Some(idx));
     }
-    let all_static = scenario.policy.kind == PolicyKindDecl::Static && scenario.sweep.maxsd.is_empty();
 
+    for scenario in &scenarios {
+        eprintln!(
+            "scenario `{}`: {} run{} (scale {}, base seed {})",
+            scenario.name,
+            scenario.sweep.run_count(),
+            if scenario.sweep.run_count() == 1 { "" } else { "s" },
+            scenario.effective_scale(),
+            scenario.seed,
+        );
+    }
     eprintln!(
-        "scenario `{}`: {} run{} + {} baseline{} (scale {}, base seed {})",
-        scenario.name,
+        "{} run{} + {} shared baseline{}",
         points.len(),
         if points.len() == 1 { "" } else { "s" },
-        if all_static { 0 } else { baselines.len() },
+        baselines.len(),
         if baselines.len() == 1 { "" } else { "s" },
-        scenario.effective_scale(),
-        scenario.seed,
     );
 
     let mut work: Vec<RunPoint> = points.clone();
-    if !all_static {
-        work.extend(baselines.iter().cloned());
-    }
+    work.extend(baselines.iter().cloned());
     let results = sweep_with(&work, cli.common.threads, |p| {
         let t0 = std::time::Instant::now();
         (execute(p), t0.elapsed().as_secs_f64())
@@ -237,27 +276,20 @@ fn main() {
         eprintln!("{}", tt.render());
     }
     let (point_outcomes, baseline_outcomes) = outcomes.split_at(points.len());
-    let baseline_summaries: Vec<Summary> = if all_static {
-        Vec::new()
-    } else {
-        baseline_outcomes
-            .iter()
-            .map(|o| Summary::from_result(&o.policy_label, &o.result, o.total_cores))
-            .collect()
-    };
+    let baseline_summaries: Vec<Summary> = baseline_outcomes
+        .iter()
+        .map(|o| Summary::from_result(&o.policy_label, &o.result, o.total_cores))
+        .collect();
 
     let rows: Vec<CampaignRow> = point_outcomes
         .iter()
         .enumerate()
         .map(|(i, o)| {
             let summary = Summary::from_result(&o.policy_label, &o.result, o.total_cores);
-            let deltas = if all_static {
-                Some(CampaignDeltas::against(&summary, &summary))
-            } else {
-                Some(CampaignDeltas::against(
-                    &summary,
-                    &baseline_summaries[baseline_idx[i]],
-                ))
+            let deltas = match baseline_idx[i] {
+                Some(idx) => Some(CampaignDeltas::against(&summary, &baseline_summaries[idx])),
+                // Static points are their own baseline (all-zero deltas).
+                None => Some(CampaignDeltas::against(&summary, &summary)),
             };
             CampaignRow {
                 scenario: o.scenario.clone(),

@@ -123,6 +123,10 @@ impl NodeManager {
     ///
     /// `mate_ranks` is the mate's MPI-rank count on this node (shrink floor).
     /// Returns the updates: the mate's shrunken mask and the new job's mask.
+    ///
+    /// The mate's shrink is only *staged* in the DROM registry; the caller
+    /// applies the whole job's reconfiguration in one
+    /// [`DromRegistry::poll_nodes`] broadcast over the full allocation.
     pub fn co_launch(
         &mut self,
         registry: &mut DromRegistry,
@@ -163,7 +167,10 @@ impl NodeManager {
             handle: Some(handle),
             lender: Some(mate),
         });
-        registry.poll_node(self.node); // malleability point reached
+        // The shrunk mate's mask stays *staged*: the caller closes the whole
+        // job's reconfiguration with one `DromRegistry::poll_nodes` broadcast
+        // over the full allocation (per-job batching) instead of one
+        // malleability point per node.
         debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
         Some(vec![
             NodeUpdate {
@@ -178,7 +185,8 @@ impl NodeManager {
     }
 
     /// Removes `job` from the node, applying the paper's end-of-job rules.
-    /// Returns the mask updates for the residents that expanded.
+    /// Returns the mask updates for the residents that expanded (staged in
+    /// the registry; the caller broadcasts [`DromRegistry::poll_nodes`]).
     pub fn finish(&mut self, registry: &mut DromRegistry, job: JobId) -> Vec<NodeUpdate> {
         let Some(idx) = self.residents.iter().position(|r| r.job == job) else {
             return Vec::new();
@@ -230,7 +238,8 @@ impl NodeManager {
                 new_mask: grown,
             });
         }
-        registry.poll_node(self.node);
+        // Expansions stay staged, like `co_launch`'s shrink: the simulator
+        // broadcasts one `poll_nodes` over the ended job's allocation.
         debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
         updates
     }
@@ -308,6 +317,9 @@ mod tests {
         let spec = ClusterSpec::marenostrum4(1).node;
         assert_eq!(crate::distribution::sockets_touched(&spec, &ups[0].new_mask), 1);
         assert_eq!(crate::distribution::sockets_touched(&spec, &ups[1].new_mask), 1);
+        // Masks are staged until the per-job broadcast closes the batch.
+        assert!(reg.find(JobId(1), NodeId(0)).unwrap().has_pending());
+        assert_eq!(reg.poll_nodes(&[NodeId(0)]), 1);
         assert!(reg.validate_node(NodeId(0)).is_ok());
     }
 

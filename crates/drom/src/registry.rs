@@ -49,6 +49,10 @@ pub struct DromRegistry {
     entries: std::collections::HashMap<u64, ProcessEntry>,
     /// Per node: handles in registration order (tiny vectors, 1–3 entries).
     by_node: Vec<Vec<DromHandle>>,
+    /// Per node: how many residents have a mask staged. Lets the batched
+    /// [`DromRegistry::poll_nodes`] sweep skip untouched nodes in O(1)
+    /// instead of hashing every resident handle.
+    pending_on: Vec<u32>,
     next_handle: u64,
 }
 
@@ -61,8 +65,18 @@ impl DromRegistry {
         let idx = node.0 as usize;
         if idx >= self.by_node.len() {
             self.by_node.resize_with(idx + 1, Vec::new);
+            self.pending_on.resize(idx + 1, 0);
         }
         &mut self.by_node[idx]
+    }
+
+    fn pending_slot(&mut self, node: NodeId) -> &mut u32 {
+        let idx = node.0 as usize;
+        if idx >= self.pending_on.len() {
+            self.by_node.resize_with(idx + 1, Vec::new);
+            self.pending_on.resize(idx + 1, 0);
+        }
+        &mut self.pending_on[idx]
     }
 
     /// Registers a process with its launch-time mask (`DROM_run`).
@@ -86,6 +100,9 @@ impl DromRegistry {
     /// Removes a process (`DROM_clean`). Returns the final mask it held.
     pub fn detach(&mut self, handle: DromHandle) -> Option<CpuMask> {
         let e = self.entries.remove(&handle.0)?;
+        if e.pending.is_some() {
+            *self.pending_slot(e.node) -= 1;
+        }
         let slot = self.node_slot(e.node);
         slot.retain(|&h| h != handle);
         Some(e.current)
@@ -111,18 +128,27 @@ impl DromRegistry {
 
     /// Stages a new mask for a process (`DROM_setprocessmask`).
     pub fn set_mask(&mut self, handle: DromHandle, mask: CpuMask) -> bool {
-        if let Some(e) = self.entries.get_mut(&handle.0) {
-            e.pending = Some(mask);
-            true
-        } else {
-            false
+        let Some(e) = self.entries.get_mut(&handle.0) else {
+            return false;
+        };
+        let node = e.node;
+        let newly = e.pending.is_none();
+        e.pending = Some(mask);
+        if newly {
+            *self.pending_slot(node) += 1;
         }
+        true
     }
 
     /// The process reaches a malleability point: applies any pending mask.
     /// Returns the new current mask if a change was applied.
     pub fn poll(&mut self, handle: DromHandle) -> Option<&CpuMask> {
         let e = self.entries.get_mut(&handle.0)?;
+        let node = e.node;
+        if e.pending.is_some() {
+            *self.pending_slot(node) -= 1;
+        }
+        let e = self.entries.get_mut(&handle.0).expect("looked up above");
         if let Some(p) = e.pending.take() {
             e.current = p;
             Some(&e.current)
@@ -135,6 +161,9 @@ impl DromRegistry {
     /// reconfiguration broadcast as reaching all malleability points at
     /// once — DROM's measured overhead is negligible, paper §2.1).
     pub fn poll_node(&mut self, node: NodeId) -> usize {
+        if self.pending_on.get(node.0 as usize).copied().unwrap_or(0) == 0 {
+            return 0;
+        }
         let mut applied = 0;
         if let Some(handles) = self.by_node.get(node.0 as usize) {
             for h in handles {
@@ -145,7 +174,18 @@ impl DromRegistry {
                 }
             }
         }
+        self.pending_on[node.0 as usize] = 0;
         applied
+    }
+
+    /// One malleability broadcast for a whole job allocation: applies every
+    /// staged mask across `nodes` in a single sweep. This is the per-*job*
+    /// batch the node managers stage into — `co_launch`/`finish` only stage;
+    /// the simulator closes each reconfiguration with one `poll_nodes` call
+    /// per job operation instead of one broadcast per node, and the per-node
+    /// pending counters make untouched nodes free to skip.
+    pub fn poll_nodes(&mut self, nodes: &[NodeId]) -> usize {
+        nodes.iter().map(|&n| self.poll_node(n)).sum()
     }
 
     /// Validates that current masks of processes sharing a node are disjoint.

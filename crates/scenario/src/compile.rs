@@ -26,8 +26,8 @@ pub struct RunPoint {
 }
 
 /// Expands the sweep cross-product in a fixed order (seed, scale, sharing,
-/// malleable fraction, MAXSD — outermost to innermost), so campaign output
-/// ordering is deterministic.
+/// malleable fraction, MAXSD, backfill depth, arrival contrast — outermost
+/// to innermost), so campaign output ordering is deterministic.
 pub fn expand(s: &Scenario) -> Vec<RunPoint> {
     use std::fmt::Write as _;
     let seeds: Vec<u64> = if s.sweep.seed.is_empty() {
@@ -55,6 +55,16 @@ pub fn expand(s: &Scenario) -> Vec<RunPoint> {
     } else {
         s.sweep.maxsd.clone()
     };
+    let depths: Vec<Option<usize>> = if s.sweep.backfill_depth.is_empty() {
+        vec![s.slurm.backfill_depth]
+    } else {
+        s.sweep.backfill_depth.iter().map(|&v| Some(v)).collect()
+    };
+    let contrasts: Vec<Option<f64>> = if s.sweep.day_night_contrast.is_empty() {
+        vec![s.workload.day_night_contrast]
+    } else {
+        s.sweep.day_night_contrast.iter().map(|&v| Some(v)).collect()
+    };
 
     let mut out = Vec::with_capacity(s.sweep.run_count());
     for &seed in &seeds {
@@ -62,41 +72,60 @@ pub fn expand(s: &Scenario) -> Vec<RunPoint> {
             for &sharing in &sharings {
                 for &fraction in &fractions {
                     for &maxsd in &maxsds {
-                        let mut resolved = s.clone();
-                        resolved.sweep = Default::default();
-                        resolved.seed = seed;
-                        resolved.scale = scale;
-                        resolved.policy.sharing = sharing;
-                        resolved.policy.maxsd = maxsd;
-                        resolved.slurm.malleable_fraction = fraction;
-                        let mut variant = String::new();
-                        let mut push = |part: String| {
-                            if !variant.is_empty() {
-                                variant.push(' ');
+                        for &depth in &depths {
+                            for &contrast in &contrasts {
+                                let mut resolved = s.clone();
+                                resolved.sweep = Default::default();
+                                resolved.seed = seed;
+                                resolved.scale = scale;
+                                resolved.policy.sharing = sharing;
+                                resolved.policy.maxsd = maxsd;
+                                resolved.slurm.malleable_fraction = fraction;
+                                resolved.slurm.backfill_depth = depth;
+                                resolved.workload.day_night_contrast = contrast;
+                                let mut variant = String::new();
+                                let mut push = |part: String| {
+                                    if !variant.is_empty() {
+                                        variant.push(' ');
+                                    }
+                                    variant.push_str(&part);
+                                };
+                                if !s.sweep.seed.is_empty() {
+                                    push(format!("seed={seed}"));
+                                }
+                                if !s.sweep.scale.is_empty() {
+                                    let mut p = String::new();
+                                    let _ =
+                                        write!(p, "scale={}", scale.expect("swept scale is set"));
+                                    push(p);
+                                }
+                                if !s.sweep.sharing.is_empty() {
+                                    push(format!("sharing={sharing}"));
+                                }
+                                if !s.sweep.malleable_fraction.is_empty() {
+                                    push(format!("malleable_fraction={fraction}"));
+                                }
+                                if !s.sweep.maxsd.is_empty() {
+                                    push(format!("maxsd={maxsd}"));
+                                }
+                                if !s.sweep.backfill_depth.is_empty() {
+                                    push(format!(
+                                        "backfill_depth={}",
+                                        depth.expect("swept depth is set")
+                                    ));
+                                }
+                                if !s.sweep.day_night_contrast.is_empty() {
+                                    push(format!(
+                                        "day_night_contrast={}",
+                                        contrast.expect("swept contrast is set")
+                                    ));
+                                }
+                                out.push(RunPoint {
+                                    scenario: resolved,
+                                    variant,
+                                });
                             }
-                            variant.push_str(&part);
-                        };
-                        if !s.sweep.seed.is_empty() {
-                            push(format!("seed={seed}"));
                         }
-                        if !s.sweep.scale.is_empty() {
-                            let mut p = String::new();
-                            let _ = write!(p, "scale={}", scale.expect("swept scale is set"));
-                            push(p);
-                        }
-                        if !s.sweep.sharing.is_empty() {
-                            push(format!("sharing={sharing}"));
-                        }
-                        if !s.sweep.malleable_fraction.is_empty() {
-                            push(format!("malleable_fraction={fraction}"));
-                        }
-                        if !s.sweep.maxsd.is_empty() {
-                            push(format!("maxsd={maxsd}"));
-                        }
-                        out.push(RunPoint {
-                            scenario: resolved,
-                            variant,
-                        });
                     }
                 }
             }

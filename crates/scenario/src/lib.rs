@@ -39,11 +39,13 @@
 //! assert_eq!(outcome.result.leftover_pending, 0);
 //! ```
 
+pub mod campaign;
 pub mod compile;
 pub mod format;
 pub mod registry;
 pub mod scenario;
 
+pub use campaign::Campaign;
 pub use compile::{baseline_point, execute, expand, RunError, RunPoint, ScenarioOutcome};
 pub use format::ParseError;
 pub use registry::{builtin_scenarios, find_builtin};

@@ -101,6 +101,23 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     ];
     all.push(maxsd);
 
+    let mut depth = paper(
+        "backfill-depth-sweep",
+        "Scheduler-cost axis: sweep bf_max_job_test from shallow to deep on W3",
+        SourceKind::Ricc,
+    );
+    depth.sweep.backfill_depth = vec![10, 25, 50, 100, 200, 400];
+    all.push(depth);
+
+    let mut contrast = paper(
+        "arrival-contrast-sweep",
+        "Arrival-contrast axis: flat through hard day/night bursts on the Cirne model",
+        SourceKind::Cirne,
+    );
+    contrast.workload.arrivals = Some(ArrivalKind::DayNight);
+    contrast.sweep.day_night_contrast = vec![1.0, 2.0, 4.0, 8.0];
+    all.push(contrast);
+
     all
 }
 

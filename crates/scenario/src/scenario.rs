@@ -353,6 +353,11 @@ pub struct SweepDecl {
     pub seed: Vec<u64>,
     pub scale: Vec<f64>,
     pub sharing: Vec<f64>,
+    /// SLURM `bf_max_job_test` values (scheduler-cost axis).
+    pub backfill_depth: Vec<usize>,
+    /// Day/night intensity ratios (arrival-contrast axis; requires
+    /// `arrivals = day_night`).
+    pub day_night_contrast: Vec<f64>,
 }
 
 impl SweepDecl {
@@ -362,6 +367,8 @@ impl SweepDecl {
             && self.seed.is_empty()
             && self.scale.is_empty()
             && self.sharing.is_empty()
+            && self.backfill_depth.is_empty()
+            && self.day_night_contrast.is_empty()
     }
 
     /// Number of runs the cross-product expands to.
@@ -372,6 +379,8 @@ impl SweepDecl {
             * n(self.seed.len())
             * n(self.scale.len())
             * n(self.sharing.len())
+            * n(self.backfill_depth.len())
+            * n(self.day_night_contrast.len())
     }
 }
 
@@ -669,6 +678,27 @@ impl Scenario {
                         self.sweep.sharing.push(v);
                     }
                 }
+                "backfill_depth" => {
+                    for it in &items {
+                        let v: usize = it.parse().map_err(|_| list_num_err(e, it))?;
+                        if v == 0 {
+                            return Err(ParseError::new(e.line, "`backfill_depth` must be ≥ 1"));
+                        }
+                        self.sweep.backfill_depth.push(v);
+                    }
+                }
+                "day_night_contrast" => {
+                    for it in &items {
+                        let v: f64 = it.parse().map_err(|_| list_num_err(e, it))?;
+                        if !(v >= 1.0 && v.is_finite()) {
+                            return Err(ParseError::new(
+                                e.line,
+                                format!("`day_night_contrast` must be ≥ 1, got {v}"),
+                            ));
+                        }
+                        self.sweep.day_night_contrast.push(v);
+                    }
+                }
                 k => return Err(unknown_key(k, "sweep", e.line)),
             }
         }
@@ -733,6 +763,14 @@ impl Scenario {
             return Err(ParseError::new(
                 line_of("workload", "day_night_contrast"),
                 "`day_night_contrast` requires `arrivals = day_night`",
+            ));
+        }
+        if !self.sweep.day_night_contrast.is_empty()
+            && self.workload.arrivals != Some(ArrivalKind::DayNight)
+        {
+            return Err(ParseError::new(
+                line_of("sweep", "day_night_contrast"),
+                "a `day_night_contrast` sweep requires `arrivals = day_night`",
             ));
         }
         if self.policy.kind == PolicyKindDecl::Static && !self.sweep.maxsd.is_empty() {
@@ -860,6 +898,20 @@ impl Scenario {
             }
             if !self.sweep.sharing.is_empty() {
                 let _ = writeln!(out, "sharing = {}", render_list(&self.sweep.sharing));
+            }
+            if !self.sweep.backfill_depth.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "backfill_depth = {}",
+                    render_list(&self.sweep.backfill_depth)
+                );
+            }
+            if !self.sweep.day_night_contrast.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "day_night_contrast = {}",
+                    render_list(&self.sweep.day_night_contrast)
+                );
             }
         }
         out

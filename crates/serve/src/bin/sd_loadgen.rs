@@ -1,0 +1,168 @@
+//! `sd-loadgen` — replay a workload as live traffic against `sd-serve`.
+//!
+//! ```sh
+//! sd-loadgen --addr 127.0.0.1:8080 --workload w3 --scale 0.05 --jobs 100
+//! sd-loadgen --addr 127.0.0.1:8080 --swf trace.swf --rate 500 --shutdown
+//! ```
+//!
+//! Reports achieved submit throughput, per-request latency percentiles and
+//! the end-state `/v1/stats` deltas. `--min-rate` / `--expect-completed`
+//! turn the report into assertions (non-zero exit) for CI.
+
+use sd_serve::loadgen::{self, LoadgenOptions};
+
+const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
+
+  --addr <host:port>       service address (required)
+  --workload <w1|w2|w3|w4> synthetic workload to replay (default w3)
+  --scale <f64>            workload scale (default 0.05)
+  --seed <u64>             generator seed (default 42)
+  --swf <path>             replay an SWF file instead of a generator
+  --jobs <n>               cap the number of submissions
+  --rate <r>               target submissions per wall second (default: flat out)
+  --no-timestamps          submit without virtual timestamps (realtime servers)
+  --no-drain               skip the final /v1/drain
+  --shutdown               stop the server afterwards, print its final result
+  --min-rate <r>           fail (exit 1) if achieved rate falls below r
+  --expect-completed <n>   fail (exit 1) unless exactly n jobs completed
+  --help, -h               this text";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut workload = "w3".to_string();
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut swf_path: Option<String> = None;
+    let mut jobs_cap: Option<usize> = None;
+    let mut opts = LoadgenOptions::default();
+    let mut min_rate: Option<f64> = None;
+    let mut expect_completed: Option<u64> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--workload" => workload = value("--workload"),
+            "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| fail("bad --scale")),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--swf" => swf_path = Some(value("--swf")),
+            "--jobs" => jobs_cap = Some(value("--jobs").parse().unwrap_or_else(|_| fail("bad --jobs"))),
+            "--rate" => {
+                let r: f64 = value("--rate").parse().unwrap_or_else(|_| fail("bad --rate"));
+                if r <= 0.0 || r.is_nan() {
+                    fail("--rate must be > 0");
+                }
+                opts.rate = Some(r);
+            }
+            "--no-timestamps" => opts.virtual_timestamps = false,
+            "--no-drain" => opts.drain = false,
+            "--shutdown" => opts.shutdown = true,
+            "--min-rate" => {
+                min_rate = Some(value("--min-rate").parse().unwrap_or_else(|_| fail("bad --min-rate")))
+            }
+            "--expect-completed" => {
+                expect_completed = Some(
+                    value("--expect-completed")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --expect-completed")),
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag: {other}")),
+        }
+    }
+    let Some(addr) = addr else {
+        fail("--addr <host:port> is required");
+    };
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("bad --addr {addr}")));
+
+    let mut jobs: Vec<swf::SwfJob> = match &swf_path {
+        Some(path) => {
+            let (trace, _skipped) = swf::parse_file(std::path::Path::new(path))
+                .unwrap_or_else(|e| fail(&format!("{path}: {e:?}")));
+            trace.jobs
+        }
+        None => {
+            let w = match workload.as_str() {
+                "w1" => workload::PaperWorkload::W1Cirne,
+                "w2" => workload::PaperWorkload::W2CirneIdeal,
+                "w3" => workload::PaperWorkload::W3Ricc,
+                "w4" => workload::PaperWorkload::W4Curie,
+                v => fail(&format!("unknown --workload {v} (w1|w2|w3|w4)")),
+            };
+            w.generate(seed, scale).jobs
+        }
+    };
+    if let Some(cap) = jobs_cap {
+        jobs.truncate(cap);
+    }
+    if jobs.is_empty() {
+        fail("workload produced no jobs");
+    }
+
+    eprintln!(
+        "replaying {} jobs against {addr} ({})",
+        jobs.len(),
+        match opts.rate {
+            Some(r) => format!("target {r}/s"),
+            None => "flat out".to_string(),
+        }
+    );
+    let report = loadgen::run(addr, &jobs, &opts).unwrap_or_else(|e| {
+        eprintln!("loadgen failed: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.render());
+
+    let mut failed = false;
+    if let Some(min) = min_rate {
+        if report.achieved_rate < min {
+            eprintln!(
+                "FAIL: achieved rate {:.0}/s below required {min}/s",
+                report.achieved_rate
+            );
+            failed = true;
+        }
+    }
+    if let Some(want) = expect_completed {
+        let got = report.delta("completed");
+        if (got - want as f64).abs() > 0.5 {
+            eprintln!("FAIL: {got} jobs completed, expected {want}");
+            failed = true;
+        }
+        // Cross-check the Prometheus exposition against the same truth.
+        for counter in ["sd_serve_jobs_completed_total", "sd_serve_jobs_submitted_total"] {
+            match report.metric(counter) {
+                Some(v) if (v - want as f64).abs() <= 0.5 => {}
+                other => {
+                    eprintln!("FAIL: /metrics {counter} = {other:?}, expected {want}");
+                    failed = true;
+                }
+            }
+        }
+        if report.metric("sd_serve_jobs_pending") != Some(0.0) {
+            eprintln!("FAIL: /metrics reports pending jobs after drain");
+            failed = true;
+        }
+    }
+    if report.rejected > 0 {
+        eprintln!("note: {} submissions rejected", report.rejected);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,221 @@
+//! `sd-serve` — run the malleable-job scheduler as a long-lived service.
+//!
+//! ```sh
+//! sd-serve                            # W3-like machine, SD policy, virtual clock
+//! sd-serve --port 8080 --workers 8
+//! sd-serve --mode realtime --compression 600
+//! sd-serve --cluster w4 --scale 0.05 --policy static
+//! ```
+//!
+//! Prints `sd-serve listening on 127.0.0.1:<port>` once bound (port 0 picks
+//! an ephemeral port — the CI smoke step parses this line), then blocks
+//! until a client posts `/v1/shutdown`.
+
+use cluster::ClusterSpec;
+use drom::SharingFactor;
+use sd_policy::{MaxSlowdown, SdPolicy, SdPolicyConfig};
+use sd_serve::engine::{ClockMode, Engine};
+use sd_serve::server::{self, ServerConfig};
+use slurm_sim::{
+    AppAwareModel, IdealModel, RateModel, Scheduler, SimState, SlurmConfig, StaticBackfill,
+    WorstCaseModel,
+};
+use workload::PaperWorkload;
+
+const USAGE: &str = "sd-serve — online scheduling service (HTTP/JSON)
+
+  --port <n>             TCP port (default 0 = ephemeral; printed when bound)
+  --workers <n>          HTTP worker threads (default 4)
+  --mode <virtual|realtime>   clock mode (default virtual)
+  --compression <x>      realtime: simulated seconds per wall second (default 60)
+  --cluster <w1|w2|w3|w4|ricc|curie|mn4|mn4_real_run>  machine preset (default w3)
+  --scale <f64>          machine scale for w* presets (default 0.05)
+  --nodes <n>            override the node count
+  --policy <sd|static>   scheduler (default sd)
+  --maxsd <x|inf|dyn>    SD-Policy cut-off (default dyn)
+  --model <ideal|worst_case|app_aware>  runtime model (default ideal)
+  --sharing <f64>        sharing factor in [0,1) (default 0.5)
+  --malleable-fraction <f64>  fraction of draw-decided malleable jobs (default 1)
+  --legacy-path          run the pre-incremental scheduler hot path
+  --help, -h             this text";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct Cli {
+    port: u16,
+    workers: usize,
+    mode: ClockMode,
+    cluster: String,
+    scale: f64,
+    nodes: Option<u32>,
+    policy: String,
+    maxsd: String,
+    model: String,
+    sharing: f64,
+    malleable_fraction: f64,
+    legacy: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        port: 0,
+        workers: 4,
+        mode: ClockMode::Virtual,
+        cluster: "w3".into(),
+        scale: 0.05,
+        nodes: None,
+        policy: "sd".into(),
+        maxsd: "dyn".into(),
+        model: "ideal".into(),
+        sharing: 0.5,
+        malleable_fraction: 1.0,
+        legacy: false,
+    };
+    let mut compression: f64 = 60.0;
+    let mut realtime = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--port" => cli.port = value("--port").parse().unwrap_or_else(|_| fail("bad --port")),
+            "--workers" => {
+                cli.workers = value("--workers").parse().unwrap_or_else(|_| fail("bad --workers"));
+                if cli.workers == 0 {
+                    fail("--workers must be at least 1");
+                }
+            }
+            "--mode" => match value("--mode").as_str() {
+                "virtual" => realtime = false,
+                "realtime" => realtime = true,
+                v => fail(&format!("--mode must be virtual or realtime, got {v}")),
+            },
+            "--compression" => {
+                compression = value("--compression")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --compression"));
+                if compression <= 0.0 || compression.is_nan() {
+                    fail("--compression must be > 0");
+                }
+            }
+            "--cluster" => cli.cluster = value("--cluster"),
+            "--scale" => cli.scale = value("--scale").parse().unwrap_or_else(|_| fail("bad --scale")),
+            "--nodes" => cli.nodes = Some(value("--nodes").parse().unwrap_or_else(|_| fail("bad --nodes"))),
+            "--policy" => cli.policy = value("--policy"),
+            "--maxsd" => cli.maxsd = value("--maxsd"),
+            "--model" => cli.model = value("--model"),
+            "--sharing" => cli.sharing = value("--sharing").parse().unwrap_or_else(|_| fail("bad --sharing")),
+            "--malleable-fraction" => {
+                cli.malleable_fraction = value("--malleable-fraction")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --malleable-fraction"))
+            }
+            "--legacy-path" => cli.legacy = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag: {other}")),
+        }
+    }
+    if realtime {
+        cli.mode = ClockMode::Realtime { compression };
+    }
+    cli
+}
+
+fn cluster_spec(cli: &Cli) -> ClusterSpec {
+    let mut spec = match cli.cluster.as_str() {
+        "w1" => PaperWorkload::W1Cirne.cluster(cli.scale),
+        "w2" => PaperWorkload::W2CirneIdeal.cluster(cli.scale),
+        "w3" => PaperWorkload::W3Ricc.cluster(cli.scale),
+        "w4" => PaperWorkload::W4Curie.cluster(cli.scale),
+        "ricc" => ClusterSpec::ricc(),
+        "curie" => ClusterSpec::cea_curie(),
+        "mn4" => ClusterSpec::marenostrum4(1024),
+        "mn4_real_run" => ClusterSpec::mn4_real_run(),
+        v => fail(&format!("unknown --cluster preset {v}")),
+    };
+    if let Some(n) = cli.nodes {
+        spec.nodes = n;
+    }
+    spec
+}
+
+fn main() {
+    let cli = parse_cli();
+    let spec = cluster_spec(&cli);
+    if !(0.0..1.0).contains(&cli.sharing) {
+        fail("--sharing must be in [0, 1)");
+    }
+    if !(0.0..=1.0).contains(&cli.malleable_fraction) {
+        fail("--malleable-fraction must be in [0, 1]");
+    }
+    let model: Box<dyn RateModel> = match cli.model.as_str() {
+        "ideal" => Box::new(IdealModel),
+        "worst_case" => Box::new(WorstCaseModel),
+        "app_aware" => Box::new(AppAwareModel),
+        v => fail(&format!("unknown --model {v}")),
+    };
+    let cfg = SlurmConfig {
+        malleable_fraction: cli.malleable_fraction,
+        incremental: !cli.legacy,
+        ..SlurmConfig::default()
+    };
+    let scheduler: Box<dyn Scheduler + Send> = match cli.policy.as_str() {
+        "static" => Box::new(StaticBackfill),
+        "sd" => {
+            let maxsd = match cli.maxsd.as_str() {
+                "dyn" => MaxSlowdown::DynAvg,
+                "inf" => MaxSlowdown::Infinite,
+                v => MaxSlowdown::Static(
+                    v.parse().unwrap_or_else(|_| fail("bad --maxsd")),
+                ),
+            };
+            Box::new(SdPolicy::new(SdPolicyConfig {
+                max_slowdown: maxsd,
+                ..SdPolicyConfig::default()
+            }))
+        }
+        v => fail(&format!("unknown --policy {v}")),
+    };
+
+    let state = SimState::new_online(spec.clone(), cfg, model, SharingFactor::new(cli.sharing));
+    let engine = Engine::new(state, scheduler, cli.mode);
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", cli.port))
+        .unwrap_or_else(|e| fail(&format!("binding 127.0.0.1:{}: {e}", cli.port)));
+    let addr = listener.local_addr().expect("bound listener has an address");
+    println!("sd-serve listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "machine: {} × {}-core nodes | policy: {} | clock: {:?} | workers: {}",
+        spec.nodes,
+        spec.node.cores(),
+        cli.policy,
+        cli.mode,
+        cli.workers,
+    );
+
+    match server::run(engine, listener, ServerConfig { workers: cli.workers }) {
+        Ok(result) => {
+            eprintln!(
+                "shutdown: {} jobs completed, makespan {}, mean slowdown {:.2}, energy {:.1} kWh",
+                result.outcomes.len(),
+                result.makespan,
+                result.mean_slowdown(),
+                result.energy_joules / 3.6e6,
+            );
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Blocking loopback client for the service — used by `sd-loadgen`, the
+//! equivalence test and the CI smoke step. Keep-alive with transparent
+//! one-shot reconnect, typed wrappers over the JSON protocol.
+
+use crate::http::{self, Request};
+use crate::json::Json;
+use crate::proto::{self, SubmitRequest};
+use slurm_sim::SimResult;
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Protocol(String),
+    /// Server answered with an error status; body text included.
+    Status(u16, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Status(code, body) => write!(f, "HTTP {code}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A persistent connection to one `sd-serve` instance.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let mut c = Client { addr, conn: None };
+        c.ensure()?;
+        Ok(c)
+    }
+
+    fn ensure(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    fn exchange_once(&mut self, wire: &[u8]) -> Result<(u16, Vec<u8>), ClientError> {
+        let reader = self.ensure()?;
+        reader.get_mut().write_all(wire)?;
+        reader.get_mut().flush()?;
+        match http::read_response(reader) {
+            Ok(r) => Ok(r),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    /// One request/response, reconnecting once if the pooled connection was
+    /// torn down (server-side idle timeout).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let mut req = Request::new(method, path);
+        req.headers.push(("host".into(), self.addr.to_string()));
+        if let Some(v) = body {
+            req.headers
+                .push(("content-type".into(), "application/json".into()));
+            req.body = v.render().into_bytes();
+        }
+        let wire = req.render();
+        match self.exchange_once(&wire) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.conn = None; // stale keep-alive; retry on a fresh socket
+                self.exchange_once(&wire)
+            }
+        }
+    }
+
+    fn request_json(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<Json, ClientError> {
+        let (status, bytes) = self.request(method, path, body)?;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status(status, text));
+        }
+        Json::parse(&text).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    // ----- typed endpoints -----
+
+    pub fn health(&mut self) -> Result<(), ClientError> {
+        self.request_json("GET", "/healthz", None).map(|_| ())
+    }
+
+    /// Submits a job; returns `(id, effective submit time)`.
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<(u64, u64), ClientError> {
+        let v = self.request_json("POST", "/v1/jobs", Some(&req.encode()))?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit ack without id".into()))?;
+        let submit = v.get("submit").and_then(Json::as_u64).unwrap_or(0);
+        Ok((id, submit))
+    }
+
+    pub fn cancel(&mut self, id: u64) -> Result<(), ClientError> {
+        self.request_json("POST", &format!("/v1/jobs/{id}/cancel"), None)
+            .map(|_| ())
+    }
+
+    pub fn job(&mut self, id: u64) -> Result<Json, ClientError> {
+        self.request_json("GET", &format!("/v1/jobs/{id}"), None)
+    }
+
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/v1/stats", None)
+    }
+
+    /// Raw Prometheus exposition text.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let (status, bytes) = self.request("GET", "/metrics", None)?;
+        if status != 200 {
+            return Err(ClientError::Status(status, String::from_utf8_lossy(&bytes).into()));
+        }
+        String::from_utf8(bytes).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
+    }
+
+    /// Advances the virtual clock; returns the new clock position.
+    pub fn advance(&mut self, to: u64) -> Result<u64, ClientError> {
+        let v = self.request_json(
+            "POST",
+            "/v1/clock/advance",
+            Some(&Json::obj().set("to", to)),
+        )?;
+        v.get("now")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("advance ack without now".into()))
+    }
+
+    /// Runs the virtual clock until the event queue drains.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        let v = self.request_json("POST", "/v1/drain", None)?;
+        v.get("now")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("drain ack without now".into()))
+    }
+
+    /// Read-only result of the run so far.
+    pub fn result(&mut self) -> Result<SimResult, ClientError> {
+        let v = self.request_json("GET", "/v1/result", None)?;
+        proto::decode_result(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Stops the server; returns its final result.
+    pub fn shutdown(&mut self) -> Result<SimResult, ClientError> {
+        let v = self.request_json("POST", "/v1/shutdown", None)?;
+        proto::decode_result(&v).map_err(ClientError::Protocol)
+    }
+}

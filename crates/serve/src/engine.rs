@@ -1,0 +1,594 @@
+//! The scheduler thread: single writer over the simulation.
+//!
+//! Every HTTP worker translates its request into a [`Command`] and sends it
+//! over one mpsc channel; this loop is the only code that ever touches the
+//! [`SimState`]/[`Controller`]. That keeps the PR 4 incremental hot path
+//! single-writer by construction — no locks around the availability-profile
+//! cache, the queue index or the energy meter (DESIGN.md §10).
+//!
+//! Two clock modes share one code path ([`Controller::step_until`], the same
+//! loop `Controller::run` uses offline):
+//!
+//! * **Virtual** (deterministic): the clock only advances when a client asks
+//!   (`/v1/clock/advance`, `/v1/drain`). Submissions carry explicit virtual
+//!   timestamps; a scripted session therefore feeds the simulator the exact
+//!   event sequence an offline replay would build up front, and produces a
+//!   bit-identical [`SimResult`] (pinned by `tests/serve_equivalence.rs`).
+//! * **Realtime**: the clock tracks the wall clock scaled by a compression
+//!   factor (sim-seconds per wall-second); due events are processed as their
+//!   instants pass, and submissions default to "now".
+
+use crate::proto::SubmitRequest;
+use simkit::SimTime;
+use slurm_sim::{Controller, Scheduler, SimResult, SimState, SubmitError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How the service clock advances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Deterministic: advance only on client request.
+    Virtual,
+    /// Wall-clock driven, `compression` sim-seconds per wall-second.
+    Realtime { compression: f64 },
+}
+
+/// Acknowledgement of an accepted submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitAck {
+    pub id: u64,
+    /// Effective virtual submit instant.
+    pub submit: u64,
+}
+
+/// Queue/cluster/campaign snapshot used by `/v1/*` reads and `/metrics`.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub scheduler: &'static str,
+    pub now: u64,
+    pub clock: ClockMode,
+    pub nodes: u32,
+    pub cores_per_node: u32,
+    pub busy_cores: u64,
+    pub empty_nodes: u32,
+    pub jobs_total: usize,
+    pub pending: usize,
+    pub running: usize,
+    pub completed: usize,
+    pub events_outstanding: usize,
+    pub stats: slurm_sim::SimStats,
+    pub energy_joules: f64,
+    /// Completed-job aggregates so far (campaign-style).
+    pub mean_slowdown: f64,
+    pub mean_response: f64,
+    pub mean_wait: f64,
+    pub makespan: u64,
+    /// Total submissions accepted over the API.
+    pub submitted: u64,
+}
+
+/// Per-job status for `GET /v1/jobs/{id}`.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    pub id: u64,
+    pub state: &'static str,
+    pub submit: u64,
+    pub req_nodes: u32,
+    pub req_time: u64,
+    pub malleable: bool,
+    pub start: Option<u64>,
+    pub end: Option<u64>,
+    pub cores: Option<u64>,
+    pub rate: Option<f64>,
+}
+
+/// One pending-queue entry for `GET /v1/queue`.
+#[derive(Debug, Clone)]
+pub struct QueueView {
+    pub id: u64,
+    pub req_nodes: u32,
+    pub req_time: u64,
+}
+
+/// Why a command was refused (mapped to 4xx by the server).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Submit/advance instant lies before the virtual clock.
+    Clock(String),
+    /// The job record cannot be simulated.
+    Rejected(String),
+    /// Unknown job id.
+    NoSuchJob(u64),
+    /// The job is not in a cancellable state.
+    NotPending(u64),
+    /// Operation requires the other clock mode.
+    WrongMode(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Clock(m) | EngineError::Rejected(m) => write!(f, "{m}"),
+            EngineError::NoSuchJob(id) => write!(f, "no job with id {id}"),
+            EngineError::NotPending(id) => write!(f, "job {id} is not pending"),
+            EngineError::WrongMode(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Commands from the HTTP workers. Each carries its own reply channel.
+pub enum Command {
+    Submit {
+        req: SubmitRequest,
+        reply: Sender<Result<SubmitAck, EngineError>>,
+    },
+    Cancel {
+        id: u64,
+        reply: Sender<Result<(), EngineError>>,
+    },
+    JobInfo {
+        id: u64,
+        reply: Sender<Result<JobView, EngineError>>,
+    },
+    Queue {
+        limit: usize,
+        reply: Sender<(usize, Vec<QueueView>)>,
+    },
+    Stats {
+        reply: Sender<Snapshot>,
+    },
+    /// Virtual mode: process every event batch with `time <= to`.
+    Advance {
+        to: u64,
+        reply: Sender<Result<u64, EngineError>>,
+    },
+    /// Virtual mode: run the event loop until nothing remains; replies with
+    /// the final clock.
+    Drain {
+        reply: Sender<Result<u64, EngineError>>,
+    },
+    /// Read-only result of the run so far (complete once drained).
+    Result {
+        reply: Sender<SimResult>,
+    },
+    /// Stop the engine; replies with the final result.
+    Shutdown {
+        reply: Sender<SimResult>,
+    },
+}
+
+/// The engine: owns the controller, executes commands sequentially.
+pub struct Engine {
+    ctl: Controller<Box<dyn Scheduler + Send>>,
+    mode: ClockMode,
+    /// Virtual mode: highest instant the clock was advanced to. Submissions
+    /// must not land before it (they would rewrite already-simulated past).
+    floor: SimTime,
+    /// Realtime mode: wall anchor of sim t = 0.
+    epoch: Instant,
+    submitted: u64,
+}
+
+impl Engine {
+    pub fn new(state: SimState, scheduler: Box<dyn Scheduler + Send>, mode: ClockMode) -> Engine {
+        Engine {
+            ctl: Controller::new(state, scheduler),
+            mode,
+            floor: SimTime::ZERO,
+            epoch: Instant::now(),
+            submitted: 0,
+        }
+    }
+
+    /// The service clock: everything already simulated or advanced past.
+    fn virtual_now(&self) -> SimTime {
+        self.ctl.state.now.max(self.floor)
+    }
+
+    /// Realtime: the sim instant the wall clock has reached.
+    fn realtime_target(&self) -> SimTime {
+        let ClockMode::Realtime { compression } = self.mode else {
+            unreachable!("realtime_target in virtual mode");
+        };
+        let elapsed = self.epoch.elapsed().as_secs_f64();
+        SimTime((elapsed * compression) as u64)
+    }
+
+    /// Runs the command loop to completion. Returns the final result (also
+    /// sent to the `Shutdown` requester, if that is how the loop ended).
+    pub fn run(mut self, rx: Receiver<Command>) -> SimResult {
+        self.epoch = Instant::now();
+        loop {
+            let cmd = match self.mode {
+                ClockMode::Virtual => match rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => break, // every client handle dropped
+                },
+                ClockMode::Realtime { compression } => {
+                    // Catch the clock up, then wait for either the next
+                    // command or the next due event.
+                    let target = self.realtime_target();
+                    self.ctl.step_until(Some(target));
+                    self.floor = self.floor.max(target);
+                    let timeout = self
+                        .next_event_wall_delay(compression)
+                        .unwrap_or(Duration::from_millis(200))
+                        .min(Duration::from_millis(200));
+                    match rx.recv_timeout(timeout) {
+                        Ok(c) => c,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            if self.handle(cmd) {
+                break;
+            }
+        }
+        self.ctl.into_result()
+    }
+
+    fn next_event_wall_delay(&self, compression: f64) -> Option<Duration> {
+        // peek_time needs &mut (lazy cancellation); approximate with the
+        // queue emptiness check and a short poll otherwise.
+        if self.ctl.state.events.is_empty() {
+            None
+        } else {
+            Some(Duration::from_millis((50.0 / compression.max(1e-9)) as u64).max(Duration::from_millis(5)))
+        }
+    }
+
+    /// Executes one command; `true` = shutdown.
+    fn handle(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Submit { req, reply } => {
+                let _ = reply.send(self.submit(req));
+            }
+            Command::Cancel { id, reply } => {
+                let _ = reply.send(self.cancel(id));
+            }
+            Command::JobInfo { id, reply } => {
+                let _ = reply.send(self.job_view(id));
+            }
+            Command::Queue { limit, reply } => {
+                let st = &self.ctl.state;
+                let entries = st
+                    .queue
+                    .prefix(limit)
+                    .map(|e| QueueView {
+                        id: e.job.0,
+                        req_nodes: e.req_nodes,
+                        req_time: e.req_time,
+                    })
+                    .collect();
+                let _ = reply.send((st.queue.len(), entries));
+            }
+            Command::Stats { reply } => {
+                let _ = reply.send(self.snapshot());
+            }
+            Command::Advance { to, reply } => {
+                let _ = reply.send(self.advance(to));
+            }
+            Command::Drain { reply } => {
+                if self.mode == ClockMode::Virtual {
+                    self.ctl.step_until(None);
+                    let _ = reply.send(Ok(self.virtual_now().secs()));
+                } else {
+                    let _ = reply.send(Err(EngineError::WrongMode(
+                        "drain requires the virtual clock",
+                    )));
+                }
+            }
+            Command::Result { reply } => {
+                let name = self.ctl.scheduler.name();
+                let _ = reply.send(SimResult::snapshot(&self.ctl.state, name));
+            }
+            Command::Shutdown { reply } => {
+                let name = self.ctl.scheduler.name();
+                let _ = reply.send(SimResult::snapshot(&self.ctl.state, name));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Earliest legal submit instant (virtual mode). Every batch at an
+    /// instant ≤ `state.now` has already run, so a new event there would
+    /// split what offline is one batch into two (diverging the pass
+    /// accounting): the bound is exclusive of `now` once anything has been
+    /// dispatched. Instants between `now` and the advance floor hold no
+    /// processed batches and stay legal.
+    fn min_virtual_submit(&self) -> SimTime {
+        let now = self.ctl.state.now;
+        if self.ctl.state.stats.events_dispatched > 0 {
+            SimTime(now.secs() + 1)
+        } else {
+            now
+        }
+    }
+
+    fn submit(&mut self, req: SubmitRequest) -> Result<SubmitAck, EngineError> {
+        let (min, default) = match self.mode {
+            ClockMode::Virtual => {
+                let min = self.min_virtual_submit();
+                (min, min.max(self.floor))
+            }
+            ClockMode::Realtime { .. } => {
+                let target = self.realtime_target();
+                (self.ctl.state.now, target)
+            }
+        };
+        let submit = match req.submit {
+            Some(t) => {
+                if SimTime(t) < min {
+                    return Err(EngineError::Clock(format!(
+                        "submit time {t} is at or before an already-simulated instant \
+                         (earliest accepted: {})",
+                        min.secs()
+                    )));
+                }
+                t
+            }
+            None => default.secs(),
+        };
+        // Dense id = next job-table slot (SimState assigns the same); the
+        // malleability draw forks from the client's trace identity when
+        // given, matching the offline constructor on the same trace.
+        let id = self.ctl.state.job_count() as u64 + 1;
+        let sj = req.to_swf(req.trace_id.unwrap_or(id), submit);
+        match self.ctl.state.submit_job(&sj, req.malleable) {
+            Ok(id) => {
+                self.submitted += 1;
+                Ok(SubmitAck { id: id.0, submit })
+            }
+            Err(SubmitError::Unusable) => Err(EngineError::Rejected(
+                "job record cannot be simulated (check procs/run_time)".into(),
+            )),
+            Err(e @ SubmitError::InPast { .. }) => Err(EngineError::Clock(e.to_string())),
+        }
+    }
+
+    fn cancel(&mut self, id: u64) -> Result<(), EngineError> {
+        if id == 0 || id as usize > self.ctl.state.job_count() {
+            return Err(EngineError::NoSuchJob(id));
+        }
+        if self.ctl.state.cancel_job(cluster::JobId(id)) {
+            // A dropped queue entry can unblock backfill immediately; run a
+            // (gated) pass now instead of waiting for the next event batch.
+            self.ctl.pass_now();
+            Ok(())
+        } else {
+            Err(EngineError::NotPending(id))
+        }
+    }
+
+    fn advance(&mut self, to: u64) -> Result<u64, EngineError> {
+        if self.mode != ClockMode::Virtual {
+            return Err(EngineError::WrongMode(
+                "advance requires the virtual clock (realtime advances itself)",
+            ));
+        }
+        self.ctl.step_until(Some(SimTime(to)));
+        self.floor = self.floor.max(SimTime(to));
+        Ok(self.virtual_now().secs())
+    }
+
+    fn job_view(&self, id: u64) -> Result<JobView, EngineError> {
+        if id == 0 || id as usize > self.ctl.state.job_count() {
+            return Err(EngineError::NoSuchJob(id));
+        }
+        let job = self.ctl.state.job(cluster::JobId(id));
+        let run = job.running();
+        let done = self
+            .ctl
+            .state
+            .outcomes()
+            .iter()
+            .find(|o| o.id.0 == id);
+        Ok(JobView {
+            id,
+            state: job.state_label(),
+            submit: job.spec.submit.secs(),
+            req_nodes: job.spec.req_nodes,
+            req_time: job.spec.req_time,
+            malleable: job.spec.malleable,
+            start: run
+                .map(|r| r.start.secs())
+                .or_else(|| done.map(|o| o.start.secs())),
+            end: done.map(|o| o.end.secs()),
+            cores: run.map(|r| r.total_cores()),
+            rate: run.map(|r| r.rate),
+        })
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let st = &self.ctl.state;
+        let outcomes = st.outcomes();
+        let mut slow = 0.0;
+        let mut resp = 0.0;
+        let mut wait = 0.0;
+        for o in outcomes {
+            slow += o.slowdown();
+            resp += o.response() as f64;
+            wait += o.wait() as f64;
+        }
+        let n = outcomes.len().max(1) as f64;
+        Snapshot {
+            scheduler: self.ctl.scheduler.name(),
+            now: self.virtual_now().secs(),
+            clock: self.mode,
+            nodes: st.spec().nodes,
+            cores_per_node: st.spec().node.cores(),
+            busy_cores: st.cluster.busy_cores(),
+            empty_nodes: st.cluster.empty_node_count(),
+            jobs_total: st.job_count(),
+            pending: st.queue.len(),
+            running: st.running_count(),
+            completed: outcomes.len(),
+            events_outstanding: st.events.len(),
+            stats: st.stats.clone(),
+            energy_joules: st.snapshot_energy(),
+            mean_slowdown: slow / n,
+            mean_response: resp / n,
+            mean_wait: wait / n,
+            makespan: st.last_end().since(st.first_submit().min(st.last_end())),
+            submitted: self.submitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::ClusterSpec;
+    use drom::SharingFactor;
+    use sd_policy::SdPolicy;
+    use slurm_sim::{IdealModel, SlurmConfig};
+    use std::sync::mpsc;
+
+    fn spawn_engine(mode: ClockMode) -> (Sender<Command>, std::thread::JoinHandle<SimResult>) {
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 8;
+        let state = SimState::new_online(
+            spec,
+            SlurmConfig::default(),
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+        );
+        let engine = Engine::new(state, Box::new(SdPolicy::default()), mode);
+        let (tx, rx) = mpsc::channel();
+        let h = std::thread::spawn(move || engine.run(rx));
+        (tx, h)
+    }
+
+    fn submit(tx: &Sender<Command>, procs: u64, run: u64, at: u64) -> Result<SubmitAck, EngineError> {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Submit {
+            req: SubmitRequest {
+                procs,
+                req_time: run * 2,
+                run_time: run,
+                submit: Some(at),
+                malleable: None,
+                trace_id: None,
+            },
+            reply: rtx,
+        })
+        .unwrap();
+        rrx.recv().unwrap()
+    }
+
+    fn drain(tx: &Sender<Command>) -> u64 {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Drain { reply: rtx }).unwrap();
+        rrx.recv().unwrap().unwrap()
+    }
+
+    fn shutdown(tx: &Sender<Command>) -> SimResult {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Shutdown { reply: rtx }).unwrap();
+        rrx.recv().unwrap()
+    }
+
+    #[test]
+    fn virtual_session_submits_drains_and_reports() {
+        let (tx, h) = spawn_engine(ClockMode::Virtual);
+        for i in 0..5u64 {
+            let ack = submit(&tx, 8, 100, i * 10).unwrap();
+            assert_eq!(ack.id, i + 1);
+        }
+        drain(&tx);
+        let res = shutdown(&tx);
+        assert_eq!(res.outcomes.len(), 5);
+        assert_eq!(res.leftover_pending, 0);
+        let joined = h.join().unwrap();
+        assert_eq!(joined, res, "shutdown snapshot equals the final result");
+    }
+
+    #[test]
+    fn clock_rejects_already_simulated_instants() {
+        let (tx, h) = spawn_engine(ClockMode::Virtual);
+        submit(&tx, 8, 50, 100).unwrap();
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Advance { to: 500, reply: rtx }).unwrap();
+        assert_eq!(rrx.recv().unwrap().unwrap(), 500);
+        // The job ran 100→150, so batches exist at 100 and 150: instants up
+        // to and *including* 150 are closed (a new event there would split
+        // an offline batch in two)…
+        for at in [0, 100, 149, 150] {
+            let err = submit(&tx, 8, 50, at).unwrap_err();
+            assert!(matches!(err, EngineError::Clock(_)), "t={at}: {err:?}");
+        }
+        // …while unprocessed instants stay open, even below the advance
+        // floor — offline would order those batches identically.
+        submit(&tx, 8, 50, 151).unwrap();
+        submit(&tx, 8, 50, 300).unwrap();
+        submit(&tx, 8, 50, 500).unwrap();
+        drain(&tx);
+        let res = shutdown(&tx);
+        h.join().unwrap();
+        assert_eq!(res.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn cancel_only_touches_pending_jobs() {
+        let (tx, h) = spawn_engine(ClockMode::Virtual);
+        // Two machine-filling jobs: the second stays queued at t=0.
+        submit(&tx, 64, 1000, 0).unwrap();
+        submit(&tx, 64, 1000, 0).unwrap();
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Advance { to: 0, reply: rtx }).unwrap();
+        rrx.recv().unwrap().unwrap();
+
+        let cancel = |id: u64| {
+            let (rtx, rrx) = mpsc::channel();
+            tx.send(Command::Cancel { id, reply: rtx }).unwrap();
+            rrx.recv().unwrap()
+        };
+        assert_eq!(cancel(2), Ok(()));
+        assert_eq!(cancel(2), Err(EngineError::NotPending(2)));
+        assert_eq!(cancel(1), Err(EngineError::NotPending(1)), "running");
+        assert_eq!(cancel(99), Err(EngineError::NoSuchJob(99)));
+        drain(&tx);
+        let res = shutdown(&tx);
+        h.join().unwrap();
+        assert_eq!(res.outcomes.len(), 1, "cancelled job never ran");
+        assert_eq!(res.stats.cancelled, 1);
+    }
+
+    #[test]
+    fn realtime_mode_processes_events_from_wall_clock() {
+        let (tx, h) = spawn_engine(ClockMode::Realtime {
+            compression: 10_000.0,
+        });
+        // Submit "now"; 100 sim-seconds pass in 10 ms of wall time.
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Submit {
+            req: SubmitRequest {
+                procs: 8,
+                req_time: 200,
+                run_time: 100,
+                submit: None,
+                malleable: None,
+                trace_id: None,
+            },
+            reply: rtx,
+        })
+        .unwrap();
+        rrx.recv().unwrap().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let (rtx, rrx) = mpsc::channel();
+            tx.send(Command::Stats { reply: rtx }).unwrap();
+            let snap = rrx.recv().unwrap();
+            if snap.completed == 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never completed: {snap:?}");
+        }
+        let res = shutdown(&tx);
+        h.join().unwrap();
+        assert_eq!(res.outcomes.len(), 1);
+    }
+}

@@ -1,0 +1,407 @@
+//! Minimal HTTP/1.1 framing over `std::io` — no TLS, no chunked bodies, no
+//! dependencies. Exactly the subset the service and its load generator
+//! speak: request line + headers + `Content-Length` body, persistent
+//! connections by default.
+//!
+//! Both directions are symmetrical and pure over `BufRead`/byte buffers, so
+//! the property tests round-trip `render → parse` without sockets, and the
+//! malformed-input corpus drives [`read_request`] directly. Malformed input
+//! is *always* a typed error (mapped to a 4xx by the server), never a panic.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line + headers (bytes).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (bytes).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Uppercase token (`GET`, `POST`, `DELETE`, …) — verbatim.
+    pub method: String,
+    /// Path component, always starting with `/`; the query is split off.
+    pub path: String,
+    /// Raw query string without the `?` (empty when absent).
+    pub query: String,
+    /// Header name/value pairs; names lower-cased, order preserved.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn new(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Serialises the request (client side / round-trip tests). Emits
+    /// `Content-Length` for the body; other headers verbatim.
+    pub fn render(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        let target = if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.query)
+        };
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, target).as_bytes());
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() || self.method == "POST" {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HttpError {
+    /// The peer closed (or timed out) before a complete request arrived.
+    /// Clean close *between* requests is `Ok(None)`, not this.
+    Disconnected,
+    /// Syntactically invalid input → respond 400.
+    Malformed(String),
+    /// Head or body exceeds the hard limits → respond 413.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Disconnected => write!(f, "peer disconnected mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds the configured limit"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// Reads one line terminated by `\n` (tolerating a preceding `\r`), bounded
+/// by the remaining head budget. `Ok(None)` = clean EOF before any byte.
+fn read_line(
+    r: &mut impl BufRead,
+    budget: &mut usize,
+    first: bool,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() && first {
+                    return Ok(None);
+                }
+                return Err(HttpError::Disconnected);
+            }
+            Ok(_) => {}
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+        if *budget == 0 {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let s = String::from_utf8(line).map_err(|_| malformed("non-UTF-8 header line"))?;
+            return Ok(Some(s));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` means the peer closed
+/// cleanly between requests (keep-alive teardown).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(r, &mut budget, true)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().ok_or_else(|| malformed("request line needs a target"))?;
+    let version = parts.next().ok_or_else(|| malformed("request line needs a version"))?;
+    if parts.next().is_some() {
+        return Err(malformed("request line has extra fields"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(malformed("method must be an uppercase token"));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(malformed("unsupported HTTP version"));
+    }
+    if !target.starts_with('/') {
+        return Err(malformed("target must be an absolute path"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget, false)?.expect("EOF mapped to Disconnected");
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("header line without a colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(malformed("invalid header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(malformed("chunked transfer encoding is not supported"));
+    }
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| malformed("unparsable content-length"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge("request body"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body).map_err(|_| HttpError::Disconnected)?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// One response. The server always sends `Content-Length` (no chunking).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, v: &crate::json::Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: v.render().into_bytes(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Standard error body: `{"error": "..."}`.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(status, &crate::json::Json::obj().set("error", msg))
+    }
+
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+
+    /// Writes the full response; `close` adds `Connection: close`.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if close { "connection: close\r\n" } else { "" },
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Client side: reads one response (status + headers + sized body).
+pub fn read_response(r: &mut impl BufRead) -> Result<(u16, Vec<u8>), HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(r, &mut budget, false)?.expect("EOF is Disconnected");
+    let mut parts = status_line.split(' ');
+    if !matches!(parts.next(), Some("HTTP/1.1" | "HTTP/1.0")) {
+        return Err(malformed("bad status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("bad status code"))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(r, &mut budget, false)?.expect("EOF is Disconnected");
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("response body"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(|_| HttpError::Disconnected)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /v1/jobs?dry=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query, "dry=1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut req = Request::new("POST", "/v1/clock/advance");
+        req.query = "a=1&b=2".into();
+        req.headers.push(("host".into(), "127.0.0.1".into()));
+        req.body = br#"{"to":100}"#.to_vec();
+        let back = parse(&req.render()).unwrap().unwrap();
+        assert_eq!(back.method, req.method);
+        assert_eq!(back.path, req.path);
+        assert_eq!(back.query, req.query);
+        assert_eq!(back.body, req.body);
+        assert_eq!(back.header("host"), Some("127.0.0.1"));
+    }
+
+    #[test]
+    fn clean_eof_is_none_midstream_is_error() {
+        assert_eq!(parse(b"").unwrap(), None);
+        assert_eq!(parse(b"GET /x HT").unwrap_err(), HttpError::Disconnected);
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap_err(),
+            HttpError::Disconnected
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            b"get /x HTTP/1.1\r\n\r\n".as_slice(),
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_rejected() {
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+        assert_eq!(
+            parse(huge.as_bytes()).unwrap_err(),
+            HttpError::TooLarge("request head")
+        );
+        let body = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse(body.as_bytes()).unwrap_err(),
+            HttpError::TooLarge("request body")
+        );
+    }
+
+    #[test]
+    fn response_roundtrips_through_client_reader() {
+        let resp = Response::json(200, &crate::json::Json::obj().set("ok", true));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, false).unwrap();
+        let (status, body) = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_tolerated() {
+        let req = parse(b"GET /healthz HTTP/1.1\nhost: y\n\n").unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+}

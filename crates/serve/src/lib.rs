@@ -1,0 +1,32 @@
+//! # sd-serve — the scheduler as an online service
+//!
+//! Wraps `slurm-sim`'s controller + the SD-Policy behind a dependency-free
+//! HTTP/1.1 + JSON API over `std::net` (DESIGN.md §10):
+//!
+//! * [`http`] / [`json`] / [`proto`] — the wire: framing, values, typed
+//!   request/response encodings (all round-trip, floats bit-for-bit),
+//! * [`engine`] — the single scheduler thread with two clock modes sharing
+//!   one code path: a **deterministic virtual clock** (a scripted session is
+//!   bit-identical to the offline replay — `tests/serve_equivalence.rs`) and
+//!   a **real-time mode** with a configurable time-compression factor,
+//! * [`server`] — bounded `std::thread::scope` worker pool feeding the
+//!   engine through channels (single-writer hot path, no locks),
+//! * [`metrics`] — Prometheus text exposition of the `sched_metrics`-style
+//!   aggregates plus the PR 4 pass/skip counters,
+//! * [`client`] / [`loadgen`] — the loopback client and the `sd-loadgen`
+//!   traffic replayer (throughput, latency percentiles, metric deltas).
+
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use engine::{ClockMode, Command, Engine, EngineError, Snapshot};
+pub use json::Json;
+pub use proto::SubmitRequest;
+pub use server::{run, ServerConfig};

@@ -1,0 +1,202 @@
+//! The load generator: replays a workload trace as live traffic against a
+//! running `sd-serve` and reports achieved throughput, per-request latency
+//! percentiles and end-state metric deltas.
+//!
+//! In virtual-clock mode the trace's own submit timestamps ride along with
+//! each request and a final `/v1/drain` runs the simulation — so the service
+//! under load produces the *same* schedule the offline simulator would,
+//! while the wire, framing and scheduler-thread handoff are all exercised at
+//! full speed. `--rate` throttles the wall-clock request rate instead of
+//! going flat out.
+
+use crate::client::{Client, ClientError};
+use crate::json::Json;
+use crate::proto::SubmitRequest;
+use sched_metrics::Percentiles;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// What to replay and how fast.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Target submissions per wall-second (None = as fast as possible).
+    pub rate: Option<f64>,
+    /// Carry trace submit times (virtual mode). Off = submit "now"
+    /// (realtime servers).
+    pub virtual_timestamps: bool,
+    /// Drain the virtual clock after the last submission.
+    pub drain: bool,
+    /// Shut the server down at the end and collect its final result.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            rate: None,
+            virtual_timestamps: true,
+            drain: true,
+            shutdown: false,
+        }
+    }
+}
+
+/// Everything one loadgen run measured.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    pub submitted: u64,
+    pub rejected: u64,
+    /// Wall seconds spent in the submission phase.
+    pub submit_wall_s: f64,
+    /// Achieved submissions per wall-second.
+    pub achieved_rate: f64,
+    /// Per-request latency percentiles, milliseconds.
+    pub latency_ms: Option<Percentiles>,
+    /// Wall seconds the final drain took (0 when not draining).
+    pub drain_wall_s: f64,
+    /// `/v1/stats` before the run and after the drain.
+    pub stats_before: Json,
+    pub stats_after: Json,
+    /// Prometheus exposition captured after the drain (before shutdown).
+    pub metrics_text: String,
+    /// The server's final result (only with `shutdown`).
+    pub final_result: Option<slurm_sim::SimResult>,
+}
+
+impl LoadgenReport {
+    fn stat(v: &Json, key: &str) -> f64 {
+        v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+    }
+
+    /// End-state delta of one `/v1/stats` numeric field (after − before).
+    pub fn delta(&self, key: &str) -> f64 {
+        Self::stat(&self.stats_after, key) - Self::stat(&self.stats_before, key)
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "submitted        {}", self.submitted);
+        let _ = writeln!(out, "rejected         {}", self.rejected);
+        let _ = writeln!(out, "submit wall      {:.3} s", self.submit_wall_s);
+        let _ = writeln!(out, "achieved rate    {:.0} submits/s", self.achieved_rate);
+        if let Some(p) = &self.latency_ms {
+            let _ = writeln!(
+                out,
+                "latency (ms)     p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}",
+                p.p50, p.p90, p.p99, p.max
+            );
+        }
+        if self.drain_wall_s > 0.0 {
+            let _ = writeln!(out, "drain wall       {:.3} s", self.drain_wall_s);
+        }
+        let _ = writeln!(out, "Δ completed      {:+.0}", self.delta("completed"));
+        let _ = writeln!(out, "Δ malleable      {:+.0}", self.delta("started_malleable"));
+        let _ = writeln!(out, "Δ sched passes   {:+.0}", self.delta("sched_passes"));
+        let _ = writeln!(out, "Δ passes skipped {:+.0}", self.delta("passes_skipped"));
+        let _ = writeln!(out, "Δ energy (J)     {:+.3e}", self.delta("energy_joules"));
+        if let Some(r) = &self.final_result {
+            let _ = writeln!(
+                out,
+                "final            jobs {}  makespan {}  mean slowdown {:.2}",
+                r.outcomes.len(),
+                r.makespan,
+                r.mean_slowdown()
+            );
+        }
+        out
+    }
+}
+
+/// Replays `jobs` (SWF records; `submit`/`run_time`/`procs`/`req_time` are
+/// used) against the service at `addr`.
+pub fn run(
+    addr: SocketAddr,
+    jobs: &[swf::SwfJob],
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.health()?;
+    let stats_before = client.stats()?;
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let pacing = opts.rate.map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
+    let t0 = Instant::now();
+    for (i, j) in jobs.iter().enumerate() {
+        if let Some(gap) = pacing {
+            let due = t0 + gap.mul_f64(i as f64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let req = SubmitRequest {
+            procs: j.procs().unwrap_or(1),
+            req_time: j.requested_time().unwrap_or(0),
+            run_time: j.runtime().unwrap_or(0),
+            submit: if opts.virtual_timestamps {
+                Some(j.submit.max(0) as u64)
+            } else {
+                None
+            },
+            malleable: None,
+            // The record's own id seeds the malleability draw, so a
+            // fraction < 1 server draws the same population an offline
+            // build of this trace would.
+            trace_id: Some(j.job_id),
+        };
+        let r0 = Instant::now();
+        match client.submit(&req) {
+            Ok(_) => submitted += 1,
+            Err(ClientError::Status(_, _)) => rejected += 1,
+            Err(e) => return Err(e),
+        }
+        latencies_ms.push(r0.elapsed().as_secs_f64() * 1e3);
+    }
+    let submit_wall_s = t0.elapsed().as_secs_f64();
+
+    let mut drain_wall_s = 0.0;
+    if opts.drain {
+        let d0 = Instant::now();
+        client.drain()?;
+        drain_wall_s = d0.elapsed().as_secs_f64();
+    }
+    let stats_after = client.stats()?;
+    let metrics_text = client.metrics()?;
+    let final_result = if opts.shutdown {
+        Some(client.shutdown()?)
+    } else {
+        None
+    };
+
+    Ok(LoadgenReport {
+        submitted,
+        rejected,
+        submit_wall_s,
+        achieved_rate: if submit_wall_s > 0.0 {
+            submitted as f64 / submit_wall_s
+        } else {
+            0.0
+        },
+        latency_ms: Percentiles::compute(&mut latencies_ms),
+        drain_wall_s,
+        stats_before,
+        stats_after,
+        metrics_text,
+        final_result,
+    })
+}
+
+impl LoadgenReport {
+    /// The value of one Prometheus sample in the captured `/metrics` text.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics_text.lines().find_map(|l| {
+            let rest = l.strip_prefix(name)?;
+            let rest = rest.strip_prefix(' ')?;
+            rest.trim().parse().ok()
+        })
+    }
+}

@@ -1,0 +1,140 @@
+//! Prometheus text exposition for `GET /metrics`.
+//!
+//! Gauges and counters come from the engine's [`Snapshot`] (authoritative,
+//! read under the single-writer scheduler thread) plus the HTTP-layer
+//! request counters. Plain text format 0.0.4: `# HELP`/`# TYPE` pairs and
+//! one sample per line — scrapeable by any Prometheus without extra deps.
+
+use crate::engine::Snapshot;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Request-level counters maintained by the HTTP workers.
+#[derive(Debug, Default)]
+pub struct HttpCounters {
+    pub requests_2xx: AtomicU64,
+    pub requests_4xx: AtomicU64,
+    pub requests_5xx: AtomicU64,
+    pub connections: AtomicU64,
+}
+
+impl HttpCounters {
+    pub fn count_status(&self, status: u16) {
+        let c = match status {
+            200..=299 => &self.requests_2xx,
+            400..=499 => &self.requests_4xx,
+            _ => &self.requests_5xx,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the full exposition. Deterministic order.
+pub fn render(snap: &Snapshot, http: &HttpCounters) -> String {
+    let mut out = String::with_capacity(2048);
+    let s = &snap.stats;
+    sample(&mut out, "sd_serve_sim_now_seconds", "Virtual clock position.", "gauge", snap.now);
+    sample(&mut out, "sd_serve_jobs_submitted_total", "Jobs accepted over the API.", "counter", snap.submitted);
+    sample(&mut out, "sd_serve_jobs_total", "Jobs known to the simulator.", "gauge", snap.jobs_total);
+    sample(&mut out, "sd_serve_jobs_pending", "Jobs waiting in the queue.", "gauge", snap.pending);
+    sample(&mut out, "sd_serve_jobs_running", "Jobs currently executing.", "gauge", snap.running);
+    sample(&mut out, "sd_serve_jobs_completed_total", "Jobs that finished.", "counter", snap.completed);
+    sample(&mut out, "sd_serve_jobs_cancelled_total", "Pending jobs withdrawn.", "counter", s.cancelled);
+    sample(&mut out, "sd_serve_started_static_total", "Exclusive whole-node starts.", "counter", s.started_static);
+    sample(&mut out, "sd_serve_started_malleable_total", "Malleable co-scheduled starts.", "counter", s.started_malleable);
+    sample(&mut out, "sd_serve_unique_mates_total", "Distinct jobs shrunk as mates.", "counter", s.unique_mates);
+    sample(&mut out, "sd_serve_shrink_events_total", "Mate shrink operations.", "counter", s.shrink_events);
+    sample(&mut out, "sd_serve_expand_events_total", "Expand-back operations.", "counter", s.expand_events);
+    sample(&mut out, "sd_serve_relocations_total", "Shrunk borrowers moved to idle nodes.", "counter", s.relocations);
+    sample(&mut out, "sd_serve_sched_passes_total", "Scheduling passes executed.", "counter", s.sched_passes);
+    sample(&mut out, "sd_serve_sched_passes_skipped_total", "Passes skipped by no-op gating.", "counter", s.passes_skipped);
+    sample(&mut out, "sd_serve_events_dispatched_total", "Simulation events dispatched.", "counter", s.events_dispatched);
+    sample(&mut out, "sd_serve_events_outstanding", "Events still scheduled.", "gauge", snap.events_outstanding);
+    sample(&mut out, "sd_serve_peak_profile_len", "Largest availability-profile length seen.", "gauge", s.peak_profile_len);
+    sample(&mut out, "sd_serve_busy_cores", "Cores currently allocated.", "gauge", snap.busy_cores);
+    sample(&mut out, "sd_serve_empty_nodes", "Completely idle nodes.", "gauge", snap.empty_nodes);
+    sample(&mut out, "sd_serve_cluster_nodes", "Machine size in nodes.", "gauge", snap.nodes);
+    sample(&mut out, "sd_serve_energy_joules_total", "Energy integral over the makespan window.", "counter", format_args!("{}", snap.energy_joules));
+    sample(&mut out, "sd_serve_mean_slowdown", "Mean slowdown of completed jobs.", "gauge", format_args!("{}", snap.mean_slowdown));
+    sample(&mut out, "sd_serve_mean_response_seconds", "Mean response time of completed jobs.", "gauge", format_args!("{}", snap.mean_response));
+    sample(&mut out, "sd_serve_makespan_seconds", "First submit to last end, so far.", "gauge", snap.makespan);
+
+    let _ = writeln!(out, "# HELP sd_serve_http_requests_total HTTP requests by status class.");
+    let _ = writeln!(out, "# TYPE sd_serve_http_requests_total counter");
+    for (class, v) in [
+        ("2xx", &http.requests_2xx),
+        ("4xx", &http.requests_4xx),
+        ("5xx", &http.requests_5xx),
+    ] {
+        let _ = writeln!(
+            out,
+            "sd_serve_http_requests_total{{class=\"{class}\"}} {}",
+            v.load(Ordering::Relaxed)
+        );
+    }
+    sample(&mut out, "sd_serve_http_connections_total", "Accepted TCP connections.", "counter", http.connections.load(Ordering::Relaxed));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ClockMode;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            scheduler: "sd-policy",
+            now: 1234,
+            clock: ClockMode::Virtual,
+            nodes: 64,
+            cores_per_node: 8,
+            busy_cores: 100,
+            empty_nodes: 10,
+            jobs_total: 20,
+            pending: 3,
+            running: 5,
+            completed: 12,
+            events_outstanding: 5,
+            stats: Default::default(),
+            energy_joules: 1.5e6,
+            mean_slowdown: 2.5,
+            mean_response: 100.0,
+            mean_wait: 10.0,
+            makespan: 5000,
+            submitted: 20,
+        }
+    }
+
+    #[test]
+    fn exposition_has_expected_series() {
+        let http = HttpCounters::default();
+        http.count_status(200);
+        http.count_status(204);
+        http.count_status(404);
+        http.count_status(500);
+        let text = render(&snap(), &http);
+        assert!(text.contains("sd_serve_jobs_submitted_total 20"));
+        assert!(text.contains("sd_serve_sim_now_seconds 1234"));
+        assert!(text.contains("sd_serve_sched_passes_skipped_total 0"));
+        assert!(text.contains("sd_serve_http_requests_total{class=\"2xx\"} 2"));
+        assert!(text.contains("sd_serve_http_requests_total{class=\"4xx\"} 1"));
+        assert!(text.contains("sd_serve_http_requests_total{class=\"5xx\"} 1"));
+        // Every HELP has a TYPE and at least one sample.
+        let helps = text.matches("# HELP").count();
+        let types = text.matches("# TYPE").count();
+        assert_eq!(helps, types);
+        assert!(helps >= 20, "{helps} series");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let http = HttpCounters::default();
+        assert_eq!(render(&snap(), &http), render(&snap(), &http));
+    }
+}

@@ -1,0 +1,379 @@
+//! The HTTP server: a bounded `std::thread::scope` worker pool in front of
+//! the single scheduler thread.
+//!
+//! Concurrency shape (DESIGN.md §10):
+//!
+//! ```text
+//!   acceptor ──sync_channel(bounded)──▶ worker × N ──mpsc──▶ engine (1)
+//! ```
+//!
+//! Workers parse HTTP, translate to [`Command`]s and block on a per-request
+//! reply channel; the engine executes commands strictly sequentially, so the
+//! simulator state has exactly one writer and no locks. Back-pressure is
+//! structural: the connection channel is bounded, and each worker pipelines
+//! at most one in-flight command.
+
+use crate::engine::{ClockMode, Command, Engine, EngineError, Snapshot};
+use crate::http::{self, HttpError, Request, Response};
+use crate::json::Json;
+use crate::metrics::HttpCounters;
+use crate::proto::{self, SubmitRequest};
+use slurm_sim::SimResult;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Server configuration (the engine is built by the caller).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// HTTP worker threads (the scheduler thread is extra).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4 }
+    }
+}
+
+struct Shared {
+    cmd_tx: Sender<Command>,
+    counters: HttpCounters,
+    stop: AtomicBool,
+    final_result: Mutex<Option<SimResult>>,
+    addr: std::net::SocketAddr,
+}
+
+/// Runs the service until a client posts `/v1/shutdown` (or the listener
+/// dies). Blocks the calling thread; returns the final [`SimResult`] as the
+/// engine saw it at shutdown.
+pub fn run(
+    engine: Engine,
+    listener: TcpListener,
+    cfg: ServerConfig,
+) -> std::io::Result<SimResult> {
+    let addr = listener.local_addr()?;
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+    let workers = cfg.workers.max(1);
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+    let conn_rx = Mutex::new(conn_rx);
+    let shared = Shared {
+        cmd_tx,
+        counters: HttpCounters::default(),
+        stop: AtomicBool::new(false),
+        final_result: Mutex::new(None),
+        addr,
+    };
+
+    std::thread::scope(|s| {
+        s.spawn(|| engine.run(cmd_rx));
+        for _ in 0..workers {
+            s.spawn(|| worker_loop(&conn_rx, &shared));
+        }
+        // Acceptor: this thread. Unblocked at shutdown by a self-connection.
+        // Transient accept errors (ECONNABORTED from a reset handshake,
+        // EMFILE under fd pressure) must not kill the daemon: back off and
+        // retry, giving up only after a long unbroken error run.
+        let mut consecutive_errors = 0u32;
+        loop {
+            match listener.accept() {
+                Ok((conn, _)) => {
+                    consecutive_errors = 0;
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    if conn_tx.send(conn).is_err() {
+                        break;
+                    }
+                }
+                Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    consecutive_errors += 1;
+                    if consecutive_errors > 100 {
+                        break; // the listener is genuinely dead
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        drop(conn_tx); // workers drain and exit
+        if !shared.stop.load(Ordering::SeqCst) {
+            // The listener died without a client shutdown. The engine would
+            // otherwise block forever in recv() (its Sender lives in
+            // `shared`, which outlives the scope) — poke it loose with a
+            // synthetic shutdown whose reply nobody reads.
+            let (tx, _rx) = mpsc::channel();
+            let _ = shared.cmd_tx.send(Command::Shutdown { reply: tx });
+        }
+    });
+
+    shared
+        .final_result
+        .into_inner()
+        .expect("final-result mutex poisoned")
+        .ok_or_else(|| std::io::Error::other("listener died before a shutdown request"))
+}
+
+fn worker_loop(conn_rx: &Mutex<mpsc::Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        let conn = {
+            let rx = conn_rx.lock().expect("connection channel poisoned");
+            rx.recv()
+        };
+        match conn {
+            Ok(c) => serve_connection(c, shared),
+            Err(_) => return, // acceptor gone
+        }
+    }
+}
+
+fn serve_connection(conn: TcpStream, shared: &Shared) {
+    let _ = conn.set_nodelay(true);
+    // Idle keep-alive connections are dropped after a quiet period so
+    // workers cannot be pinned forever by a silent peer.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(write_half) = conn.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(conn);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                let close = req.wants_close() || shared.stop.load(Ordering::SeqCst);
+                let resp = route(&req, shared);
+                shared.counters.count_status(resp.status);
+                let is_shutdown = req.method == "POST" && req.path == "/v1/shutdown";
+                if resp.write_to(&mut write_half, close).is_err() {
+                    return;
+                }
+                if is_shutdown && resp.status == 200 {
+                    finish_shutdown(shared);
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(HttpError::Disconnected) => return,
+            Err(e) => {
+                // Malformed input never kills the worker: answer 4xx, close.
+                let status = match e {
+                    HttpError::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                let resp = Response::error(status, &e.to_string());
+                shared.counters.count_status(resp.status);
+                let _ = resp.write_to(&mut write_half, true);
+                return;
+            }
+        }
+    }
+}
+
+/// After the shutdown response is on the wire: raise the stop flag and poke
+/// the acceptor loose with a throwaway connection to our own socket.
+fn finish_shutdown(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+/// One round-trip to the engine.
+fn call<T>(shared: &Shared, build: impl FnOnce(Sender<T>) -> Command) -> Result<T, Response> {
+    let (tx, rx) = mpsc::channel();
+    shared
+        .cmd_tx
+        .send(build(tx))
+        .map_err(|_| Response::error(503, "scheduler is shutting down"))?;
+    rx.recv()
+        .map_err(|_| Response::error(503, "scheduler is shutting down"))
+}
+
+fn engine_error(e: EngineError) -> Response {
+    let status = match &e {
+        EngineError::Clock(_) | EngineError::WrongMode(_) => 409,
+        EngineError::Rejected(_) => 400,
+        EngineError::NoSuchJob(_) => 404,
+        EngineError::NotPending(_) => 409,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    match route_inner(req, shared) {
+        Ok(r) | Err(r) => r,
+    }
+}
+
+fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
+    let path = req.path.as_str();
+    let method = req.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => Ok(Response::json(200, &Json::obj().set("ok", true))),
+        ("GET", "/metrics") => {
+            let snap = call(shared, |reply| Command::Stats { reply })?;
+            Ok(Response::text(200, crate::metrics::render(&snap, &shared.counters)))
+        }
+        ("GET", "/v1/stats") => {
+            let snap = call(shared, |reply| Command::Stats { reply })?;
+            Ok(Response::json(200, &snapshot_json(&snap)))
+        }
+        ("GET", "/v1/cluster") => {
+            let snap = call(shared, |reply| Command::Stats { reply })?;
+            Ok(Response::json(
+                200,
+                &Json::obj()
+                    .set("nodes", snap.nodes)
+                    .set("cores_per_node", snap.cores_per_node)
+                    .set("busy_cores", snap.busy_cores)
+                    .set("empty_nodes", snap.empty_nodes)
+                    .set("running", snap.running),
+            ))
+        }
+        ("GET", "/v1/queue") => {
+            let (total, entries) = call(shared, |reply| Command::Queue { limit: 100, reply })?;
+            let items: Vec<Json> = entries
+                .iter()
+                .map(|e| {
+                    Json::obj()
+                        .set("id", e.id)
+                        .set("req_nodes", e.req_nodes)
+                        .set("req_time", e.req_time)
+                })
+                .collect();
+            Ok(Response::json(
+                200,
+                &Json::obj().set("pending", total).set("head", items),
+            ))
+        }
+        ("POST", "/v1/jobs") => {
+            let body = proto::body_json(&req.body).map_err(|e| Response::error(400, &e))?;
+            let sub = SubmitRequest::decode(&body).map_err(|e| Response::error(400, &e))?;
+            let ack = call(shared, |reply| Command::Submit { req: sub, reply })?
+                .map_err(engine_error)?;
+            Ok(Response::json(
+                201,
+                &Json::obj().set("id", ack.id).set("submit", ack.submit),
+            ))
+        }
+        ("POST", "/v1/clock/advance") => {
+            let body = proto::body_json(&req.body).map_err(|e| Response::error(400, &e))?;
+            let to = body
+                .get("to")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| Response::error(400, "`to` must be a non-negative integer"))?;
+            let now = call(shared, |reply| Command::Advance { to, reply })?
+                .map_err(engine_error)?;
+            Ok(Response::json(200, &Json::obj().set("now", now)))
+        }
+        ("POST", "/v1/drain") => {
+            let now = call(shared, |reply| Command::Drain { reply })?.map_err(engine_error)?;
+            Ok(Response::json(200, &Json::obj().set("now", now).set("idle", true)))
+        }
+        ("GET", "/v1/result") => {
+            let res = call(shared, |reply| Command::Result { reply })?;
+            Ok(Response::json(200, &proto::encode_result(&res)))
+        }
+        ("POST", "/v1/shutdown") => {
+            let res = call(shared, |reply| Command::Shutdown { reply })?;
+            *shared
+                .final_result
+                .lock()
+                .expect("final-result mutex poisoned") = Some(res.clone());
+            Ok(Response::json(200, &proto::encode_result(&res)))
+        }
+        _ => {
+            // /v1/jobs/{id} family.
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                return route_job(method, rest, shared);
+            }
+            if matches!(
+                path,
+                "/healthz" | "/metrics" | "/v1/stats" | "/v1/cluster" | "/v1/queue" | "/v1/jobs"
+                    | "/v1/clock/advance" | "/v1/drain" | "/v1/result" | "/v1/shutdown"
+            ) {
+                return Err(Response::error(405, "method not allowed for this path"));
+            }
+            Err(Response::error(404, "no such endpoint"))
+        }
+    }
+}
+
+fn route_job(method: &str, rest: &str, shared: &Shared) -> Result<Response, Response> {
+    let (id_text, action) = match rest.split_once('/') {
+        Some((id, act)) => (id, Some(act)),
+        None => (rest, None),
+    };
+    let id: u64 = id_text
+        .parse()
+        .map_err(|_| Response::error(400, "job id must be an integer"))?;
+    match (method, action) {
+        ("GET", None) => {
+            let view = call(shared, |reply| Command::JobInfo { id, reply })?
+                .map_err(engine_error)?;
+            Ok(Response::json(
+                200,
+                &Json::obj()
+                    .set("id", view.id)
+                    .set("state", view.state)
+                    .set("submit", view.submit)
+                    .set("req_nodes", view.req_nodes)
+                    .set("req_time", view.req_time)
+                    .set("malleable", view.malleable)
+                    .set("start", view.start)
+                    .set("end", view.end)
+                    .set("cores", view.cores)
+                    .set("rate", view.rate.map(Json::Num)),
+            ))
+        }
+        ("DELETE", None) | ("POST", Some("cancel")) => {
+            call(shared, |reply| Command::Cancel { id, reply })?.map_err(engine_error)?;
+            Ok(Response::json(200, &Json::obj().set("cancelled", id)))
+        }
+        _ => Err(Response::error(405, "method not allowed for this path")),
+    }
+}
+
+fn snapshot_json(snap: &Snapshot) -> Json {
+    let s = &snap.stats;
+    Json::obj()
+        .set("scheduler", snap.scheduler)
+        .set(
+            "clock",
+            match snap.clock {
+                ClockMode::Virtual => Json::from("virtual"),
+                ClockMode::Realtime { compression } => Json::obj()
+                    .set("mode", "realtime")
+                    .set("compression", compression),
+            },
+        )
+        .set("now", snap.now)
+        .set("jobs_total", snap.jobs_total)
+        .set("submitted", snap.submitted)
+        .set("pending", snap.pending)
+        .set("running", snap.running)
+        .set("completed", snap.completed)
+        .set("cancelled", s.cancelled)
+        .set("events_outstanding", snap.events_outstanding)
+        .set("started_static", s.started_static)
+        .set("started_malleable", s.started_malleable)
+        .set("unique_mates", s.unique_mates)
+        .set("relocations", s.relocations)
+        .set("sched_passes", s.sched_passes)
+        .set("passes_skipped", s.passes_skipped)
+        .set("events_dispatched", s.events_dispatched)
+        .set("peak_profile_len", s.peak_profile_len)
+        .set("mean_slowdown", snap.mean_slowdown)
+        .set("mean_response", snap.mean_response)
+        .set("mean_wait", snap.mean_wait)
+        .set("makespan", snap.makespan)
+        .set("energy_joules", snap.energy_joules)
+        .set("busy_cores", snap.busy_cores)
+        .set("empty_nodes", snap.empty_nodes)
+        .set("nodes", snap.nodes)
+}

@@ -1,0 +1,191 @@
+//! Property tests for the wire layer (vendored proptest):
+//!
+//! * HTTP request framing: `parse(render(req)) == req` for arbitrary
+//!   methods, paths, queries, header sets and binary bodies.
+//! * JSON: `parse(render(v)) == v` for arbitrary value trees (finite
+//!   numbers), and `render` is injective enough to be stable.
+//! * Protocol: `SubmitRequest` and `SimResult` survive the full
+//!   encode → render → parse → decode pipeline unchanged.
+
+use proptest::prelude::*;
+use sd_serve::http::{read_request, Request};
+use sd_serve::json::Json;
+use sd_serve::proto::{decode_result, encode_result, SubmitRequest};
+use std::io::Cursor;
+
+// ----- generators -----
+
+fn token(rng: &mut proptest::TestRng, alphabet: &[u8], len: usize) -> String {
+    (0..len)
+        .map(|_| alphabet[rng.below(alphabet.len())] as char)
+        .collect()
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..3,
+        1usize..12,
+        0usize..10,
+        0usize..4,
+        proptest::collection::vec(any::<u8>(), 0..200),
+        any::<u64>(),
+    )
+        .prop_map(|(m, path_len, q_len, n_headers, body, seed)| {
+            let mut rng = proptest::TestRng::new(seed);
+            let method = ["GET", "POST", "DELETE"][m as usize].to_string();
+            let seg = token(&mut rng, b"abcdefghij0123456789_-.", path_len);
+            let mut req = Request::new(&method, &format!("/{seg}"));
+            if q_len > 0 {
+                req.query = token(&mut rng, b"abc=&123", q_len);
+            }
+            for i in 0..n_headers {
+                let name = format!("x-{}-{}", token(&mut rng, b"abcdef", 4), i);
+                let len = 1 + rng.below(20);
+                let value = token(&mut rng, b"abcdef ghij,;=/0123456789", len);
+                req.headers.push((name, value.trim().to_string()));
+            }
+            req.body = body;
+            req
+        })
+}
+
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    if depth == 0 {
+        prop_oneof![
+            Just(Json::Null),
+            any::<bool>().prop_map(Json::Bool),
+            (-1.0e12f64..1.0e12).prop_map(Json::Num),
+            (0u64..1_000_000).prop_map(|v| Json::Num(v as f64)),
+            (0usize..12, any::<u64>()).prop_map(|(len, seed)| {
+                let mut rng = proptest::TestRng::new(seed);
+                Json::Str(token(&mut rng, b"ab\"\\\ncd {}:,[]\te\xc3\xa9", len))
+            }),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            arb_json(0),
+            proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Json::Arr),
+            (proptest::collection::vec(arb_json(depth - 1), 0..4), any::<u64>()).prop_map(
+                |(vals, seed)| {
+                    let mut rng = proptest::TestRng::new(seed);
+                    Json::Obj(
+                        vals.into_iter()
+                            .enumerate()
+                            .map(|(i, v)| {
+                                (format!("k{}-{}", i, token(&mut rng, b"abc", 3)), v)
+                            })
+                            .collect(),
+                    )
+                }
+            ),
+        ]
+        .boxed()
+    }
+}
+
+// ----- properties -----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn http_request_roundtrips(req in arb_request()) {
+        let wire = req.render();
+        let back = read_request(&mut Cursor::new(wire))
+            .expect("rendered request parses")
+            .expect("not EOF");
+        prop_assert_eq!(&back.method, &req.method);
+        prop_assert_eq!(&back.path, &req.path);
+        prop_assert_eq!(&back.query, &req.query);
+        prop_assert_eq!(&back.body, &req.body);
+        // Every original header survives (renderer may add content-length).
+        for (k, v) in &req.headers {
+            prop_assert_eq!(back.header(k), Some(v.as_str()), "header {}", k);
+        }
+    }
+
+    #[test]
+    fn json_roundtrips(v in arb_json(3)) {
+        let text = v.render();
+        let back = Json::parse(&text);
+        prop_assert!(back.is_ok(), "render produced unparsable `{}`", text);
+        prop_assert_eq!(back.unwrap(), v, "wire text {}", text);
+    }
+
+    #[test]
+    fn json_parse_never_panics_on_mutations(v in arb_json(2), cut in 0usize..64) {
+        // Truncating valid documents must fail cleanly, never panic.
+        let text = v.render();
+        let cut = cut.min(text.len());
+        let _ = Json::parse(&text[..cut]);
+        let _ = Json::parse(&text[cut..]);
+    }
+
+    #[test]
+    fn submit_request_roundtrips(
+        procs in 1u64..10_000,
+        req_time in 0u64..1_000_000,
+        run_time in 1u64..1_000_000,
+        submit in proptest::prop_oneof![Just(None), (0u64..1_000_000_000).prop_map(Some)],
+        malleable in proptest::prop_oneof![Just(None), any::<bool>().prop_map(Some)],
+        trace_id in proptest::prop_oneof![Just(None), (1u64..1_000_000_000).prop_map(Some)],
+    ) {
+        let r = SubmitRequest { procs, req_time, run_time, submit, malleable, trace_id };
+        let text = r.encode().render();
+        let back = SubmitRequest::decode(&Json::parse(&text).unwrap());
+        prop_assert_eq!(back.unwrap(), r);
+    }
+
+    #[test]
+    fn sim_result_roundtrips_with_exact_floats(
+        energy in -1.0e9f64..1.0e9,
+        n_outcomes in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = proptest::TestRng::new(seed);
+        let outcomes: Vec<slurm_sim::JobOutcome> = (0..n_outcomes).map(|i| {
+            let submit = rng.below(10_000) as u64;
+            let start = submit + rng.below(5_000) as u64;
+            let end = start + 1 + rng.below(100_000) as u64;
+            slurm_sim::JobOutcome {
+                id: cluster::JobId(i as u64 + 1),
+                submit: simkit::SimTime(submit),
+                start: simkit::SimTime(start),
+                end: simkit::SimTime(end),
+                nodes: 1 + rng.below(100) as u32,
+                procs: 1 + rng.below(4_000) as u64,
+                req_time: rng.below(1_000_000) as u64,
+                static_runtime: 1 + rng.below(500_000) as u64,
+                malleable_backfilled: rng.below(2) == 0,
+                was_mate: rng.below(2) == 0,
+                app: if rng.below(3) == 0 {
+                    Some(workload::APPS[rng.below(workload::APPS.len())].id)
+                } else {
+                    None
+                },
+            }
+        }).collect();
+        let r = slurm_sim::SimResult {
+            scheduler: "sd-policy",
+            first_submit: simkit::SimTime(rng.below(1000) as u64),
+            last_end: simkit::SimTime(rng.below(1_000_000) as u64),
+            makespan: rng.below(1_000_000) as u64,
+            energy_joules: energy,
+            leftover_pending: rng.below(5),
+            leftover_running: rng.below(5),
+            stats: slurm_sim::SimStats {
+                started_static: rng.below(1000) as u64,
+                started_malleable: rng.below(1000) as u64,
+                sched_passes: rng.below(100_000) as u64,
+                passes_skipped: rng.below(100_000) as u64,
+                peak_profile_len: rng.below(10_000),
+                ..Default::default()
+            },
+            outcomes,
+        };
+        let text = encode_result(&r).render();
+        let back = decode_result(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end service behaviour over loopback: submit/query/cancel flows,
+//! Prometheus counters, concurrent clients, and the loadgen harness.
+
+use drom::SharingFactor;
+use sd_policy::SdPolicy;
+use sd_serve::client::Client;
+use sd_serve::engine::{ClockMode, Engine};
+use sd_serve::json::Json;
+use sd_serve::loadgen::{self, LoadgenOptions};
+use sd_serve::proto::SubmitRequest;
+use sd_serve::server::{self, ServerConfig};
+use slurm_sim::{IdealModel, SimResult, SimState, SlurmConfig, StaticBackfill};
+use std::net::SocketAddr;
+
+fn start(nodes: u32, sd: bool) -> (SocketAddr, std::thread::JoinHandle<Option<SimResult>>) {
+    let mut spec = cluster::ClusterSpec::ricc();
+    spec.nodes = nodes;
+    let state = SimState::new_online(
+        spec,
+        SlurmConfig::default(),
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+    );
+    let scheduler: Box<dyn slurm_sim::Scheduler + Send> = if sd {
+        Box::new(SdPolicy::default())
+    } else {
+        Box::new(StaticBackfill)
+    };
+    let engine = Engine::new(state, scheduler, ClockMode::Virtual);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let h = std::thread::spawn(move || {
+        server::run(engine, listener, ServerConfig { workers: 4 }).ok()
+    });
+    (addr, h)
+}
+
+fn submit(client: &mut Client, procs: u64, run: u64, at: u64) -> u64 {
+    client
+        .submit(&SubmitRequest {
+            procs,
+            req_time: run * 2,
+            run_time: run,
+            submit: Some(at),
+            malleable: None,
+            trace_id: None,
+        })
+        .expect("submit accepted")
+        .0
+}
+
+#[test]
+fn submit_query_advance_result_lifecycle() {
+    let (addr, h) = start(8, true);
+    let mut client = Client::connect(addr).unwrap();
+    client.health().unwrap();
+
+    let id1 = submit(&mut client, 16, 100, 0);
+    let id2 = submit(&mut client, 16, 100, 50);
+    assert_eq!((id1, id2), (1, 2));
+
+    // Nothing simulated yet: both pending, clock at 0.
+    let job = client.job(id1).unwrap();
+    assert_eq!(job.get("state").and_then(Json::as_str), Some("pending"));
+
+    // Advance past the first submit: job 1 starts.
+    assert_eq!(client.advance(10).unwrap(), 10);
+    let job = client.job(id1).unwrap();
+    assert_eq!(job.get("state").and_then(Json::as_str), Some("running"));
+    assert_eq!(job.get("cores").and_then(Json::as_u64), Some(16));
+
+    // Drain: everything completes; the result is consistent.
+    client.drain().unwrap();
+    let res = client.result().unwrap();
+    assert_eq!(res.outcomes.len(), 2);
+    assert_eq!(res.leftover_pending, 0);
+    assert_eq!(res.scheduler, "sd-policy");
+
+    let final_res = client.shutdown().unwrap();
+    assert_eq!(final_res, res, "drained snapshot equals the final result");
+    let server_res = h.join().unwrap().expect("server returned a result");
+    assert_eq!(server_res, final_res, "client decode matches server state");
+}
+
+#[test]
+fn metrics_exposition_tracks_job_counters() {
+    let (addr, h) = start(8, true);
+    let mut client = Client::connect(addr).unwrap();
+    for i in 0..10 {
+        submit(&mut client, 8, 50, i * 5);
+    }
+    client.drain().unwrap();
+    let text = client.metrics().unwrap();
+    assert!(text.contains("sd_serve_jobs_submitted_total 10"), "{text}");
+    assert!(text.contains("sd_serve_jobs_completed_total 10"), "{text}");
+    assert!(text.contains("sd_serve_jobs_pending 0"), "{text}");
+    // The PR 4 pass/skip counters are exported.
+    assert!(text.contains("sd_serve_sched_passes_total"), "{text}");
+    assert!(text.contains("sd_serve_sched_passes_skipped_total"), "{text}");
+    // HTTP counters moved too.
+    assert!(text.contains("sd_serve_http_requests_total{class=\"2xx\"}"), "{text}");
+    client.shutdown().unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn cancel_unblocks_queue_and_counts() {
+    let (addr, h) = start(4, false);
+    let mut client = Client::connect(addr).unwrap();
+    // Machine-filling head, then a canceller, then a small job.
+    submit(&mut client, 32, 1000, 0);
+    let blocker = submit(&mut client, 32, 1000, 0);
+    submit(&mut client, 8, 100, 0);
+    client.advance(0).unwrap();
+    client.cancel(blocker).unwrap();
+    // Cancelling again → 409, unknown id → 404.
+    let err = client.cancel(blocker).unwrap_err();
+    assert!(err.to_string().contains("409"), "{err}");
+    let err = client.cancel(999).unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    client.drain().unwrap();
+    let res = client.shutdown().unwrap();
+    h.join().unwrap();
+    assert_eq!(res.outcomes.len(), 2, "cancelled job never ran");
+    assert_eq!(res.stats.cancelled, 1);
+}
+
+#[test]
+fn concurrent_clients_share_one_scheduler() {
+    let (addr, h) = start(16, true);
+    let mut threads = Vec::new();
+    for t in 0..4u64 {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for i in 0..25u64 {
+                c.submit(&SubmitRequest {
+                    procs: 8,
+                    req_time: 200,
+                    run_time: 100,
+                    submit: Some(1000 + t * 25 + i),
+                    malleable: None,
+                    trace_id: None,
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut client = Client::connect(addr).unwrap();
+    client.drain().unwrap();
+    let res = client.shutdown().unwrap();
+    h.join().unwrap();
+    assert_eq!(res.outcomes.len(), 100, "all 4 × 25 submissions completed");
+    assert_eq!(res.leftover_pending, 0);
+    // Ids were assigned densely by the single scheduler thread.
+    let mut ids: Vec<u64> = res.outcomes.iter().map(|o| o.id.0).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (1..=100).collect::<Vec<_>>());
+}
+
+#[test]
+fn loadgen_reports_throughput_and_deltas() {
+    let (addr, h) = start(32, true);
+    let jobs: Vec<swf::SwfJob> = (0..50)
+        .map(|i| swf::SwfJob::for_simulation(i + 1, i * 7, 60 + i, 8, 300))
+        .collect();
+    let report = loadgen::run(
+        addr,
+        &jobs,
+        &LoadgenOptions {
+            rate: None,
+            virtual_timestamps: true,
+            drain: true,
+            shutdown: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.submitted, 50);
+    assert_eq!(report.rejected, 0);
+    assert!(report.achieved_rate > 0.0);
+    assert_eq!(report.delta("completed"), 50.0);
+    let final_res = report.final_result.as_ref().expect("shutdown collects the result");
+    assert_eq!(final_res.outcomes.len(), 50);
+    assert!(report.latency_ms.is_some());
+    let rendered = report.render();
+    assert!(rendered.contains("achieved rate"), "{rendered}");
+    h.join().unwrap();
+}

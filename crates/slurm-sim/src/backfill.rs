@@ -34,6 +34,22 @@ pub trait Scheduler {
     }
 }
 
+/// Boxed schedulers forward the trait, so policy choice can be a runtime
+/// decision (the online service picks static vs SD from its CLI).
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn schedule(&mut self, st: &mut SimState) {
+        (**self).schedule(st)
+    }
+
+    fn pass_needed(&self, st: &SimState, dirty: DirtyFlags) -> bool {
+        (**self).pass_needed(st, dirty)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Outcome of the flexible hook for one job.
 pub type FlexStarted = bool;
 

@@ -22,7 +22,21 @@ impl<S: Scheduler> Controller<S> {
 
     /// Runs to completion and returns the collected results.
     pub fn run(mut self) -> SimResult {
+        self.step_until(None);
+        self.into_result()
+    }
+
+    /// Processes event batches in order while their instant is `<= limit`
+    /// (`None` = until the event queue drains). This is the *entire* main
+    /// loop: [`Controller::run`] is `step_until(None)` + result collection,
+    /// and the online service (`sd-serve`) advances its virtual clock through
+    /// the very same code path — which is what makes a scripted live session
+    /// bit-identical to the offline replay of the same workload.
+    pub fn step_until(&mut self, limit: Option<simkit::SimTime>) {
         while let Some(t) = self.state.events.peek_time() {
+            if limit.is_some_and(|l| t > l) {
+                break;
+            }
             let mut changed = false;
             while self.state.events.peek_time() == Some(t) {
                 let ev = self.state.events.pop().expect("peeked event exists");
@@ -44,6 +58,31 @@ impl<S: Scheduler> Controller<S> {
                 }
             }
         }
+    }
+
+    /// Runs one scheduling pass outside the event loop (same gating as the
+    /// in-loop passes). The online service uses this after out-of-band queue
+    /// changes (a cancellation) so the scheduler sees them without an event.
+    pub fn pass_now(&mut self) {
+        let dirty = self.state.take_dirty();
+        if dirty == crate::state::DirtyFlags::default() {
+            return;
+        }
+        if !self.state.cfg.incremental || self.scheduler.pass_needed(&self.state, dirty) {
+            self.scheduler.schedule(&mut self.state);
+            self.state.stats.sched_passes += 1;
+        } else {
+            self.state.stats.passes_skipped += 1;
+        }
+    }
+
+    /// Whether every event has been processed (nothing left to simulate).
+    pub fn idle(&self) -> bool {
+        self.state.events.is_empty()
+    }
+
+    /// Finishes the run: collects outcomes, energy and counters.
+    pub fn into_result(self) -> SimResult {
         SimResult::from_state(self.state, self.scheduler.name())
     }
 }

@@ -187,6 +187,8 @@ pub enum JobState {
     Running(RunningJob),
     /// Finished; outcome recorded.
     Done,
+    /// Withdrawn while pending (online `scancel`); no outcome recorded.
+    Cancelled,
 }
 
 /// One job: spec plus current state.
@@ -213,6 +215,20 @@ impl Job {
 
     pub fn is_pending(&self) -> bool {
         matches!(self.state, JobState::Pending)
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.state, JobState::Cancelled)
+    }
+
+    /// Lifecycle phase as a wire-friendly label.
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            JobState::Pending => "pending",
+            JobState::Running(_) => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+        }
     }
 }
 

@@ -38,4 +38,4 @@ pub use queue::{PendingQueue, QueueEntry};
 pub use rate::{AppAwareModel, IdealModel, RateInputs, RateModel, WorstCaseModel};
 pub use reservation::{Profile, ReleaseMap};
 pub use result::SimResult;
-pub use state::{CoScheduleError, DirtyFlags, Event, MateEntry, SimState, SimStats};
+pub use state::{CoScheduleError, DirtyFlags, Event, MateEntry, SimState, SimStats, SubmitError};

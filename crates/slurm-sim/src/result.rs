@@ -7,7 +7,10 @@ use simkit::SimTime;
 /// Everything a run produced. Rich analysis (heatmaps, daily series,
 /// normalisation against a baseline) lives in the `sched-metrics` crate;
 /// this carries the raw material plus the headline aggregates.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-for-bit — the equivalence tests
+/// (incremental vs legacy path, online session vs offline replay) rely on it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     pub scheduler: &'static str,
     pub outcomes: Vec<JobOutcome>,
@@ -26,16 +29,45 @@ pub struct SimResult {
 impl SimResult {
     pub(crate) fn from_state(mut st: SimState, scheduler: &'static str) -> SimResult {
         let energy = st.finish_energy();
+        let first = Self::anchored_first_submit(&st);
         SimResult {
             scheduler,
-            first_submit: st.first_submit(),
+            first_submit: first,
             last_end: st.last_end(),
-            makespan: st.last_end().since(st.first_submit()),
+            makespan: st.last_end().since(first),
             energy_joules: energy,
             leftover_pending: st.queue.len(),
             leftover_running: st.running_count(),
             stats: st.stats.clone(),
             outcomes: st.take_outcomes(),
+        }
+    }
+
+    /// A read-only result of the run *so far* — the state keeps running.
+    /// Identical to [`SimResult::from_state`] at the same instant (the
+    /// energy meter is finalised on a copy); outcomes are cloned.
+    pub fn snapshot(st: &SimState, scheduler: &'static str) -> SimResult {
+        let first = Self::anchored_first_submit(st);
+        SimResult {
+            scheduler,
+            first_submit: first,
+            last_end: st.last_end(),
+            makespan: st.last_end().since(first),
+            energy_joules: st.snapshot_energy(),
+            leftover_pending: st.queue.len(),
+            leftover_running: st.running_count(),
+            stats: st.stats.clone(),
+            outcomes: st.outcomes().to_vec(),
+        }
+    }
+
+    /// An online state that never saw a submission keeps the `SimTime::MAX`
+    /// "unanchored" sentinel; report it as the epoch, like an empty trace.
+    fn anchored_first_submit(st: &SimState) -> SimTime {
+        if st.first_submit() == SimTime::MAX {
+            SimTime::ZERO
+        } else {
+            st.first_submit()
         }
     }
 

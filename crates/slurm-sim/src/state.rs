@@ -36,8 +36,11 @@ pub enum Event {
     End { job: JobId, gen: u64 },
 }
 
-/// Counters accumulated over a run.
-#[derive(Debug, Clone, Default)]
+/// Counters accumulated over a run. Everything here is driven by the
+/// simulation itself (not by how jobs were fed in), so an online session and
+/// the offline replay of the same workload produce equal stats — the
+/// `serve_equivalence` test pins that.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     pub started_static: u64,
     /// Jobs started through malleable backfill (paper: 20 476 for W4).
@@ -53,6 +56,9 @@ pub struct SimStats {
     /// Event batches whose pass was provably a no-op and was skipped
     /// (incremental mode only; always 0 on the legacy path).
     pub passes_skipped: u64,
+    /// Pending jobs withdrawn via [`SimState::cancel_job`] (always 0 for
+    /// offline trace replays — cancellation only exists on the online path).
+    pub cancelled: u64,
     /// Events dispatched (incl. stale end events).
     pub events_dispatched: u64,
     /// Largest pass-profile step count seen (perf/size diagnostic).
@@ -140,6 +146,29 @@ pub struct SimState {
     last_end: SimTime,
 }
 
+/// Error from an online job submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The record cannot be simulated (zero runtime, no processor count…) —
+    /// the same records the offline constructor silently drops.
+    Unusable,
+    /// The submit instant lies before the simulation clock.
+    InPast { submit: SimTime, now: SimTime },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Unusable => write!(f, "job record cannot be simulated"),
+            SubmitError::InPast { submit, now } => {
+                write!(f, "submit time {submit} is before the clock ({now})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Error from a malleable co-scheduling attempt.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoScheduleError {
@@ -177,6 +206,23 @@ impl SimState {
         sharing: SharingFactor,
     ) -> SimState {
         Self::build(spec, cfg, trace, None, rate_model, sharing)
+    }
+
+    /// An empty machine accepting jobs *online* through
+    /// [`SimState::submit_job`] — the state behind the `sd-serve` daemon.
+    /// `first_submit` stays unanchored (`SimTime::MAX`) until the first
+    /// submission so the makespan/energy window matches what an offline
+    /// build of the same workload would use.
+    pub fn new_online(
+        spec: ClusterSpec,
+        cfg: SlurmConfig,
+        rate_model: Box<dyn RateModel>,
+        sharing: SharingFactor,
+    ) -> SimState {
+        let empty = swf::Trace::new(Default::default(), Vec::new());
+        let mut st = Self::build(spec, cfg, &empty, None, rate_model, sharing);
+        st.first_submit = SimTime::MAX;
+        st
     }
 
     /// Like [`SimState::new`] but binds applications (Workload 5).
@@ -389,6 +435,80 @@ impl SimState {
     }
 
     // ------------------------------------------------------------------
+    // Online submission / cancellation (the sd-serve path)
+    // ------------------------------------------------------------------
+
+    /// Adds a job after construction and arms its submit event — the online
+    /// twin of the constructor's trace loop: same [`JobSpec::from_swf`]
+    /// conversion, same dense renumbering, same malleability draw (forked
+    /// from the record's own id), so feeding a trace job-by-job builds a
+    /// byte-identical simulation to building it up front.
+    ///
+    /// The record's submit time must not lie in the past (`>= now`); jobs
+    /// the simulator cannot run are rejected like the constructor drops them.
+    /// `malleable` overrides the configured fraction draw (`None` = draw,
+    /// exactly as the constructor would).
+    pub fn submit_job(
+        &mut self,
+        sj: &swf::SwfJob,
+        malleable: Option<bool>,
+    ) -> Result<JobId, SubmitError> {
+        if sj.submit >= 0 && SimTime(sj.submit as u64) < self.now {
+            return Err(SubmitError::InPast {
+                submit: SimTime(sj.submit as u64),
+                now: self.now,
+            });
+        }
+        let malleable = malleable.unwrap_or_else(|| {
+            self.cfg.malleable_fraction >= 1.0
+                || DetRng::new(self.cfg.malleable_seed)
+                    .fork(sj.job_id)
+                    .chance(self.cfg.malleable_fraction)
+        });
+        let Some(mut js) = JobSpec::from_swf(sj, &self.spec, malleable, self.cfg.ranks_per_node)
+        else {
+            return Err(SubmitError::Unusable);
+        };
+        js.id = JobId(self.jobs.len() as u64 + 1);
+        let id = js.id;
+        if js.submit < self.first_submit {
+            // Re-anchor the measurement window. Only possible before the
+            // first dispatch: afterwards `now > ZERO` and past submits were
+            // rejected above, so the window never moves under the meter.
+            debug_assert_eq!(self.stats.events_dispatched, 0, "window moved mid-run");
+            self.first_submit = js.submit;
+            self.meter.start(js.submit);
+        }
+        self.events.push(js.submit, Event::Submit(id));
+        self.jobs.push(Job {
+            spec: js,
+            state: JobState::Pending,
+        });
+        Ok(id)
+    }
+
+    /// Withdraws a pending job (SLURM `scancel` of a queued job). Running or
+    /// finished jobs are not touched — the paper's system has no preemption,
+    /// so neither does the reproduction. Returns whether the job was removed;
+    /// on success the queue dirty flag is raised (dropping a reservation
+    /// holder can unblock backfill).
+    pub fn cancel_job(&mut self, id: JobId) -> bool {
+        if id.0 == 0 || id.0 as usize > self.jobs.len() || !self.job(id).is_pending() {
+            return false;
+        }
+        // A pending job may not have reached its submit instant yet; cancel
+        // both the queue entry (present after dispatch) and any future
+        // submit event (skipped as stale by a state check on dispatch).
+        let was_queued = self.queue.remove(id);
+        self.job_mut(id).state = JobState::Cancelled;
+        self.stats.cancelled += 1;
+        if was_queued {
+            self.dirty.queue = true;
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
     // Event dispatch (called by the controller)
     // ------------------------------------------------------------------
 
@@ -399,8 +519,11 @@ impl SimState {
         self.stats.events_dispatched += 1;
         match ev {
             Event::Submit(id) => {
-                let spec = &self.jobs[(id.0 - 1) as usize].spec;
-                let (req_nodes, req_time) = (spec.req_nodes, spec.req_time);
+                let job = &self.jobs[(id.0 - 1) as usize];
+                if !job.is_pending() {
+                    return false; // cancelled before its submit instant
+                }
+                let (req_nodes, req_time) = (job.spec.req_nodes, job.spec.req_time);
                 self.queue.push(id, req_nodes, req_time);
                 self.dirty.queue = true;
                 true
@@ -588,6 +711,11 @@ impl SimState {
             self.refresh_borrower_index(m);
         }
 
+        // One malleability broadcast for the whole co-schedule: every mate's
+        // staged shrink across every shared node applies here, per *job*
+        // (`new_nodes` holds exactly the shared nodes at this point).
+        self.drom.poll_nodes(&new_nodes);
+
         // Optional free nodes: the new job takes the same per-node width as
         // on the shared nodes (keeps the allocation balanced, constraint 3).
         if free_nodes > 0 {
@@ -727,6 +855,9 @@ impl SimState {
                 }
             }
         }
+        // Close the departure's reconfiguration batch: one broadcast over
+        // the vacated allocation applies every staged expansion.
+        self.drom.poll_nodes(&old_nodes);
         self.update_releases(&old_nodes);
         for &m in &mates {
             if let Some(other) = self.jobs[(m.0 - 1) as usize].running_mut() {
@@ -861,6 +992,9 @@ impl SimState {
                 }
             }
         }
+        // Per-job batch: apply every expansion staged across the ended
+        // job's allocation in one broadcast (skips nodes with no residents).
+        self.drom.poll_nodes(&run.nodes);
         self.update_releases(&run.nodes);
 
         // Unlink this job from partners' bookkeeping.
@@ -1132,6 +1266,13 @@ impl SimState {
     pub fn finish_energy(&mut self) -> f64 {
         let end = self.last_end;
         self.meter.finish(end)
+    }
+
+    /// Energy of the run so far without finalising the live meter (the
+    /// online service's read-only result snapshots). Equals what
+    /// [`SimState::finish_energy`] would return right now.
+    pub fn snapshot_energy(&self) -> f64 {
+        self.meter.clone().finish(self.last_end)
     }
 
     /// Asserts the cached availability profile equals a fresh rebuild
@@ -1514,6 +1655,74 @@ mod tests {
             (joules - expected).abs() < 1e-6,
             "joules {joules} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn online_submission_matches_offline_build() {
+        // Feeding records through submit_job must build the same job table,
+        // events and measurement window as the constructor's trace loop.
+        let jobs = vec![job(1, 30, 100, 2, 200), job(2, 10, 50, 1, 100)];
+        let offline = small_state(jobs.clone());
+
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 4;
+        let mut online = SimState::new_online(
+            spec,
+            SlurmConfig {
+                self_check: true,
+                ..SlurmConfig::default()
+            },
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+        );
+        assert_eq!(online.first_submit(), SimTime::MAX, "unanchored");
+        for sj in &jobs {
+            online.submit_job(sj, None).unwrap();
+        }
+        assert_eq!(online.job_count(), offline.job_count());
+        assert_eq!(online.first_submit(), offline.first_submit());
+        for id in 1..=2 {
+            assert_eq!(
+                online.job(JobId(id)).spec,
+                offline.job(JobId(id)).spec,
+                "job {id}"
+            );
+        }
+        // Past submissions are rejected once the clock moved.
+        online.now = SimTime(100);
+        let err = online.submit_job(&job(3, 40, 10, 1, 10), None).unwrap_err();
+        assert!(matches!(err, SubmitError::InPast { .. }));
+        // Unusable records are rejected like the constructor drops them.
+        let err = online.submit_job(&job(4, 200, 0, 1, 10), None).unwrap_err();
+        assert_eq!(err, SubmitError::Unusable);
+        // Explicit malleability override beats the configured draw.
+        let id = online.submit_job(&job(5, 200, 10, 1, 10), Some(false)).unwrap();
+        assert!(!online.job(id).spec.malleable);
+    }
+
+    #[test]
+    fn cancel_before_and_after_arrival() {
+        let mut st = small_state(vec![job(1, 0, 100, 1, 100), job(2, 50, 100, 1, 100)]);
+        // Cancel job 2 before its submit event fires: the stale event must
+        // not enqueue it later.
+        assert!(st.cancel_job(JobId(2)));
+        assert!(!st.cancel_job(JobId(2)), "already cancelled");
+        let ev = st.events.pop().unwrap();
+        st.now = ev.time;
+        assert!(st.dispatch(ev.payload));
+        assert_eq!(st.queue.len(), 1);
+        // Cancel job 1 while queued.
+        assert!(st.cancel_job(JobId(1)));
+        assert!(st.queue.is_empty());
+        assert!(st.take_dirty().queue, "cancel marks the queue dirty");
+        // Job 2's submit event is stale now.
+        let ev = st.events.pop().unwrap();
+        st.now = ev.time.max(st.now);
+        assert!(!st.dispatch(ev.payload), "cancelled job never enqueues");
+        assert!(st.queue.is_empty());
+        assert_eq!(st.stats.cancelled, 2);
+        // Running and unknown jobs cannot be cancelled.
+        assert!(!st.cancel_job(JobId(77)));
     }
 
     #[test]

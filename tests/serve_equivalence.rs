@@ -1,0 +1,178 @@
+//! The virtual-clock equivalence obligation (DESIGN.md §10): a scripted
+//! live session over loopback HTTP — every job submitted through the wire
+//! with its trace timestamp, then one drain — must produce a [`SimResult`]
+//! **identical** to the offline replay of the same workload. Both
+//! `incremental` settings are pinned; the result travels back through the
+//! JSON protocol, so floats surviving bit-for-bit is part of the claim.
+
+use sd_sched::prelude::*;
+use sd_serve::engine::{ClockMode, Engine};
+use sd_serve::proto::SubmitRequest;
+use sd_serve::server::{self, ServerConfig};
+use sd_serve::Client;
+
+fn cfg_for(incremental: bool, fraction: f64) -> SlurmConfig {
+    SlurmConfig {
+        incremental,
+        malleable_fraction: fraction,
+        ..SlurmConfig::default()
+    }
+}
+
+fn offline(trace: &Trace, cluster: ClusterSpec, cfg: SlurmConfig, sd: bool) -> SimResult {
+    if sd {
+        run_trace(
+            cluster,
+            cfg,
+            trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            SdPolicy::default(),
+        )
+    } else {
+        run_trace(
+            cluster,
+            cfg,
+            trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            StaticBackfill,
+        )
+    }
+}
+
+/// Runs the same workload through a live sd-serve over loopback.
+fn online(trace: &Trace, cluster: ClusterSpec, cfg: SlurmConfig, sd: bool) -> SimResult {
+    let state = SimState::new_online(cluster, cfg, Box::new(IdealModel), SharingFactor::HALF);
+    let scheduler: Box<dyn Scheduler + Send> = if sd {
+        Box::new(SdPolicy::default())
+    } else {
+        Box::new(StaticBackfill)
+    };
+    let engine = Engine::new(state, scheduler, ClockMode::Virtual);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().unwrap();
+    let handle =
+        std::thread::spawn(move || server::run(engine, listener, ServerConfig { workers: 4 }));
+
+    let mut client = Client::connect(addr).expect("connect to sd-serve");
+    for j in &trace.jobs {
+        let (id, _) = client
+            .submit(&SubmitRequest {
+                procs: j.procs().expect("generated jobs have procs"),
+                req_time: j.requested_time().unwrap_or(0),
+                run_time: j.runtime().expect("generated jobs have runtimes"),
+                submit: Some(j.submit.max(0) as u64),
+                malleable: None,
+                trace_id: Some(j.job_id),
+            })
+            .expect("live submission accepted");
+        assert_eq!(id, j.job_id, "service assigns trace ids in order");
+    }
+    client.drain().expect("drain the virtual clock");
+    let wire_result = client.shutdown().expect("shutdown returns the final result");
+    let server_result = handle
+        .join()
+        .expect("server thread")
+        .expect("server produced a result");
+    assert_eq!(
+        wire_result, server_result,
+        "the JSON wire encoding is lossless (floats bit-for-bit)"
+    );
+    wire_result
+}
+
+fn assert_equivalent(scale: f64, seed: u64, sd: bool, fraction: f64) {
+    let w = PaperWorkload::W3Ricc;
+    let trace = w.generate(seed, scale);
+    let cluster = w.cluster(scale);
+    assert!(!trace.jobs.is_empty());
+    for incremental in [true, false] {
+        let cfg = cfg_for(incremental, fraction);
+        let off = offline(&trace, cluster.clone(), cfg.clone(), sd);
+        let on = online(&trace, cluster.clone(), cfg, sd);
+        assert_eq!(
+            on, off,
+            "online session diverged from offline replay \
+             (sd={sd} incremental={incremental} seed={seed} fraction={fraction})"
+        );
+    }
+}
+
+#[test]
+fn scripted_session_matches_offline_replay_sd_policy() {
+    assert_equivalent(0.03, 7, true, 1.0);
+}
+
+#[test]
+fn scripted_session_matches_offline_replay_static() {
+    assert_equivalent(0.03, 7, false, 1.0);
+}
+
+#[test]
+fn mixed_rigid_malleable_population_matches_offline_replay() {
+    // fraction < 1 exercises the per-job malleability draw: the wire's
+    // `trace_id` must seed it exactly like the offline constructor, or the
+    // rigid/malleable populations (and thus the schedules) diverge.
+    assert_equivalent(0.03, 13, true, 0.5);
+}
+
+#[test]
+fn interleaved_advance_still_matches_offline_replay() {
+    // Submitting in bursts interleaved with clock advances exercises the
+    // floor logic: as long as every submission lands at or after the clock,
+    // the merged event sequence equals the offline trace's.
+    let w = PaperWorkload::W3Ricc;
+    let trace = w.generate(11, 0.02);
+    let cluster = w.cluster(0.02);
+    let offline_res = offline(&trace, cluster.clone(), SlurmConfig::default(), true);
+
+    let state = SimState::new_online(
+        cluster,
+        SlurmConfig::default(),
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+    );
+    let engine = Engine::new(
+        state,
+        Box::new(SdPolicy::default()) as Box<dyn Scheduler + Send>,
+        ClockMode::Virtual,
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle =
+        std::thread::spawn(move || server::run(engine, listener, ServerConfig { workers: 2 }));
+    let mut client = Client::connect(addr).unwrap();
+
+    // Generated traces are sorted by (submit, id) — submitting in trace
+    // order with interleaved advances keeps ids and event order identical.
+    let jobs = &trace.jobs;
+    assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+    for (i, chunk) in jobs.chunks(25).enumerate() {
+        if i > 0 {
+            let first = chunk[0].submit.max(0) as u64;
+            // Advance to just before the burst's first submit instant:
+            // everything strictly earlier is simulated, and the burst's own
+            // instant stays open (it may share a batch with a tie from the
+            // previous chunk offline).
+            client.advance(first.saturating_sub(1)).unwrap();
+        }
+        for j in chunk {
+            client
+                .submit(&SubmitRequest {
+                    procs: j.procs().unwrap(),
+                    req_time: j.requested_time().unwrap_or(0),
+                    run_time: j.runtime().unwrap(),
+                    submit: Some(j.submit.max(0) as u64),
+                    malleable: None,
+                    trace_id: Some(j.job_id),
+                })
+                .unwrap();
+        }
+    }
+    client.drain().unwrap();
+    let online_res = client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+
+    assert_eq!(online_res, offline_res, "interleaved session diverged");
+}
