@@ -13,7 +13,10 @@
 //! Running the same scenario twice with the same `--seed` produces
 //! byte-identical output files.
 
-use sched_metrics::{campaign_csv, campaign_json, CampaignDeltas, CampaignRow, Summary, Table};
+use sched_metrics::{
+    campaign_csv, campaign_json, tenant_csv, tenant_summaries, CampaignDeltas, CampaignRow,
+    Summary, Table,
+};
 use sd_bench::{sweep_with, CliArgs, CliError, USAGE};
 use sd_scenario::{
     baseline_point, builtin_scenarios, execute, expand, find_builtin, Campaign, PolicyKindDecl,
@@ -27,8 +30,10 @@ const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campa
   --list                  list the built-in scenarios and exit
   --format <json|csv>     output format for --out (default: by extension)
   --write-builtin <dir>   write every built-in scenario as <dir>/<name>.scn
-  --timing                print a wall-time/scheduler-work table to stderr
-                          (per-run wall is noisy unless --threads 1)
+  --timing                print a wall-time/scheduler-work table plus the
+                          per-function hot-path attribution (earliest_start,
+                          backfill trials, quota checks, fair-share sorts) to
+                          stderr (per-run wall is noisy unless --threads 1)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -234,6 +239,12 @@ fn main() {
 
     let mut work: Vec<RunPoint> = points.clone();
     work.extend(baselines.iter().cloned());
+    if cli.timing {
+        // Hot-path probes are process-global; with --threads > 1 the
+        // per-function totals aggregate across concurrent runs.
+        slurm_sim::timing::reset();
+        slurm_sim::timing::enable();
+    }
     let results = sweep_with(&work, cli.common.threads, |p| {
         let t0 = std::time::Instant::now();
         (execute(p), t0.elapsed().as_secs_f64())
@@ -274,6 +285,19 @@ fn main() {
             ]);
         }
         eprintln!("{}", tt.render());
+        let fns = slurm_sim::timing::report();
+        if !fns.is_empty() {
+            let mut ft = Table::new(&["function", "calls", "total(s)", "mean(us)"]);
+            for f in &fns {
+                ft.row(vec![
+                    f.name.to_string(),
+                    format!("{}", f.count),
+                    format!("{:.3}", f.total_secs),
+                    format!("{:.2}", f.mean_micros()),
+                ]);
+            }
+            eprintln!("{}", ft.render());
+        }
     }
     let (point_outcomes, baseline_outcomes) = outcomes.split_at(points.len());
     let baseline_summaries: Vec<Summary> = baseline_outcomes
@@ -298,6 +322,7 @@ fn main() {
                 scale: o.scale,
                 summary,
                 deltas,
+                tenants: tenant_summaries(&o.result),
             }
         })
         .collect();
@@ -333,6 +358,31 @@ fn main() {
     }
     println!("{}", t.render());
 
+    let tenanted = rows.iter().any(|r| !r.tenants.is_empty());
+    if tenanted {
+        let mut tt = Table::new(&[
+            "variant", "tenant", "jobs", "share", "wait(s)", "slowdown", "node-s",
+        ]);
+        for r in &rows {
+            for ts in &r.tenants {
+                tt.row(vec![
+                    if r.variant.is_empty() {
+                        r.scenario.clone()
+                    } else {
+                        r.variant.clone()
+                    },
+                    format!("{}", ts.tenant),
+                    format!("{}", ts.jobs),
+                    format!("{:.2}", ts.job_share),
+                    format!("{:.0}", ts.mean_wait),
+                    format!("{:.1}", ts.mean_slowdown),
+                    format!("{}", ts.node_seconds),
+                ]);
+            }
+        }
+        println!("{}", tt.render());
+    }
+
     if let Some(out) = &cli.common.out {
         let as_json = match cli.format.as_deref() {
             Some("json") => true,
@@ -346,5 +396,17 @@ fn main() {
         };
         std::fs::write(out, &payload).unwrap_or_else(|e| fail(&format!("writing {out}: {e}")));
         eprintln!("wrote {out} ({} rows)", rows.len());
+        // CSV is fixed-width per row, so the per-tenant breakdown goes to a
+        // long-format companion file (JSON embeds it inline).
+        if !as_json && tenanted {
+            let companion = match out.strip_suffix(".csv") {
+                Some(stem) => format!("{stem}.tenants.csv"),
+                None => format!("{out}.tenants.csv"),
+            };
+            let payload = tenant_csv(&rows);
+            std::fs::write(&companion, &payload)
+                .unwrap_or_else(|e| fail(&format!("writing {companion}: {e}")));
+            eprintln!("wrote {companion}");
+        }
     }
 }

@@ -24,6 +24,7 @@ use crate::runner::sweep_with;
 use sd_scenario::format::{parse_f64, parse_list, parse_raw_with, parse_u64, RawSection};
 use sd_scenario::{
     execute, MaxSdDecl, ModelDecl, ParseError, PolicyKindDecl, RunPoint, Scenario, SourceKind,
+    TenantQueueDecl, TenantsDecl,
 };
 use slurm_sim::SimResult;
 use std::collections::BTreeMap;
@@ -36,6 +37,9 @@ pub enum Metric {
     Wait,
     Makespan,
     Energy,
+    /// Dominant tenant's share of consumed node-seconds (1.0 untenanted) —
+    /// pins how much of the machine the heaviest tenant captures.
+    TenantShare,
 }
 
 impl Metric {
@@ -46,9 +50,13 @@ impl Metric {
             "wait" => Ok(Metric::Wait),
             "makespan" => Ok(Metric::Makespan),
             "energy" => Ok(Metric::Energy),
+            "tenant_share" => Ok(Metric::TenantShare),
             v => Err(ParseError::new(
                 line,
-                format!("`metric`: unknown metric `{v}` (slowdown|response|wait|makespan|energy)"),
+                format!(
+                    "`metric`: unknown metric `{v}` \
+                     (slowdown|response|wait|makespan|energy|tenant_share)"
+                ),
             )),
         }
     }
@@ -60,6 +68,7 @@ impl Metric {
             Metric::Wait => "wait",
             Metric::Makespan => "makespan",
             Metric::Energy => "energy",
+            Metric::TenantShare => "tenant_share",
         }
     }
 
@@ -70,8 +79,25 @@ impl Metric {
             Metric::Wait => res.mean_wait(),
             Metric::Makespan => res.makespan as f64,
             Metric::Energy => res.energy_joules,
+            Metric::TenantShare => dominant_tenant_share(res),
         }
     }
+}
+
+/// Largest per-tenant share of the run's consumed node-seconds; 1.0 when
+/// every outcome is on the anonymous tenant 0 (or the run is empty).
+fn dominant_tenant_share(res: &SimResult) -> f64 {
+    let mut by_tenant: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut total: u64 = 0;
+    for o in &res.outcomes {
+        let ns = o.nodes as u64 * o.runtime();
+        *by_tenant.entry(o.tenant).or_default() += ns;
+        total += ns;
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    by_tenant.values().max().copied().unwrap_or(0) as f64 / total as f64
 }
 
 /// One paper claim: a workload/policy configuration, a metric, and the
@@ -87,6 +113,9 @@ pub struct Claim {
     pub seeds: Vec<u64>,
     pub model: ModelDecl,
     pub maxsd: MaxSdDecl,
+    /// `Some` runs both policies under a tenanted configuration ([tenants]
+    /// section: the count/skew/quota knobs of the scenario layer).
+    pub tenants: Option<TenantsDecl>,
     pub metric: Metric,
     /// Mean Δ% must be ≤ this (e.g. `0` = "must not regress the sign").
     pub max_pct: Option<f64>,
@@ -193,6 +222,10 @@ fn parse_claim(
     let mut metric = None;
     let mut max_pct = None;
     let mut min_pct = None;
+    let mut tenants: Option<u32> = None;
+    let mut tenant_skew: Option<(f64, usize)> = None;
+    let mut quota_fraction: Option<(f64, usize)> = None;
+    let mut tenant_queue: Option<(TenantQueueDecl, usize)> = None;
 
     for e in &sec.entries {
         match e.key.as_str() {
@@ -207,17 +240,70 @@ fn parse_claim(
             "metric" => metric = Some(Metric::parse_str(&e.value, e.line)?),
             "max_pct" => max_pct = Some(parse_f64(e)?),
             "min_pct" => min_pct = Some(parse_f64(e)?),
+            "tenants" => {
+                let n = parse_u64(e)? as u32;
+                if n == 0 {
+                    return Err(ParseError::new(e.line, "`tenants`: must be at least 1"));
+                }
+                tenants = Some(n);
+            }
+            "tenant_skew" => tenant_skew = Some((parse_f64(e)?, e.line)),
+            "quota_fraction" => quota_fraction = Some((parse_f64(e)?, e.line)),
+            "tenant_queue" => {
+                let q = match e.value.as_str() {
+                    "fifo" => TenantQueueDecl::Fifo,
+                    "fair_share" => TenantQueueDecl::FairShare,
+                    v => {
+                        return Err(ParseError::new(
+                            e.line,
+                            format!("`tenant_queue`: unknown queue policy `{v}` (fifo|fair_share)"),
+                        ))
+                    }
+                };
+                tenant_queue = Some((q, e.line));
+            }
             k => {
                 return Err(ParseError::new(
                     e.line,
                     format!(
                         "unknown key `{k}` in [claim] (name|source|workload|scale|seeds|seed|\
-                         model|maxsd|metric|max_pct|min_pct)"
+                         model|maxsd|metric|max_pct|min_pct|tenants|tenant_skew|quota_fraction|\
+                         tenant_queue)"
                     ),
                 ))
             }
         }
     }
+    let tenants = match tenants {
+        Some(count) => {
+            let mut t = TenantsDecl::new(count);
+            if let Some((v, _)) = tenant_skew {
+                t.skew = v;
+            }
+            if let Some((v, _)) = quota_fraction {
+                t.quota_fraction = v;
+            }
+            if let Some((q, _)) = tenant_queue {
+                t.queue = q;
+            }
+            Some(t)
+        }
+        None => {
+            for (key, line) in [
+                ("tenant_skew", tenant_skew.map(|(_, l)| l)),
+                ("quota_fraction", quota_fraction.map(|(_, l)| l)),
+                ("tenant_queue", tenant_queue.map(|(_, l)| l)),
+            ] {
+                if let Some(line) = line {
+                    return Err(ParseError::new(
+                        line,
+                        format!("`{key}` requires a `tenants` count on the claim"),
+                    ));
+                }
+            }
+            None
+        }
+    };
     let name = name.ok_or_else(|| ParseError::new(sec.line, "[claim] needs `name`"))?;
     let workload =
         workload.ok_or_else(|| ParseError::new(sec.line, format!("claim `{name}` needs `workload`")))?;
@@ -225,6 +311,15 @@ fn parse_claim(
         return Err(ParseError::new(
             sec.line,
             format!("claim `{name}`: `swf` replay cannot back a paper claim"),
+        ));
+    }
+    if tenants.is_some() && workload == SourceKind::RealRun {
+        return Err(ParseError::new(
+            sec.line,
+            format!(
+                "claim `{name}`: `tenants` requires a synthetic workload \
+                 (the tenant mix is stamped by the generator)"
+            ),
         ));
     }
     let metric =
@@ -251,6 +346,7 @@ fn parse_claim(
         seeds,
         model,
         maxsd,
+        tenants,
         metric,
         max_pct,
         min_pct,
@@ -267,6 +363,9 @@ struct RunKey {
     model: &'static str,
     /// `static` or the MAXSD label.
     policy: String,
+    /// Canonical tenancy label (`-` when untenanted) so tenanted and
+    /// untenanted claims never share a run.
+    tenancy: String,
 }
 
 fn scenario_for(claim: &Claim, seed: u64, sd: bool) -> Scenario {
@@ -281,6 +380,7 @@ fn scenario_for(claim: &Claim, seed: u64, sd: bool) -> Scenario {
     };
     s.policy.maxsd = claim.maxsd;
     s.policy.model = claim.model;
+    s.tenants = claim.tenants.clone();
     s
 }
 
@@ -306,6 +406,17 @@ fn key_for(claim: &Claim, seed: u64, sd: bool) -> RunKey {
             format!("{:?}", claim.maxsd)
         } else {
             "static".to_string()
+        },
+        tenancy: match &claim.tenants {
+            Some(t) => format!(
+                "{}:{}:{}:{:?}:{}",
+                t.count,
+                t.skew.to_bits(),
+                t.quota_fraction.to_bits(),
+                t.queue,
+                t.half_life
+            ),
+            None => "-".to_string(),
         },
     }
 }
@@ -494,6 +605,53 @@ typo = 1
         let err = parse_expectations(text).unwrap_err();
         assert_eq!(err.line, 7);
         assert!(err.msg.contains("typo"), "{err}");
+    }
+
+    #[test]
+    fn tenant_claim_rules() {
+        let ok = "
+[claim]
+name = t
+workload = ricc
+tenants = 3
+tenant_skew = 1.5
+quota_fraction = 0.5
+tenant_queue = fair_share
+metric = tenant_share
+max_pct = 10
+";
+        let claims = parse_expectations(ok).unwrap();
+        let t = claims[0].tenants.as_ref().unwrap();
+        assert_eq!((t.count, t.skew, t.quota_fraction), (3, 1.5, 0.5));
+        assert_eq!(t.queue, TenantQueueDecl::FairShare);
+        assert_eq!(claims[0].metric, Metric::TenantShare);
+        // Tenanted and untenanted claims never dedup onto the same run.
+        assert_ne!(
+            key_for(&claims[0], 1, true).tenancy,
+            "-".to_string()
+        );
+
+        let orphan = "
+[claim]
+name = t
+workload = ricc
+tenant_skew = 1
+metric = slowdown
+max_pct = 0
+";
+        let err = parse_expectations(orphan).unwrap_err();
+        assert!(err.msg.contains("requires a `tenants` count"), "{err}");
+
+        let real_run = "
+[claim]
+name = t
+workload = real_run
+tenants = 2
+metric = slowdown
+max_pct = 0
+";
+        let err = parse_expectations(real_run).unwrap_err();
+        assert!(err.msg.contains("synthetic"), "{err}");
     }
 
     #[test]

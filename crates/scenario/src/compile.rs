@@ -4,14 +4,15 @@
 
 use crate::scenario::{
     ArrivalKind, BackfillDecl, ClusterPreset, ModelDecl, PolicyKindDecl, Scenario, SourceKind,
+    TenantQueueDecl, TenantsDecl,
 };
 use cluster::ClusterSpec;
 use drom::SharingFactor;
 use sd_policy::{SdPolicy, SdPolicyConfig};
 use slurm_sim::replay::{infer_cluster, replay_state};
 use slurm_sim::{
-    AppAwareModel, BackfillMode, Controller, IdealModel, RateModel, SimResult, SimState,
-    SlurmConfig, StaticBackfill, WorstCaseModel,
+    AppAwareModel, BackfillMode, Controller, IdealModel, QueuePolicy, Quota, RateModel, SimResult,
+    SimState, SlurmConfig, StaticBackfill, Tenant, TenantRegistry, WorstCaseModel,
 };
 use workload::{ArrivalModel, PaperWorkload};
 
@@ -26,8 +27,9 @@ pub struct RunPoint {
 }
 
 /// Expands the sweep cross-product in a fixed order (seed, scale, sharing,
-/// malleable fraction, MAXSD, backfill depth, arrival contrast — outermost
-/// to innermost), so campaign output ordering is deterministic.
+/// malleable fraction, MAXSD, backfill depth, arrival contrast, tenant
+/// count, tenant skew, quota fraction — outermost to innermost), so
+/// campaign output ordering is deterministic.
 pub fn expand(s: &Scenario) -> Vec<RunPoint> {
     use std::fmt::Write as _;
     let seeds: Vec<u64> = if s.sweep.seed.is_empty() {
@@ -65,6 +67,21 @@ pub fn expand(s: &Scenario) -> Vec<RunPoint> {
     } else {
         s.sweep.day_night_contrast.iter().map(|&v| Some(v)).collect()
     };
+    let tenant_counts: Vec<Option<u32>> = if s.sweep.tenant_count.is_empty() {
+        vec![None]
+    } else {
+        s.sweep.tenant_count.iter().map(|&v| Some(v)).collect()
+    };
+    let tenant_skews: Vec<Option<f64>> = if s.sweep.tenant_skew.is_empty() {
+        vec![None]
+    } else {
+        s.sweep.tenant_skew.iter().map(|&v| Some(v)).collect()
+    };
+    let quota_fractions: Vec<Option<f64>> = if s.sweep.quota_fraction.is_empty() {
+        vec![None]
+    } else {
+        s.sweep.quota_fraction.iter().map(|&v| Some(v)).collect()
+    };
 
     let mut out = Vec::with_capacity(s.sweep.run_count());
     for &seed in &seeds {
@@ -74,56 +91,94 @@ pub fn expand(s: &Scenario) -> Vec<RunPoint> {
                     for &maxsd in &maxsds {
                         for &depth in &depths {
                             for &contrast in &contrasts {
-                                let mut resolved = s.clone();
-                                resolved.sweep = Default::default();
-                                resolved.seed = seed;
-                                resolved.scale = scale;
-                                resolved.policy.sharing = sharing;
-                                resolved.policy.maxsd = maxsd;
-                                resolved.slurm.malleable_fraction = fraction;
-                                resolved.slurm.backfill_depth = depth;
-                                resolved.workload.day_night_contrast = contrast;
-                                let mut variant = String::new();
-                                let mut push = |part: String| {
-                                    if !variant.is_empty() {
-                                        variant.push(' ');
+                                for &tcount in &tenant_counts {
+                                    for &tskew in &tenant_skews {
+                                        for &qf in &quota_fractions {
+                                            let mut resolved = s.clone();
+                                            resolved.sweep = Default::default();
+                                            resolved.seed = seed;
+                                            resolved.scale = scale;
+                                            resolved.policy.sharing = sharing;
+                                            resolved.policy.maxsd = maxsd;
+                                            resolved.slurm.malleable_fraction = fraction;
+                                            resolved.slurm.backfill_depth = depth;
+                                            resolved.workload.day_night_contrast = contrast;
+                                            if let Some(t) = resolved.tenants.as_mut() {
+                                                if let Some(c) = tcount {
+                                                    t.count = c;
+                                                }
+                                                if let Some(k) = tskew {
+                                                    t.skew = k;
+                                                }
+                                                if let Some(f) = qf {
+                                                    t.quota_fraction = f;
+                                                }
+                                            }
+                                            let mut variant = String::new();
+                                            let mut push = |part: String| {
+                                                if !variant.is_empty() {
+                                                    variant.push(' ');
+                                                }
+                                                variant.push_str(&part);
+                                            };
+                                            if !s.sweep.seed.is_empty() {
+                                                push(format!("seed={seed}"));
+                                            }
+                                            if !s.sweep.scale.is_empty() {
+                                                let mut p = String::new();
+                                                let _ = write!(
+                                                    p,
+                                                    "scale={}",
+                                                    scale.expect("swept scale is set")
+                                                );
+                                                push(p);
+                                            }
+                                            if !s.sweep.sharing.is_empty() {
+                                                push(format!("sharing={sharing}"));
+                                            }
+                                            if !s.sweep.malleable_fraction.is_empty() {
+                                                push(format!("malleable_fraction={fraction}"));
+                                            }
+                                            if !s.sweep.maxsd.is_empty() {
+                                                push(format!("maxsd={maxsd}"));
+                                            }
+                                            if !s.sweep.backfill_depth.is_empty() {
+                                                push(format!(
+                                                    "backfill_depth={}",
+                                                    depth.expect("swept depth is set")
+                                                ));
+                                            }
+                                            if !s.sweep.day_night_contrast.is_empty() {
+                                                push(format!(
+                                                    "day_night_contrast={}",
+                                                    contrast.expect("swept contrast is set")
+                                                ));
+                                            }
+                                            if !s.sweep.tenant_count.is_empty() {
+                                                push(format!(
+                                                    "tenant_count={}",
+                                                    tcount.expect("swept count is set")
+                                                ));
+                                            }
+                                            if !s.sweep.tenant_skew.is_empty() {
+                                                push(format!(
+                                                    "tenant_skew={}",
+                                                    tskew.expect("swept skew is set")
+                                                ));
+                                            }
+                                            if !s.sweep.quota_fraction.is_empty() {
+                                                push(format!(
+                                                    "quota_fraction={}",
+                                                    qf.expect("swept fraction is set")
+                                                ));
+                                            }
+                                            out.push(RunPoint {
+                                                scenario: resolved,
+                                                variant,
+                                            });
+                                        }
                                     }
-                                    variant.push_str(&part);
-                                };
-                                if !s.sweep.seed.is_empty() {
-                                    push(format!("seed={seed}"));
                                 }
-                                if !s.sweep.scale.is_empty() {
-                                    let mut p = String::new();
-                                    let _ =
-                                        write!(p, "scale={}", scale.expect("swept scale is set"));
-                                    push(p);
-                                }
-                                if !s.sweep.sharing.is_empty() {
-                                    push(format!("sharing={sharing}"));
-                                }
-                                if !s.sweep.malleable_fraction.is_empty() {
-                                    push(format!("malleable_fraction={fraction}"));
-                                }
-                                if !s.sweep.maxsd.is_empty() {
-                                    push(format!("maxsd={maxsd}"));
-                                }
-                                if !s.sweep.backfill_depth.is_empty() {
-                                    push(format!(
-                                        "backfill_depth={}",
-                                        depth.expect("swept depth is set")
-                                    ));
-                                }
-                                if !s.sweep.day_night_contrast.is_empty() {
-                                    push(format!(
-                                        "day_night_contrast={}",
-                                        contrast.expect("swept contrast is set")
-                                    ));
-                                }
-                                out.push(RunPoint {
-                                    scenario: resolved,
-                                    variant,
-                                });
                             }
                         }
                     }
@@ -195,6 +250,55 @@ fn slurm_config(s: &Scenario, big_trace: bool) -> SlurmConfig {
     // re-draw which jobs are malleable, not just their shapes.
     cfg.malleable_seed = s.seed ^ 0xD20;
     cfg
+}
+
+/// Installs a resolved `[tenants]` declaration into the SLURM config:
+/// `count` equal-weight tenants and the declared queue policy.
+///
+/// Budgets are sized against the generated trace, using the simulator's own
+/// whole-node rounding: with `quota_fraction = f < 1`, tenant `t` may start
+/// jobs worth `⌈f × Σ req_nodes × req_time⌉` node-seconds over its own jobs.
+/// `f ≥ 1` leaves every quota unlimited, so the tenanted run admits exactly
+/// the untenanted schedule (the equivalence tests pin this).
+fn apply_tenancy(cfg: &mut SlurmConfig, t: &TenantsDecl, trace: &swf::Trace, spec: &ClusterSpec) {
+    cfg.queue_policy = match t.queue {
+        TenantQueueDecl::Fifo => QueuePolicy::Fifo,
+        TenantQueueDecl::FairShare => QueuePolicy::FairShare {
+            half_life: t.half_life,
+        },
+    };
+    if t.quota_fraction >= 1.0 {
+        cfg.tenants = TenantRegistry::equal_weights(t.count, Quota::UNLIMITED);
+        return;
+    }
+    let mut demand = vec![0u64; t.count as usize + 1];
+    for j in &trace.jobs {
+        let (Some(procs), Some(runtime)) = (j.procs(), j.runtime()) else {
+            continue;
+        };
+        if runtime == 0 || j.submit < 0 {
+            continue; // the simulator drops these records too
+        }
+        let user = j.user.max(0) as usize;
+        if user == 0 || user > t.count as usize {
+            continue;
+        }
+        let nodes = u64::from(spec.nodes_for_procs(procs).max(1));
+        let req_time = j.requested_time().unwrap_or(runtime).max(runtime);
+        demand[user] += nodes * req_time;
+    }
+    let mut registry = TenantRegistry::new();
+    for id in 1..=t.count {
+        let budget = (t.quota_fraction * demand[id as usize] as f64).ceil() as u64;
+        registry.add(Tenant {
+            quota: Quota {
+                node_seconds: Some(budget),
+                max_running_width: None,
+            },
+            ..Tenant::unlimited(id, 0)
+        });
+    }
+    cfg.tenants = registry;
 }
 
 /// A preset machine. `nodes = None` keeps the preset's native node count
@@ -346,6 +450,9 @@ pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
                 );
                 gen = gen.with_batching(p_, m_);
             }
+            if let Some(t) = &s.tenants {
+                gen = gen.with_tenant_mix(t.count, t.skew);
+            }
 
             // Presets default to the generator's (scaled) machine size so a
             // preset swap changes the node architecture, not the capacity.
@@ -363,8 +470,11 @@ pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
 
             let cores = spec.total_cores();
             let big = matches!(w, PaperWorkload::W4Curie) && scale > 0.15;
-            let cfg = slurm_config(s, big);
             let trace = gen.generate(s.seed);
+            let mut cfg = slurm_config(s, big);
+            if let Some(t) = &s.tenants {
+                apply_tenancy(&mut cfg, t, &trace, &spec);
+            }
             let state = SimState::new(spec, cfg, &trace, model, sharing);
             Ok(run_state(state, s, &p.variant, scale, cores))
         }
@@ -494,6 +604,73 @@ mod tests {
         s2.cluster.nodes = Some(32);
         let out2 = execute(&expand(&s2)[0]).unwrap();
         assert_eq!(out2.total_cores, 32 * 8);
+    }
+
+    #[test]
+    fn expand_tenant_axes() {
+        let mut s = tiny(SourceKind::Ricc);
+        s.tenants = Some(TenantsDecl::new(2));
+        s.sweep.tenant_count = vec![2, 4];
+        s.sweep.quota_fraction = vec![0.5, 1.0];
+        let pts = expand(&s);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].variant, "tenant_count=2 quota_fraction=0.5");
+        let last = pts.last().unwrap();
+        assert_eq!(last.variant, "tenant_count=4 quota_fraction=1");
+        let t = last.scenario.tenants.as_ref().unwrap();
+        assert_eq!(t.count, 4);
+        assert_eq!(t.quota_fraction, 1.0);
+    }
+
+    #[test]
+    fn tenanted_unlimited_quota_preserves_the_schedule() {
+        let base = execute(&expand(&tiny(SourceKind::Ricc))[0]).unwrap();
+        let mut s = tiny(SourceKind::Ricc);
+        s.tenants = Some(TenantsDecl::new(4));
+        let out = execute(&expand(&s)[0]).unwrap();
+        // Unlimited quotas never bind and FIFO order is unchanged, so only
+        // the tenant labels differ from the untenanted run.
+        assert_eq!(out.result.stats.quota_skipped, 0);
+        assert_eq!(out.result.outcomes.len(), base.result.outcomes.len());
+        for (a, b) in base.result.outcomes.iter().zip(&out.result.outcomes) {
+            assert_eq!(
+                (a.id, a.submit, a.start, a.end, a.nodes),
+                (b.id, b.submit, b.start, b.end, b.nodes)
+            );
+        }
+        let tenants: std::collections::BTreeSet<u32> =
+            out.result.outcomes.iter().map(|o| o.tenant).collect();
+        assert!(tenants.iter().all(|&t| (1..=4).contains(&t)), "{tenants:?}");
+        assert!(tenants.len() > 1, "the mix spreads jobs over tenants");
+    }
+
+    #[test]
+    fn binding_quota_blocks_jobs_and_counts_skips() {
+        let mut s = tiny(SourceKind::Ricc);
+        let mut t = TenantsDecl::new(4);
+        t.quota_fraction = 0.2;
+        s.tenants = Some(t);
+        let out = execute(&expand(&s)[0]).unwrap();
+        assert!(out.result.stats.quota_skipped > 0, "quota never bound");
+        assert!(
+            out.result.leftover_pending > 0,
+            "over-budget jobs stay pending (charges are never refunded)"
+        );
+    }
+
+    #[test]
+    fn fair_share_tenants_execute_deterministically() {
+        let mut s = tiny(SourceKind::Ricc);
+        let mut t = TenantsDecl::new(3);
+        t.skew = 1.5;
+        t.queue = TenantQueueDecl::FairShare;
+        s.tenants = Some(t);
+        let p = &expand(&s)[0];
+        let a = execute(p).unwrap();
+        let b = execute(p).unwrap();
+        assert_eq!(a.result.outcomes, b.result.outcomes);
+        assert_eq!(a.result.energy_joules, b.result.energy_joules);
+        assert_eq!(a.result.leftover_pending, 0);
     }
 
     #[test]

@@ -51,5 +51,6 @@ pub use format::ParseError;
 pub use registry::{builtin_scenarios, find_builtin};
 pub use scenario::{
     ArrivalKind, BackfillDecl, ClusterDecl, ClusterPreset, MaxSdDecl, ModelDecl, PolicyDecl,
-    PolicyKindDecl, Scenario, SlurmDecl, SourceKind, SweepDecl, WorkloadDecl,
+    PolicyKindDecl, Scenario, SlurmDecl, SourceKind, SweepDecl, TenantQueueDecl, TenantsDecl,
+    WorkloadDecl,
 };

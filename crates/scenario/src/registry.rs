@@ -6,7 +6,9 @@
 //! repository root (written by `run_scenario --write-builtin <dir>`); a test
 //! keeps the two in sync.
 
-use crate::scenario::{ArrivalKind, MaxSdDecl, ModelDecl, Scenario, SourceKind};
+use crate::scenario::{
+    ArrivalKind, MaxSdDecl, ModelDecl, Scenario, SourceKind, TenantQueueDecl, TenantsDecl,
+};
 
 fn paper(name: &str, description: &str, source: SourceKind) -> Scenario {
     let mut s = Scenario::new(name, source);
@@ -117,6 +119,19 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     contrast.workload.arrivals = Some(ArrivalKind::DayNight);
     contrast.sweep.day_night_contrast = vec![1.0, 2.0, 4.0, 8.0];
     all.push(contrast);
+
+    let mut tenants = paper(
+        "tenant-mix-sweep",
+        "Multi-tenant axis: Zipf popularity skew and quota pressure under fair-share on W3",
+        SourceKind::Ricc,
+    );
+    tenants.tenants = Some(TenantsDecl {
+        queue: TenantQueueDecl::FairShare,
+        ..TenantsDecl::new(4)
+    });
+    tenants.sweep.tenant_skew = vec![0.0, 1.0, 2.0];
+    tenants.sweep.quota_fraction = vec![0.5, 1.0];
+    all.push(tenants);
 
     all
 }

@@ -345,6 +345,71 @@ impl Default for SlurmDecl {
     }
 }
 
+/// How the backfill pass orders the pending queue, in declaration form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TenantQueueDecl {
+    /// Submit order (SLURM default priority).
+    #[default]
+    Fifo,
+    /// Usage-decayed fair-share priority.
+    FairShare,
+}
+
+impl TenantQueueDecl {
+    fn parse(e: &RawEntry) -> Result<Self, ParseError> {
+        match e.value.as_str() {
+            "fifo" => Ok(TenantQueueDecl::Fifo),
+            "fair_share" => Ok(TenantQueueDecl::FairShare),
+            v => Err(ParseError::new(
+                e.line,
+                format!("`queue`: unknown queue policy `{v}` (fifo|fair_share)"),
+            )),
+        }
+    }
+
+    fn render(self) -> &'static str {
+        match self {
+            TenantQueueDecl::Fifo => "fifo",
+            TenantQueueDecl::FairShare => "fair_share",
+        }
+    }
+}
+
+/// Fair-share decay half-life default: one day, the classic SLURM
+/// `PriorityDecayHalfLife` starting point.
+pub const DEFAULT_HALF_LIFE: u64 = 86_400;
+
+/// Multi-tenancy declaration: the tenant population stamped onto the
+/// synthetic trace, the per-tenant quota, and the queue order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantsDecl {
+    /// Number of equal-weight tenants `1..=count` (project 0).
+    pub count: u32,
+    /// Zipf popularity exponent over tenants (`0` = uniform): tenant `k`
+    /// draws jobs with weight `k^-skew`.
+    pub skew: f64,
+    /// Each tenant's node-second budget as a fraction of its total requested
+    /// node-seconds in the generated trace; `≥ 1` (the default) means
+    /// unlimited — every job admissible, quotas never bind.
+    pub quota_fraction: f64,
+    pub queue: TenantQueueDecl,
+    /// Fair-share usage decay half-life in seconds (`0` disables decay).
+    pub half_life: u64,
+}
+
+impl TenantsDecl {
+    /// `count` equal tenants, uniform popularity, unlimited quota, FIFO.
+    pub fn new(count: u32) -> TenantsDecl {
+        TenantsDecl {
+            count,
+            skew: 0.0,
+            quota_fraction: 1.0,
+            queue: TenantQueueDecl::Fifo,
+            half_life: DEFAULT_HALF_LIFE,
+        }
+    }
+}
+
 /// The sweep axes: each non-empty axis multiplies the campaign's run count.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepDecl {
@@ -358,6 +423,12 @@ pub struct SweepDecl {
     /// Day/night intensity ratios (arrival-contrast axis; requires
     /// `arrivals = day_night`).
     pub day_night_contrast: Vec<f64>,
+    /// Tenant population sizes (requires a `[tenants]` section).
+    pub tenant_count: Vec<u32>,
+    /// Zipf popularity exponents (requires a `[tenants]` section).
+    pub tenant_skew: Vec<f64>,
+    /// Per-tenant budget fractions (requires a `[tenants]` section).
+    pub quota_fraction: Vec<f64>,
 }
 
 impl SweepDecl {
@@ -369,6 +440,9 @@ impl SweepDecl {
             && self.sharing.is_empty()
             && self.backfill_depth.is_empty()
             && self.day_night_contrast.is_empty()
+            && self.tenant_count.is_empty()
+            && self.tenant_skew.is_empty()
+            && self.quota_fraction.is_empty()
     }
 
     /// Number of runs the cross-product expands to.
@@ -381,6 +455,9 @@ impl SweepDecl {
             * n(self.sharing.len())
             * n(self.backfill_depth.len())
             * n(self.day_night_contrast.len())
+            * n(self.tenant_count.len())
+            * n(self.tenant_skew.len())
+            * n(self.quota_fraction.len())
     }
 }
 
@@ -398,6 +475,8 @@ pub struct Scenario {
     pub workload: WorkloadDecl,
     pub policy: PolicyDecl,
     pub slurm: SlurmDecl,
+    /// None → untenanted: no registry, no quotas, FIFO queue.
+    pub tenants: Option<TenantsDecl>,
     pub sweep: SweepDecl,
 }
 
@@ -413,6 +492,7 @@ impl Scenario {
             workload: WorkloadDecl::new(source),
             policy: PolicyDecl::default(),
             slurm: SlurmDecl::default(),
+            tenants: None,
             sweep: SweepDecl::default(),
         }
     }
@@ -464,13 +544,14 @@ impl Scenario {
                 }
                 "policy" => s.parse_policy(section)?,
                 "slurm" => s.parse_slurm(section)?,
+                "tenants" => s.parse_tenants(section)?,
                 "sweep" => s.parse_sweep(section)?,
                 other => {
                     return Err(ParseError::new(
                         section.line,
                         format!(
                             "unknown section [{other}] \
-                             (scenario|cluster|workload|policy|slurm|sweep)"
+                             (scenario|cluster|workload|policy|slurm|tenants|sweep)"
                         ),
                     ))
                 }
@@ -643,6 +724,42 @@ impl Scenario {
         Ok(())
     }
 
+    fn parse_tenants(&mut self, sec: &RawSection) -> Result<(), ParseError> {
+        let count_entry = sec
+            .get("count")
+            .ok_or_else(|| ParseError::new(sec.line, "[tenants] needs a `count`"))?;
+        let count = parse_u32(count_entry)?;
+        if count == 0 {
+            return Err(ParseError::new(count_entry.line, "`count` must be at least 1"));
+        }
+        let mut t = TenantsDecl::new(count);
+        for e in &sec.entries {
+            match e.key.as_str() {
+                "count" => {}
+                "skew" => {
+                    let v = parse_f64(e)?;
+                    if !(v >= 0.0 && v.is_finite()) {
+                        return Err(ParseError::new(
+                            e.line,
+                            format!("`skew` must be ≥ 0, got {v}"),
+                        ));
+                    }
+                    t.skew = v;
+                }
+                "quota_fraction" => {
+                    let v = parse_f64(e)?;
+                    check_positive("quota_fraction", v, e.line)?;
+                    t.quota_fraction = v;
+                }
+                "queue" => t.queue = TenantQueueDecl::parse(e)?,
+                "half_life" => t.half_life = parse_u64(e)?,
+                k => return Err(unknown_key(k, "tenants", e.line)),
+            }
+        }
+        self.tenants = Some(t);
+        Ok(())
+    }
+
     fn parse_sweep(&mut self, sec: &RawSection) -> Result<(), ParseError> {
         for e in &sec.entries {
             let items = parse_list(e)?;
@@ -697,6 +814,34 @@ impl Scenario {
                             ));
                         }
                         self.sweep.day_night_contrast.push(v);
+                    }
+                }
+                "tenant_count" => {
+                    for it in &items {
+                        let v: u32 = it.parse().map_err(|_| list_num_err(e, it))?;
+                        if v == 0 {
+                            return Err(ParseError::new(e.line, "`tenant_count` must be ≥ 1"));
+                        }
+                        self.sweep.tenant_count.push(v);
+                    }
+                }
+                "tenant_skew" => {
+                    for it in &items {
+                        let v: f64 = it.parse().map_err(|_| list_num_err(e, it))?;
+                        if !(v >= 0.0 && v.is_finite()) {
+                            return Err(ParseError::new(
+                                e.line,
+                                format!("`tenant_skew` must be ≥ 0, got {v}"),
+                            ));
+                        }
+                        self.sweep.tenant_skew.push(v);
+                    }
+                }
+                "quota_fraction" => {
+                    for it in &items {
+                        let v: f64 = it.parse().map_err(|_| list_num_err(e, it))?;
+                        check_positive("quota_fraction", v, e.line)?;
+                        self.sweep.quota_fraction.push(v);
                     }
                 }
                 k => return Err(unknown_key(k, "sweep", e.line)),
@@ -778,6 +923,25 @@ impl Scenario {
                 line_of("sweep", "maxsd"),
                 "a `maxsd` sweep needs `kind = sd`",
             ));
+        }
+        if self.tenants.is_some()
+            && matches!(self.workload.source, SourceKind::Swf | SourceKind::RealRun)
+        {
+            return Err(ParseError::new(
+                line_of("tenants", "count"),
+                "[tenants] requires a synthetic workload source \
+                 (the tenant mix is stamped by the generator)",
+            ));
+        }
+        if self.tenants.is_none() {
+            for key in ["tenant_count", "tenant_skew", "quota_fraction"] {
+                if doc.section("sweep").and_then(|s| s.get(key)).is_some() {
+                    return Err(ParseError::new(
+                        line_of("sweep", key),
+                        format!("a `{key}` sweep requires a [tenants] section"),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -878,6 +1042,23 @@ impl Scenario {
             }
         }
 
+        if let Some(t) = &self.tenants {
+            let _ = writeln!(out, "\n[tenants]");
+            let _ = writeln!(out, "count = {}", t.count);
+            if t.skew != 0.0 {
+                let _ = writeln!(out, "skew = {}", t.skew);
+            }
+            if t.quota_fraction != 1.0 {
+                let _ = writeln!(out, "quota_fraction = {}", t.quota_fraction);
+            }
+            if t.queue != TenantQueueDecl::Fifo {
+                let _ = writeln!(out, "queue = {}", t.queue.render());
+            }
+            if t.half_life != DEFAULT_HALF_LIFE {
+                let _ = writeln!(out, "half_life = {}", t.half_life);
+            }
+        }
+
         if !self.sweep.is_empty() {
             let _ = writeln!(out, "\n[sweep]");
             if !self.sweep.malleable_fraction.is_empty() {
@@ -911,6 +1092,19 @@ impl Scenario {
                     out,
                     "day_night_contrast = {}",
                     render_list(&self.sweep.day_night_contrast)
+                );
+            }
+            if !self.sweep.tenant_count.is_empty() {
+                let _ = writeln!(out, "tenant_count = {}", render_list(&self.sweep.tenant_count));
+            }
+            if !self.sweep.tenant_skew.is_empty() {
+                let _ = writeln!(out, "tenant_skew = {}", render_list(&self.sweep.tenant_skew));
+            }
+            if !self.sweep.quota_fraction.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "quota_fraction = {}",
+                    render_list(&self.sweep.quota_fraction)
                 );
             }
         }
@@ -1001,10 +1195,18 @@ backfill_depth = 50
 malleable_fraction = 0.5
 ranks_per_node = 4
 
+[tenants]
+count = 4
+skew = 1.5
+quota_fraction = 0.5
+queue = fair_share
+half_life = 3600
+
 [sweep]
 malleable_fraction = [0, 0.5, 1]
 maxsd = [5, inf, dyn]
 seed = [1, 2]
+tenant_skew = [0, 1]
 ";
 
     #[test]
@@ -1023,7 +1225,14 @@ seed = [1, 2]
         assert_eq!(s.slurm.backfill, Some(BackfillDecl::Easy));
         assert!((s.slurm.malleable_fraction - 0.5).abs() < 1e-12);
         assert_eq!(s.sweep.maxsd, vec![MaxSdDecl::Value(5.0), MaxSdDecl::Infinite, MaxSdDecl::Dyn]);
-        assert_eq!(s.sweep.run_count(), 3 * 3 * 2);
+        let t = s.tenants.as_ref().unwrap();
+        assert_eq!(t.count, 4);
+        assert!((t.skew - 1.5).abs() < 1e-12);
+        assert!((t.quota_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(t.queue, TenantQueueDecl::FairShare);
+        assert_eq!(t.half_life, 3600);
+        assert_eq!(s.sweep.tenant_skew, vec![0.0, 1.0]);
+        assert_eq!(s.sweep.run_count(), 3 * 3 * 2 * 2);
     }
 
     #[test]
@@ -1111,6 +1320,41 @@ seed = [1, 2]
         )
         .unwrap_err();
         assert!(e.msg.contains("kind = sd"), "{e}");
+    }
+
+    #[test]
+    fn tenants_section_rules() {
+        let base = |extra: &str| {
+            format!("[scenario]\nname = x\n[workload]\nsource = ricc\n{extra}")
+        };
+        // count is required and positive.
+        let e = Scenario::parse(&base("[tenants]\nskew = 1\n")).unwrap_err();
+        assert!(e.msg.contains("count"), "{e}");
+        assert!(Scenario::parse(&base("[tenants]\ncount = 0\n")).is_err());
+        // Defaults fill in around count.
+        let s = Scenario::parse(&base("[tenants]\ncount = 3\n")).unwrap();
+        assert_eq!(s.tenants, Some(TenantsDecl::new(3)));
+        // Vocabulary and ranges.
+        assert!(Scenario::parse(&base("[tenants]\ncount = 2\nqueue = lottery\n")).is_err());
+        assert!(Scenario::parse(&base("[tenants]\ncount = 2\nskew = -1\n")).is_err());
+        assert!(Scenario::parse(&base("[tenants]\ncount = 2\nquota_fraction = 0\n")).is_err());
+        // Tenancy needs a synthetic source.
+        let e = Scenario::parse(
+            "[scenario]\nname = x\n[workload]\nsource = swf\npath = /tmp/t.swf\n[tenants]\ncount = 2\n",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("synthetic"), "{e}");
+        // Tenant sweep axes need the [tenants] section.
+        let e = Scenario::parse(&base("[sweep]\ntenant_skew = [0, 1]\n")).unwrap_err();
+        assert!(e.msg.contains("[tenants]"), "{e}");
+        let e = Scenario::parse(&base("[sweep]\nquota_fraction = [0.5]\n")).unwrap_err();
+        assert!(e.msg.contains("[tenants]"), "{e}");
+        // With the section present all three axes multiply the run count.
+        let s = Scenario::parse(&base(
+            "[tenants]\ncount = 2\n[sweep]\ntenant_count = [2, 4]\ntenant_skew = [0, 1, 2]\nquota_fraction = [0.5, 1]\n",
+        ))
+        .unwrap();
+        assert_eq!(s.sweep.run_count(), 2 * 3 * 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! two runs of the same seeded experiment produce byte-identical files.
 
 use crate::heatmap::RatioHeatmap;
-use crate::summary::Summary;
+use crate::summary::{Summary, TenantSummary};
 use crate::timeseries::DailySeries;
 use std::fmt::Write as _;
 
@@ -117,6 +117,9 @@ pub struct CampaignRow {
     pub summary: Summary,
     /// Baseline-normalised Δ columns; `None` when no baseline was run.
     pub deltas: Option<CampaignDeltas>,
+    /// Per-tenant breakdown ([`crate::summary::tenant_summaries`]); empty on
+    /// untenanted runs.
+    pub tenants: Vec<TenantSummary>,
 }
 
 /// The flat numeric fields of a [`CampaignRow`], in export order.
@@ -243,6 +246,22 @@ pub fn campaign_json(rows: &[CampaignRow]) -> String {
                 }
             }
         }
+        let _ = write!(obj, ", \"tenants\": [");
+        for (j, t) in r.tenants.iter().enumerate() {
+            let _ = write!(
+                obj,
+                "{}{{\"tenant\": {}, \"jobs\": {}, \"job_share\": {}, \
+                 \"mean_wait\": {}, \"mean_slowdown\": {}, \"node_seconds\": {}}}",
+                if j == 0 { "" } else { ", " },
+                t.tenant,
+                t.jobs,
+                fmt_num(round4(t.job_share)),
+                fmt_num(round4(t.mean_wait)),
+                fmt_num(round4(t.mean_slowdown)),
+                t.node_seconds,
+            );
+        }
+        obj.push(']');
         obj.push('}');
         if i + 1 < rows.len() {
             obj.push(',');
@@ -293,6 +312,35 @@ pub fn campaign_csv(rows: &[CampaignRow]) -> String {
             None => out.push_str(",,,,,,"),
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Long-format per-tenant companion to [`campaign_csv`]: one line per
+/// (campaign row, tenant). Untenanted rows contribute nothing; the header is
+/// always present so the file shape is stable. Deterministic like the other
+/// writers — identical rows yield byte-identical output.
+pub fn tenant_csv(rows: &[CampaignRow]) -> String {
+    let mut out = String::from(
+        "scenario,variant,policy,seed,tenant,jobs,job_share,mean_wait,mean_slowdown,node_seconds\n",
+    );
+    for r in rows {
+        for t in &r.tenants {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                r.scenario.replace(',', ";"),
+                r.variant.replace(',', ";"),
+                r.summary.label.replace(',', ";"),
+                r.seed,
+                t.tenant,
+                t.jobs,
+                fmt_num(round4(t.job_share)),
+                fmt_num(round4(t.mean_wait)),
+                fmt_num(round4(t.mean_slowdown)),
+                t.node_seconds,
+            );
+        }
     }
     out
 }
@@ -351,6 +399,18 @@ mod tests {
             scale: 0.05,
             summary: s,
             deltas: None,
+            tenants: vec![],
+        }
+    }
+
+    fn tenant(tenant: u32, jobs: usize, share: f64) -> TenantSummary {
+        TenantSummary {
+            tenant,
+            jobs,
+            job_share: share,
+            mean_wait: 12.5,
+            mean_slowdown: 2.0,
+            node_seconds: 1000,
         }
     }
 
@@ -414,6 +474,37 @@ mod tests {
         let csv = campaign_csv(&[r]);
         let header_cols = csv.lines().next().unwrap().split(',').count();
         assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), header_cols);
+    }
+
+    #[test]
+    fn campaign_json_inlines_tenant_breakdowns() {
+        let mut r = row("tenant-mix", "tenant_skew=1", 1);
+        r.tenants = vec![tenant(1, 60, 0.6), tenant(2, 40, 0.4)];
+        let json = campaign_json(std::slice::from_ref(&r));
+        assert!(
+            json.contains("\"tenants\": [{\"tenant\": 1, \"jobs\": 60, \"job_share\": 0.6"),
+            "{json}"
+        );
+        assert!(json.contains("{\"tenant\": 2, \"jobs\": 40"), "{json}");
+        // Untenanted rows carry an empty array, keeping the shape stable.
+        let plain = campaign_json(&[row("w3", "", 1)]);
+        assert!(plain.contains("\"tenants\": []"), "{plain}");
+        assert_eq!(json, campaign_json(&[r]), "byte-identical across calls");
+    }
+
+    #[test]
+    fn tenant_csv_is_long_format() {
+        let mut r = row("tenant-mix", "quota_fraction=0.5", 3);
+        r.tenants = vec![tenant(1, 60, 0.6), tenant(2, 40, 0.4)];
+        let csv = tenant_csv(&[r.clone(), row("w3", "", 1)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 tenants; untenanted row silent");
+        assert_eq!(
+            lines[0],
+            "scenario,variant,policy,seed,tenant,jobs,job_share,mean_wait,mean_slowdown,node_seconds"
+        );
+        assert_eq!(lines[1], "tenant-mix,quota_fraction=0.5,MAXSD 10,3,1,60,0.6,12.5,2,1000");
+        assert_eq!(csv, tenant_csv(&[r, row("w3", "", 1)]), "deterministic");
     }
 
     #[test]

@@ -21,11 +21,12 @@ pub mod table;
 pub mod timeseries;
 
 pub use export::{
-    campaign_csv, campaign_json, daily_csv, heatmap_csv, series_csv, CampaignDeltas, CampaignRow,
+    campaign_csv, campaign_json, daily_csv, heatmap_csv, series_csv, tenant_csv, CampaignDeltas,
+    CampaignRow,
 };
 pub use heatmap::{Heatmap, HeatmapSpec, RatioHeatmap};
 pub use normalize::{improvement_pct, normalized};
 pub use percentiles::Percentiles;
-pub use summary::Summary;
+pub use summary::{tenant_summaries, Summary, TenantSummary};
 pub use table::Table;
 pub use timeseries::DailySeries;

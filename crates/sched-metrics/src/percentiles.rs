@@ -113,6 +113,7 @@ mod tests {
             malleable_backfilled: false,
             was_mate: false,
             app: None,
+            tenant: 0,
         };
         let outs = vec![outcome(0, 100), outcome(300, 100), outcome(100, 100)];
         let sd = Percentiles::of_slowdown(&outs).unwrap();

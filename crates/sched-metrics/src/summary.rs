@@ -68,6 +68,50 @@ impl Summary {
     }
 }
 
+/// Per-tenant slice of one run, derived from the outcomes' tenant labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    pub tenant: u32,
+    pub jobs: usize,
+    /// This tenant's share of the run's completed jobs, in `[0, 1]`.
+    pub job_share: f64,
+    pub mean_wait: f64,
+    pub mean_slowdown: f64,
+    /// Consumed node-seconds (whole nodes × wall runtime).
+    pub node_seconds: u64,
+}
+
+/// Per-tenant breakdown of a result, ascending by tenant id. Empty for
+/// untenanted runs (every outcome on the anonymous tenant 0), so exports can
+/// omit the section without a separate flag.
+pub fn tenant_summaries(res: &SimResult) -> Vec<TenantSummary> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<u32, (usize, Welford, Welford, u64)> = BTreeMap::new();
+    for o in &res.outcomes {
+        let e = acc
+            .entry(o.tenant)
+            .or_insert_with(|| (0, Welford::new(), Welford::new(), 0));
+        e.0 += 1;
+        e.1.add(o.wait() as f64);
+        e.2.add(o.slowdown());
+        e.3 += o.nodes as u64 * o.runtime();
+    }
+    if acc.keys().all(|&t| t == 0) {
+        return Vec::new();
+    }
+    let total = res.outcomes.len().max(1) as f64;
+    acc.into_iter()
+        .map(|(tenant, (jobs, wait, sd, node_seconds))| TenantSummary {
+            tenant,
+            jobs,
+            job_share: jobs as f64 / total,
+            mean_wait: wait.mean(),
+            mean_slowdown: sd.mean(),
+            node_seconds,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +132,7 @@ mod tests {
             malleable_backfilled: false,
             was_mate: false,
             app: None,
+            tenant: 0,
         }
     }
 
@@ -138,5 +183,32 @@ mod tests {
         assert_eq!(s.jobs, 0);
         assert_eq!(s.mean_slowdown, 0.0);
         assert_eq!(s.utilization, 0.0);
+    }
+
+    #[test]
+    fn tenant_summaries_split_by_label() {
+        let mut a = outcome(1, 0, 0, 100, 100, 8); // wait 0, sd 1
+        a.tenant = 1;
+        let mut b = outcome(2, 0, 100, 300, 100, 8); // wait 100, sd 3
+        b.tenant = 2;
+        let mut c = outcome(3, 0, 50, 150, 100, 8); // wait 50, sd 1.5
+        c.tenant = 1;
+        c.nodes = 2;
+        let res = result(vec![a, b, c], 400);
+        let ts = tenant_summaries(&res);
+        assert_eq!(ts.len(), 2);
+        assert_eq!((ts[0].tenant, ts[0].jobs), (1, 2));
+        assert!((ts[0].job_share - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ts[0].mean_wait - 25.0).abs() < 1e-9);
+        assert_eq!(ts[0].node_seconds, 100 + 2 * 100);
+        assert_eq!((ts[1].tenant, ts[1].jobs), (2, 1));
+        assert!((ts[1].mean_slowdown - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untenanted_runs_have_no_tenant_breakdown() {
+        let res = result(vec![outcome(1, 0, 0, 100, 100, 8)], 100);
+        assert!(tenant_summaries(&res).is_empty());
+        assert!(tenant_summaries(&result(vec![], 0)).is_empty());
     }
 }

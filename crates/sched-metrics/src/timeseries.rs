@@ -81,6 +81,7 @@ mod tests {
             malleable_backfilled: malleable,
             was_mate: false,
             app: None,
+            tenant: 0,
         }
     }
 

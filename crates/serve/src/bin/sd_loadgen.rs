@@ -19,6 +19,8 @@ const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
   --seed <u64>             generator seed (default 42)
   --swf <path>             replay an SWF file instead of a generator
   --jobs <n>               cap the number of submissions
+  --tenants <n>            submit under n round-robin tenant identities
+                           (default: carry each record's own SWF user/group)
   --rate <r>               target submissions per wall second (default: flat out)
   --no-timestamps          submit without virtual timestamps (realtime servers)
   --no-drain               skip the final /v1/drain
@@ -56,6 +58,13 @@ fn main() {
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed")),
             "--swf" => swf_path = Some(value("--swf")),
             "--jobs" => jobs_cap = Some(value("--jobs").parse().unwrap_or_else(|_| fail("bad --jobs"))),
+            "--tenants" => {
+                let n: u32 = value("--tenants").parse().unwrap_or_else(|_| fail("bad --tenants"));
+                if n == 0 {
+                    fail("--tenants must be at least 1");
+                }
+                opts.tenants = Some(n);
+            }
             "--rate" => {
                 let r: f64 = value("--rate").parse().unwrap_or_else(|_| fail("bad --rate"));
                 if r <= 0.0 || r.is_nan() {

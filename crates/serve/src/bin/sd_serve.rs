@@ -36,6 +36,8 @@ const USAGE: &str = "sd-serve — online scheduling service (HTTP/JSON)
   --model <ideal|worst_case|app_aware>  runtime model (default ideal)
   --sharing <f64>        sharing factor in [0,1) (default 0.5)
   --malleable-fraction <f64>  fraction of draw-decided malleable jobs (default 1)
+  --tenant-rate <id=rps> per-tenant submit rate limit in submissions per wall
+                         second (repeatable; unlisted tenants are unlimited)
   --legacy-path          run the pre-incremental scheduler hot path
   --help, -h             this text";
 
@@ -56,6 +58,7 @@ struct Cli {
     model: String,
     sharing: f64,
     malleable_fraction: f64,
+    tenant_rates: Vec<(u64, f64)>,
     legacy: bool,
 }
 
@@ -72,6 +75,7 @@ fn parse_cli() -> Cli {
         model: "ideal".into(),
         sharing: 0.5,
         malleable_fraction: 1.0,
+        tenant_rates: Vec::new(),
         legacy: false,
     };
     let mut compression: f64 = 60.0;
@@ -114,6 +118,18 @@ fn parse_cli() -> Cli {
                 cli.malleable_fraction = value("--malleable-fraction")
                     .parse()
                     .unwrap_or_else(|_| fail("bad --malleable-fraction"))
+            }
+            "--tenant-rate" => {
+                let v = value("--tenant-rate");
+                let Some((id, rate)) = v.split_once('=') else {
+                    fail(&format!("--tenant-rate wants <id=rps>, got {v}"));
+                };
+                let id: u64 = id.parse().unwrap_or_else(|_| fail("bad --tenant-rate id"));
+                let rate: f64 = rate.parse().unwrap_or_else(|_| fail("bad --tenant-rate rps"));
+                if rate <= 0.0 || rate.is_nan() {
+                    fail("--tenant-rate rps must be > 0");
+                }
+                cli.tenant_rates.push((id, rate));
             }
             "--legacy-path" => cli.legacy = true,
             "--help" | "-h" => {
@@ -186,7 +202,18 @@ fn main() {
     };
 
     let state = SimState::new_online(spec.clone(), cfg, model, SharingFactor::new(cli.sharing));
-    let engine = Engine::new(state, scheduler, cli.mode);
+    let mut engine = Engine::new(state, scheduler, cli.mode);
+    if !cli.tenant_rates.is_empty() {
+        engine = engine.with_tenant_rates(&cli.tenant_rates);
+        eprintln!(
+            "tenant rate limits: {}",
+            cli.tenant_rates
+                .iter()
+                .map(|(id, r)| format!("{id}={r}/s"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
 
     let listener = std::net::TcpListener::bind(("127.0.0.1", cli.port))
         .unwrap_or_else(|e| fail(&format!("binding 127.0.0.1:{}: {e}", cli.port)));

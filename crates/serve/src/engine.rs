@@ -65,6 +65,29 @@ pub struct Snapshot {
     pub makespan: u64,
     /// Total submissions accepted over the API.
     pub submitted: u64,
+    /// Per-tenant breakdown, ascending by tenant id. Empty when the service
+    /// has seen no tenant traffic and no registry is configured.
+    pub tenants: Vec<TenantSnap>,
+}
+
+/// One tenant's slice of the service counters: wire-side submission counts
+/// merged with the simulator's per-tenant accounting (when a
+/// [`slurm_sim::TenantRegistry`] is configured).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSnap {
+    pub tenant: u64,
+    /// Submissions accepted over the API for this tenant.
+    pub submitted: u64,
+    /// Submissions refused by the per-tenant rate limit (429).
+    pub rate_limited: u64,
+    /// Jobs of this tenant that started.
+    pub started: u64,
+    /// Jobs of this tenant that completed.
+    pub completed: u64,
+    /// Backfill trials skipped because a quota was exhausted.
+    pub quota_skipped: u64,
+    /// Requested nodes currently running.
+    pub running_width: u64,
 }
 
 /// Per-job status for `GET /v1/jobs/{id}`.
@@ -99,8 +122,10 @@ pub enum EngineError {
     Rejected(String),
     /// Unknown job id.
     NoSuchJob(u64),
-    /// The job is not in a cancellable state.
+    /// The job is not in a cancellable state (already finished/cancelled).
     NotPending(u64),
+    /// The tenant exceeded its configured submit rate (HTTP 429).
+    RateLimited(u64),
     /// Operation requires the other clock mode.
     WrongMode(&'static str),
 }
@@ -110,7 +135,10 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Clock(m) | EngineError::Rejected(m) => write!(f, "{m}"),
             EngineError::NoSuchJob(id) => write!(f, "no job with id {id}"),
-            EngineError::NotPending(id) => write!(f, "job {id} is not pending"),
+            EngineError::NotPending(id) => write!(f, "job {id} is not cancellable"),
+            EngineError::RateLimited(t) => {
+                write!(f, "tenant {t} exceeded its submit rate limit")
+            }
             EngineError::WrongMode(m) => write!(f, "{m}"),
         }
     }
@@ -157,6 +185,47 @@ pub enum Command {
     },
 }
 
+/// Wall-clock token bucket: `rate` tokens/second, burst capacity `max(rate, 1)`.
+struct TokenBucket {
+    rate: f64,
+    capacity: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64) -> TokenBucket {
+        let capacity = rate.max(1.0);
+        TokenBucket {
+            rate,
+            capacity,
+            tokens: capacity,
+            last: Instant::now(),
+        }
+    }
+
+    fn allow(&mut self) -> bool {
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * self.rate;
+        self.tokens = (self.tokens + refill).min(self.capacity);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Wire-side per-tenant counters (keyed by the tenant id on the request,
+/// which may or may not be in the simulator's registry).
+#[derive(Default)]
+struct TenantWire {
+    submitted: u64,
+    rate_limited: u64,
+}
+
 /// The engine: owns the controller, executes commands sequentially.
 pub struct Engine {
     ctl: Controller<Box<dyn Scheduler + Send>>,
@@ -167,6 +236,10 @@ pub struct Engine {
     /// Realtime mode: wall anchor of sim t = 0.
     epoch: Instant,
     submitted: u64,
+    /// Per-tenant submit rate limits (wall clock), empty = unlimited.
+    tenant_rates: std::collections::HashMap<u64, TokenBucket>,
+    /// Wire counters per tenant id; BTreeMap for deterministic snapshots.
+    tenant_wire: std::collections::BTreeMap<u64, TenantWire>,
 }
 
 impl Engine {
@@ -177,7 +250,19 @@ impl Engine {
             floor: SimTime::ZERO,
             epoch: Instant::now(),
             submitted: 0,
+            tenant_rates: Default::default(),
+            tenant_wire: Default::default(),
         }
+    }
+
+    /// Installs per-tenant submit rate limits (submissions per wall-second;
+    /// burst capacity is `max(rate, 1)`). Unlisted tenants are unlimited.
+    pub fn with_tenant_rates(mut self, rates: &[(u64, f64)]) -> Engine {
+        self.tenant_rates = rates
+            .iter()
+            .map(|&(t, r)| (t, TokenBucket::new(r)))
+            .collect();
+        self
     }
 
     /// The service clock: everything already simulated or advanced past.
@@ -308,6 +393,13 @@ impl Engine {
     }
 
     fn submit(&mut self, req: SubmitRequest) -> Result<SubmitAck, EngineError> {
+        let tenant = req.tenant.unwrap_or(0);
+        if let Some(bucket) = self.tenant_rates.get_mut(&tenant) {
+            if !bucket.allow() {
+                self.tenant_wire.entry(tenant).or_default().rate_limited += 1;
+                return Err(EngineError::RateLimited(tenant));
+            }
+        }
         let (min, default) = match self.mode {
             ClockMode::Virtual => {
                 let min = self.min_virtual_submit();
@@ -339,6 +431,7 @@ impl Engine {
         match self.ctl.state.submit_job(&sj, req.malleable) {
             Ok(id) => {
                 self.submitted += 1;
+                self.tenant_wire.entry(tenant).or_default().submitted += 1;
                 Ok(SubmitAck { id: id.0, submit })
             }
             Err(SubmitError::Unusable) => Err(EngineError::Rejected(
@@ -433,7 +526,46 @@ impl Engine {
             mean_wait: wait / n,
             makespan: st.last_end().since(st.first_submit().min(st.last_end())),
             submitted: self.submitted,
+            tenants: self.tenant_snaps(),
         }
+    }
+
+    /// Wire counters merged with the simulator's per-tenant accounting
+    /// (registry slots aggregated by tenant id across projects).
+    fn tenant_snaps(&self) -> Vec<TenantSnap> {
+        let mut rows: std::collections::BTreeMap<u64, TenantSnap> = self
+            .tenant_wire
+            .iter()
+            .map(|(&t, w)| {
+                (
+                    t,
+                    TenantSnap {
+                        tenant: t,
+                        submitted: w.submitted,
+                        rate_limited: w.rate_limited,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let st = &self.ctl.state;
+        for (slot, t) in st.cfg.tenants.iter().enumerate() {
+            let u = &st.tenant_usage()[slot];
+            let row = rows.entry(u64::from(t.id)).or_insert_with(|| TenantSnap {
+                tenant: u64::from(t.id),
+                ..Default::default()
+            });
+            // Offline-built or registry-only tenants have no wire count;
+            // fall back to the simulator's own submit tally.
+            if row.submitted == 0 {
+                row.submitted = u.submitted;
+            }
+            row.started += u.started;
+            row.completed += u.completed;
+            row.quota_skipped += u.quota_skipped;
+            row.running_width += u64::from(u.running_width);
+        }
+        rows.into_values().collect()
     }
 }
 
@@ -471,6 +603,8 @@ mod tests {
                 submit: Some(at),
                 malleable: None,
                 trace_id: None,
+                tenant: None,
+                project: None,
             },
             reply: rtx,
         })
@@ -531,7 +665,7 @@ mod tests {
     }
 
     #[test]
-    fn cancel_only_touches_pending_jobs() {
+    fn cancel_covers_pending_and_running_but_not_done() {
         let (tx, h) = spawn_engine(ClockMode::Virtual);
         // Two machine-filling jobs: the second stays queued at t=0.
         submit(&tx, 64, 1000, 0).unwrap();
@@ -545,15 +679,73 @@ mod tests {
             tx.send(Command::Cancel { id, reply: rtx }).unwrap();
             rrx.recv().unwrap()
         };
-        assert_eq!(cancel(2), Ok(()));
-        assert_eq!(cancel(2), Err(EngineError::NotPending(2)));
-        assert_eq!(cancel(1), Err(EngineError::NotPending(1)), "running");
+        assert_eq!(cancel(2), Ok(()), "pending");
+        assert_eq!(cancel(2), Err(EngineError::NotPending(2)), "already gone");
+        assert_eq!(cancel(1), Ok(()), "running jobs are cancellable too");
         assert_eq!(cancel(99), Err(EngineError::NoSuchJob(99)));
+        // A third job runs to completion and can no longer be cancelled.
+        submit(&tx, 8, 50, 1).unwrap();
         drain(&tx);
+        assert_eq!(cancel(3), Err(EngineError::NotPending(3)), "done");
         let res = shutdown(&tx);
         h.join().unwrap();
-        assert_eq!(res.outcomes.len(), 1, "cancelled job never ran");
-        assert_eq!(res.stats.cancelled, 1);
+        assert_eq!(res.outcomes.len(), 1, "cancelled jobs record no outcome");
+        assert_eq!(res.stats.cancelled, 2);
+    }
+
+    #[test]
+    fn tenant_rate_limit_rejects_burst_and_counts() {
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 8;
+        let state = SimState::new_online(
+            spec,
+            SlurmConfig::default(),
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+        );
+        // Tenant 2: one-token bucket at a negligible refill rate.
+        let engine = Engine::new(state, Box::new(SdPolicy::default()), ClockMode::Virtual)
+            .with_tenant_rates(&[(2, 1e-6)]);
+        let (tx, rx) = mpsc::channel();
+        let h = std::thread::spawn(move || engine.run(rx));
+
+        let submit_as = |tenant: Option<u64>, at: u64| {
+            let (rtx, rrx) = mpsc::channel();
+            tx.send(Command::Submit {
+                req: SubmitRequest {
+                    procs: 8,
+                    req_time: 100,
+                    run_time: 50,
+                    submit: Some(at),
+                    malleable: None,
+                    trace_id: None,
+                    tenant,
+                    project: None,
+                },
+                reply: rtx,
+            })
+            .unwrap();
+            rrx.recv().unwrap()
+        };
+        submit_as(Some(2), 0).unwrap();
+        assert_eq!(
+            submit_as(Some(2), 1).unwrap_err(),
+            EngineError::RateLimited(2),
+            "burst capacity 1: the second submit is refused"
+        );
+        // Unlimited tenants are unaffected.
+        submit_as(Some(1), 2).unwrap();
+        submit_as(None, 3).unwrap();
+
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Stats { reply: rtx }).unwrap();
+        let snap = rrx.recv().unwrap();
+        let row = |t: u64| snap.tenants.iter().find(|r| r.tenant == t).unwrap();
+        assert_eq!((row(2).submitted, row(2).rate_limited), (1, 1));
+        assert_eq!((row(1).submitted, row(1).rate_limited), (1, 0));
+        assert_eq!(row(0).submitted, 1);
+        shutdown(&tx);
+        h.join().unwrap();
     }
 
     #[test]
@@ -571,6 +763,8 @@ mod tests {
                 submit: None,
                 malleable: None,
                 trace_id: None,
+                tenant: None,
+                project: None,
             },
             reply: rtx,
         })

@@ -28,6 +28,10 @@ pub struct LoadgenOptions {
     pub drain: bool,
     /// Shut the server down at the end and collect its final result.
     pub shutdown: bool,
+    /// Submit under `N` round-robin tenant identities (job *i* goes to
+    /// tenant `1 + i mod N`). `None` = carry each record's own SWF
+    /// user/group, so a replay reproduces the offline tenant mix exactly.
+    pub tenants: Option<u32>,
 }
 
 impl Default for LoadgenOptions {
@@ -37,8 +41,22 @@ impl Default for LoadgenOptions {
             virtual_timestamps: true,
             drain: true,
             shutdown: false,
+            tenants: None,
         }
     }
+}
+
+/// Per-tenant slice of a loadgen run.
+#[derive(Debug)]
+pub struct TenantLoad {
+    pub tenant: u64,
+    pub submitted: u64,
+    pub rejected: u64,
+    /// Submissions refused with 429 (per-tenant rate limit).
+    pub rate_limited: u64,
+    /// Achieved submissions per wall-second for this tenant alone.
+    pub achieved_rate: f64,
+    pub latency_ms: Option<Percentiles>,
 }
 
 /// Everything one loadgen run measured.
@@ -46,6 +64,12 @@ impl Default for LoadgenOptions {
 pub struct LoadgenReport {
     pub submitted: u64,
     pub rejected: u64,
+    /// Submissions refused with 429 (per-tenant rate limit), also counted
+    /// in `rejected`.
+    pub rate_limited: u64,
+    /// Per-tenant breakdown, ascending by tenant id (one entry even for
+    /// untenanted runs, where everything lands on tenant 0).
+    pub per_tenant: Vec<TenantLoad>,
     /// Wall seconds spent in the submission phase.
     pub submit_wall_s: f64,
     /// Achieved submissions per wall-second.
@@ -79,6 +103,9 @@ impl LoadgenReport {
         let mut out = String::new();
         let _ = writeln!(out, "submitted        {}", self.submitted);
         let _ = writeln!(out, "rejected         {}", self.rejected);
+        if self.rate_limited > 0 {
+            let _ = writeln!(out, "rate limited     {}", self.rate_limited);
+        }
         let _ = writeln!(out, "submit wall      {:.3} s", self.submit_wall_s);
         let _ = writeln!(out, "achieved rate    {:.0} submits/s", self.achieved_rate);
         if let Some(p) = &self.latency_ms {
@@ -87,6 +114,20 @@ impl LoadgenReport {
                 "latency (ms)     p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}",
                 p.p50, p.p90, p.p99, p.max
             );
+        }
+        if self.per_tenant.len() > 1 {
+            for t in &self.per_tenant {
+                let lat = t
+                    .latency_ms
+                    .as_ref()
+                    .map(|p| format!("p50 {:.3}  p99 {:.3}", p.p50, p.p99))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "tenant {:<4} ok {:<6} limited {:<4} {:.0}/s  {}",
+                    t.tenant, t.submitted, t.rate_limited, t.achieved_rate, lat
+                );
+            }
         }
         if self.drain_wall_s > 0.0 {
             let _ = writeln!(out, "drain wall       {:.3} s", self.drain_wall_s);
@@ -120,9 +161,18 @@ pub fn run(
     client.health()?;
     let stats_before = client.stats()?;
 
+    #[derive(Default)]
+    struct TenantAcc {
+        submitted: u64,
+        rejected: u64,
+        rate_limited: u64,
+        latencies_ms: Vec<f64>,
+    }
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut by_tenant: std::collections::BTreeMap<u64, TenantAcc> = Default::default();
     let mut submitted = 0u64;
     let mut rejected = 0u64;
+    let mut rate_limited = 0u64;
     let pacing = opts.rate.map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
     let t0 = Instant::now();
     for (i, j) in jobs.iter().enumerate() {
@@ -133,6 +183,10 @@ pub fn run(
                 std::thread::sleep(due - now);
             }
         }
+        let (tenant, project) = match opts.tenants {
+            Some(n) => (1 + (i as u64) % u64::from(n.max(1)), 0),
+            None => (j.user.max(0) as u64, j.group.max(0) as u64),
+        };
         let req = SubmitRequest {
             procs: j.procs().unwrap_or(1),
             req_time: j.requested_time().unwrap_or(0),
@@ -147,16 +201,48 @@ pub fn run(
             // fraction < 1 server draws the same population an offline
             // build of this trace would.
             trace_id: Some(j.job_id),
+            tenant: Some(tenant),
+            project: Some(project),
         };
         let r0 = Instant::now();
+        let acc = by_tenant.entry(tenant).or_default();
         match client.submit(&req) {
-            Ok(_) => submitted += 1,
-            Err(ClientError::Status(_, _)) => rejected += 1,
+            Ok(_) => {
+                submitted += 1;
+                acc.submitted += 1;
+            }
+            Err(ClientError::Status(429, _)) => {
+                rejected += 1;
+                rate_limited += 1;
+                acc.rejected += 1;
+                acc.rate_limited += 1;
+            }
+            Err(ClientError::Status(_, _)) => {
+                rejected += 1;
+                acc.rejected += 1;
+            }
             Err(e) => return Err(e),
         }
-        latencies_ms.push(r0.elapsed().as_secs_f64() * 1e3);
+        let ms = r0.elapsed().as_secs_f64() * 1e3;
+        latencies_ms.push(ms);
+        acc.latencies_ms.push(ms);
     }
     let submit_wall_s = t0.elapsed().as_secs_f64();
+    let per_tenant = by_tenant
+        .into_iter()
+        .map(|(tenant, mut a)| TenantLoad {
+            tenant,
+            submitted: a.submitted,
+            rejected: a.rejected,
+            rate_limited: a.rate_limited,
+            achieved_rate: if submit_wall_s > 0.0 {
+                a.submitted as f64 / submit_wall_s
+            } else {
+                0.0
+            },
+            latency_ms: Percentiles::compute(&mut a.latencies_ms),
+        })
+        .collect();
 
     let mut drain_wall_s = 0.0;
     if opts.drain {
@@ -175,6 +261,8 @@ pub fn run(
     Ok(LoadgenReport {
         submitted,
         rejected,
+        rate_limited,
+        per_tenant,
         submit_wall_s,
         achieved_rate: if submit_wall_s > 0.0 {
             submitted as f64 / submit_wall_s

@@ -45,7 +45,8 @@ pub fn render(snap: &Snapshot, http: &HttpCounters) -> String {
     sample(&mut out, "sd_serve_jobs_pending", "Jobs waiting in the queue.", "gauge", snap.pending);
     sample(&mut out, "sd_serve_jobs_running", "Jobs currently executing.", "gauge", snap.running);
     sample(&mut out, "sd_serve_jobs_completed_total", "Jobs that finished.", "counter", snap.completed);
-    sample(&mut out, "sd_serve_jobs_cancelled_total", "Pending jobs withdrawn.", "counter", s.cancelled);
+    sample(&mut out, "sd_serve_jobs_cancelled_total", "Jobs withdrawn.", "counter", s.cancelled);
+    sample(&mut out, "sd_serve_quota_skipped_total", "Backfill trials skipped by tenant quotas.", "counter", s.quota_skipped);
     sample(&mut out, "sd_serve_started_static_total", "Exclusive whole-node starts.", "counter", s.started_static);
     sample(&mut out, "sd_serve_started_malleable_total", "Malleable co-scheduled starts.", "counter", s.started_malleable);
     sample(&mut out, "sd_serve_unique_mates_total", "Distinct jobs shrunk as mates.", "counter", s.unique_mates);
@@ -79,6 +80,37 @@ pub fn render(snap: &Snapshot, http: &HttpCounters) -> String {
         );
     }
     sample(&mut out, "sd_serve_http_connections_total", "Accepted TCP connections.", "counter", http.connections.load(Ordering::Relaxed));
+
+    if !snap.tenants.is_empty() {
+        for (name, help, get) in [
+            (
+                "sd_serve_tenant_submitted_total",
+                "Jobs accepted per tenant.",
+                (|t| t.submitted) as fn(&crate::engine::TenantSnap) -> u64,
+            ),
+            (
+                "sd_serve_tenant_rate_limited_total",
+                "Submissions refused by the per-tenant rate limit.",
+                |t| t.rate_limited,
+            ),
+            (
+                "sd_serve_tenant_completed_total",
+                "Jobs completed per tenant.",
+                |t| t.completed,
+            ),
+            (
+                "sd_serve_tenant_quota_skipped_total",
+                "Backfill trials skipped by this tenant's quota.",
+                |t| t.quota_skipped,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for t in &snap.tenants {
+                let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.tenant, get(t));
+            }
+        }
+    }
     out
 }
 
@@ -108,6 +140,7 @@ mod tests {
             mean_wait: 10.0,
             makespan: 5000,
             submitted: 20,
+            tenants: vec![],
         }
     }
 
@@ -130,6 +163,34 @@ mod tests {
         let types = text.matches("# TYPE").count();
         assert_eq!(helps, types);
         assert!(helps >= 20, "{helps} series");
+    }
+
+    #[test]
+    fn tenant_series_are_labelled() {
+        let mut s = snap();
+        s.tenants = vec![
+            crate::engine::TenantSnap {
+                tenant: 1,
+                submitted: 10,
+                rate_limited: 0,
+                completed: 8,
+                quota_skipped: 0,
+                ..Default::default()
+            },
+            crate::engine::TenantSnap {
+                tenant: 2,
+                submitted: 5,
+                rate_limited: 3,
+                completed: 4,
+                quota_skipped: 7,
+                ..Default::default()
+            },
+        ];
+        let text = render(&s, &HttpCounters::default());
+        assert!(text.contains("sd_serve_tenant_submitted_total{tenant=\"1\"} 10"), "{text}");
+        assert!(text.contains("sd_serve_tenant_rate_limited_total{tenant=\"2\"} 3"), "{text}");
+        assert!(text.contains("sd_serve_tenant_quota_skipped_total{tenant=\"2\"} 7"), "{text}");
+        assert!(text.contains("sd_serve_quota_skipped_total 0"), "{text}");
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct SubmitRequest {
     /// would draw). `None` = the dense id the server assigns. Irrelevant
     /// when `malleable` is explicit or the configured fraction is 1.
     pub trace_id: Option<u64>,
+    /// Submitting tenant id (maps to the SWF `user` field); `None` = 0,
+    /// the untenanted default.
+    pub tenant: Option<u64>,
+    /// Project/accounting group under the tenant (SWF `group`); `None` = 0.
+    pub project: Option<u64>,
 }
 
 impl SubmitRequest {
@@ -39,6 +44,8 @@ impl SubmitRequest {
             .set("submit", self.submit)
             .set("malleable", self.malleable)
             .set("trace_id", self.trace_id)
+            .set("tenant", self.tenant)
+            .set("project", self.project)
     }
 
     pub fn decode(v: &Json) -> Result<SubmitRequest, String> {
@@ -69,6 +76,8 @@ impl SubmitRequest {
             submit: opt_num("submit")?,
             malleable: opt_bool("malleable")?,
             trace_id: opt_num("trace_id")?,
+            tenant: opt_num("tenant")?,
+            project: opt_num("project")?,
         };
         if r.procs == 0 {
             return Err("`procs` must be at least 1".into());
@@ -82,13 +91,16 @@ impl SubmitRequest {
     /// The SWF record this submission denotes, under a given id and with the
     /// effective submit instant filled in.
     pub fn to_swf(&self, id: u64, submit: u64) -> swf::SwfJob {
-        swf::SwfJob::for_simulation(
+        let mut j = swf::SwfJob::for_simulation(
             id,
             submit,
             self.run_time,
             self.procs,
             self.req_time.max(self.run_time),
-        )
+        );
+        j.user = self.tenant.unwrap_or(0) as i64;
+        j.group = self.project.unwrap_or(0) as i64;
+        j
     }
 }
 
@@ -124,6 +136,7 @@ fn encode_outcome(o: &JobOutcome) -> Json {
         .set("malleable_backfilled", o.malleable_backfilled)
         .set("was_mate", o.was_mate)
         .set("app", o.app.map(app_index))
+        .set("tenant", u64::from(o.tenant))
 }
 
 fn decode_outcome(v: &Json) -> Result<JobOutcome, String> {
@@ -148,6 +161,7 @@ fn decode_outcome(v: &Json) -> Result<JobOutcome, String> {
         static_runtime: num("static_runtime")?,
         malleable_backfilled: boolean("malleable_backfilled")?,
         was_mate: boolean("was_mate")?,
+        tenant: num("tenant")? as u32,
         app: match v.get("app") {
             None | Some(Json::Null) => None,
             Some(x) => Some(app_from_index(
@@ -168,6 +182,7 @@ fn encode_stats(s: &SimStats) -> Json {
         .set("sched_passes", s.sched_passes)
         .set("passes_skipped", s.passes_skipped)
         .set("cancelled", s.cancelled)
+        .set("quota_skipped", s.quota_skipped)
         .set("events_dispatched", s.events_dispatched)
         .set("peak_profile_len", s.peak_profile_len)
 }
@@ -188,6 +203,7 @@ fn decode_stats(v: &Json) -> Result<SimStats, String> {
         sched_passes: num("sched_passes")?,
         passes_skipped: num("passes_skipped")?,
         cancelled: num("cancelled")?,
+        quota_skipped: num("quota_skipped")?,
         events_dispatched: num("events_dispatched")?,
         peak_profile_len: num("peak_profile_len")? as usize,
     })
@@ -275,12 +291,16 @@ mod tests {
             submit: Some(42),
             malleable: Some(false),
             trace_id: Some(9001),
+            tenant: Some(7),
+            project: Some(2),
         };
         assert_eq!(SubmitRequest::decode(&r.encode()).unwrap(), r);
         let r2 = SubmitRequest {
             submit: None,
             malleable: None,
             trace_id: None,
+            tenant: None,
+            project: None,
             ..r
         };
         assert_eq!(SubmitRequest::decode(&r2.encode()).unwrap(), r2);
@@ -315,6 +335,7 @@ mod tests {
                 malleable_backfilled: true,
                 was_mate: false,
                 app: Some(workload::AppId::CoreNeuron),
+                tenant: 7,
             }],
             stats: SimStats {
                 started_static: 5,

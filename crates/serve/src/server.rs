@@ -200,6 +200,7 @@ fn engine_error(e: EngineError) -> Response {
         EngineError::Rejected(_) => 400,
         EngineError::NoSuchJob(_) => 404,
         EngineError::NotPending(_) => 409,
+        EngineError::RateLimited(_) => 429,
     };
     Response::error(status, &e.to_string())
 }
@@ -359,6 +360,7 @@ fn snapshot_json(snap: &Snapshot) -> Json {
         .set("running", snap.running)
         .set("completed", snap.completed)
         .set("cancelled", s.cancelled)
+        .set("quota_skipped", s.quota_skipped)
         .set("events_outstanding", snap.events_outstanding)
         .set("started_static", s.started_static)
         .set("started_malleable", s.started_malleable)
@@ -376,4 +378,20 @@ fn snapshot_json(snap: &Snapshot) -> Json {
         .set("busy_cores", snap.busy_cores)
         .set("empty_nodes", snap.empty_nodes)
         .set("nodes", snap.nodes)
+        .set(
+            "tenants",
+            snap.tenants
+                .iter()
+                .map(|t| {
+                    Json::obj()
+                        .set("tenant", t.tenant)
+                        .set("submitted", t.submitted)
+                        .set("rate_limited", t.rate_limited)
+                        .set("started", t.started)
+                        .set("completed", t.completed)
+                        .set("quota_skipped", t.quota_skipped)
+                        .set("running_width", t.running_width)
+                })
+                .collect::<Vec<_>>(),
+        )
 }

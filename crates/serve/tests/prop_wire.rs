@@ -130,8 +130,10 @@ proptest! {
         submit in proptest::prop_oneof![Just(None), (0u64..1_000_000_000).prop_map(Some)],
         malleable in proptest::prop_oneof![Just(None), any::<bool>().prop_map(Some)],
         trace_id in proptest::prop_oneof![Just(None), (1u64..1_000_000_000).prop_map(Some)],
+        tenant in proptest::prop_oneof![Just(None), (0u64..10_000).prop_map(Some)],
+        project in proptest::prop_oneof![Just(None), (0u64..100).prop_map(Some)],
     ) {
-        let r = SubmitRequest { procs, req_time, run_time, submit, malleable, trace_id };
+        let r = SubmitRequest { procs, req_time, run_time, submit, malleable, trace_id, tenant, project };
         let text = r.encode().render();
         let back = SubmitRequest::decode(&Json::parse(&text).unwrap());
         prop_assert_eq!(back.unwrap(), r);
@@ -159,6 +161,7 @@ proptest! {
                 static_runtime: 1 + rng.below(500_000) as u64,
                 malleable_backfilled: rng.below(2) == 0,
                 was_mate: rng.below(2) == 0,
+                tenant: rng.below(97) as u32,
                 app: if rng.below(3) == 0 {
                     Some(workload::APPS[rng.below(workload::APPS.len())].id)
                 } else {

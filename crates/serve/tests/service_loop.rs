@@ -44,6 +44,8 @@ fn submit(client: &mut Client, procs: u64, run: u64, at: u64) -> u64 {
             submit: Some(at),
             malleable: None,
             trace_id: None,
+            tenant: None,
+            project: None,
         })
         .expect("submit accepted")
         .0
@@ -140,6 +142,8 @@ fn concurrent_clients_share_one_scheduler() {
                     submit: Some(1000 + t * 25 + i),
                     malleable: None,
                     trace_id: None,
+                    tenant: None,
+                    project: None,
                 })
                 .unwrap();
             }
@@ -174,6 +178,7 @@ fn loadgen_reports_throughput_and_deltas() {
             virtual_timestamps: true,
             drain: true,
             shutdown: true,
+            tenants: None,
         },
     )
     .unwrap();

@@ -11,6 +11,7 @@
 use crate::config::BackfillMode;
 use crate::reservation::Profile;
 use crate::state::{DirtyFlags, SimState};
+use crate::timing;
 use cluster::JobId;
 use simkit::SimTime;
 
@@ -100,13 +101,22 @@ where
     let mut head_reserved = false;
 
     let mut prefix = st.take_prefix_scratch();
-    prefix.extend(st.queue.prefix(depth));
+    // FIFO prefix, or the fair-share reorder under `QueuePolicy::FairShare`.
+    st.fill_pass_prefix(depth, &mut prefix);
     // Dimensions come from the queue entries (cached at submit): the hot
     // loop reads this sequential buffer, no job-table dereference. The
     // buffer is owned (taken from the scratch), so `st` stays mutable.
     for &entry in &prefix {
         let id = entry.job;
         let (req_nodes, req_time) = (entry.req_nodes, entry.req_time);
+        // Quota enforcement happens before the trial: a start that would
+        // exceed the tenant's budget is skipped for this pass — no static
+        // attempt, no malleable fallback and *no reservation* (a blocked
+        // job must not hold nodes it is not allowed to take).
+        if st.quota_blocks(&entry) {
+            continue;
+        }
+        let _trial = timing::scope(&timing::BACKFILL_TRIAL);
         if !incremental {
             // Legacy flow, verbatim: full est for every examined job.
             let est = profile.earliest_start_legacy(req_nodes, req_time, st.now);
@@ -326,6 +336,46 @@ mod tests {
         run_all(&mut st, &mut StaticBackfill);
         // All jobs still complete eventually (depth only bounds per-pass work).
         assert_eq!(st.outcomes().len(), 10);
+    }
+
+    #[test]
+    fn quota_blocked_job_is_skipped_and_takes_no_reservation() {
+        use crate::tenant::{Quota, TenantRegistry};
+        // Tenant 1 may only ever run one node-width at a time. J1 (2 nodes)
+        // exceeds it outright and must neither start nor reserve — J2
+        // (tenant 2, 2 nodes) starts immediately instead of queueing behind
+        // a reservation the blocked job would have held.
+        let mut jobs = vec![job(1, 0, 100, 2, 100), job(2, 0, 100, 2, 100)];
+        jobs[0].user = 1;
+        jobs[1].user = 2;
+        let mut tenants = TenantRegistry::equal_weights(
+            2,
+            Quota {
+                node_seconds: None,
+                max_running_width: Some(1),
+            },
+        );
+        tenants.add(crate::tenant::Tenant::unlimited(2, 0)); // lift tenant 2's cap
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 4;
+        let mut st = SimState::new(
+            spec,
+            SlurmConfig {
+                backfill_mode: BackfillMode::Conservative,
+                self_check: true,
+                tenants,
+                ..SlurmConfig::default()
+            },
+            &swf::Trace::new(Default::default(), jobs),
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+        );
+        run_all(&mut st, &mut StaticBackfill);
+        assert_eq!(st.outcomes().len(), 1, "blocked job never runs");
+        assert_eq!(st.outcomes()[0].id, JobId(2));
+        assert_eq!(st.outcomes()[0].wait(), 0, "no phantom reservation");
+        assert!(st.stats.quota_skipped > 0);
+        assert_eq!(st.queue.len(), 1, "blocked job stays pending");
     }
 
     #[test]

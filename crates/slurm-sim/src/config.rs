@@ -1,5 +1,7 @@
 //! Simulator configuration (the knobs a SLURM admin would set).
 
+use crate::tenant::{QueuePolicy, TenantRegistry};
+
 /// How the baseline backfill plans ahead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackfillMode {
@@ -36,6 +38,13 @@ pub struct SlurmConfig {
     /// results are bit-identical either way (enforced by tests); the legacy
     /// path exists as the macro-benchmark baseline and equivalence oracle.
     pub incremental: bool,
+    /// The tenant table (identities, weights, quotas). Empty — the default —
+    /// disables all tenant accounting and quota checks; the simulator is
+    /// then bit-identical to the untenanted build.
+    pub tenants: TenantRegistry,
+    /// How the backfill pass orders the pending queue (FIFO by default;
+    /// fair-share reorders by usage-decayed priority).
+    pub queue_policy: QueuePolicy,
 }
 
 impl Default for SlurmConfig {
@@ -48,7 +57,23 @@ impl Default for SlurmConfig {
             malleable_seed: 0xD20,
             self_check: false,
             incremental: true,
+            tenants: TenantRegistry::default(),
+            queue_policy: QueuePolicy::Fifo,
         }
+    }
+}
+
+impl SlurmConfig {
+    /// The malleability adoption fraction for a job of `(tenant, project)`:
+    /// the tenant's override when registered, the global knob otherwise.
+    pub fn malleable_fraction_for(&self, tenant: u32, project: u32) -> f64 {
+        if self.tenants.is_empty() {
+            return self.malleable_fraction;
+        }
+        self.tenants
+            .slot(tenant, project)
+            .and_then(|s| self.tenants.get(s).malleable_fraction)
+            .unwrap_or(self.malleable_fraction)
     }
 }
 
@@ -79,5 +104,30 @@ mod tests {
     #[test]
     fn large_scale_uses_easy() {
         assert_eq!(SlurmConfig::large_scale().backfill_mode, BackfillMode::Easy);
+    }
+
+    #[test]
+    fn default_is_untenanted_fifo() {
+        let c = SlurmConfig::default();
+        assert!(c.tenants.is_empty());
+        assert_eq!(c.queue_policy, QueuePolicy::Fifo);
+        assert_eq!(c.malleable_fraction_for(42, 0), c.malleable_fraction);
+    }
+
+    #[test]
+    fn tenant_malleability_override_applies_only_to_registered_tenants() {
+        let mut c = SlurmConfig {
+            malleable_fraction: 0.8,
+            ..SlurmConfig::default()
+        };
+        c.tenants.add(crate::tenant::Tenant {
+            malleable_fraction: Some(0.25),
+            ..crate::tenant::Tenant::unlimited(1, 0)
+        });
+        c.tenants.add(crate::tenant::Tenant::unlimited(2, 0));
+        assert_eq!(c.malleable_fraction_for(1, 0), 0.25);
+        assert_eq!(c.malleable_fraction_for(1, 9), 0.25, "project-0 fallback");
+        assert_eq!(c.malleable_fraction_for(2, 0), 0.8, "no override inherits");
+        assert_eq!(c.malleable_fraction_for(3, 0), 0.8, "unknown tenant inherits");
     }
 }

@@ -31,6 +31,10 @@ pub struct JobSpec {
     pub ranks_per_node: u32,
     /// Bound application (Workload 5), if any.
     pub app: Option<AppId>,
+    /// Owning tenant (SWF `user`; 0 = anonymous/untenanted).
+    pub tenant: u32,
+    /// Owning project (SWF `group`; 0 = default project).
+    pub project: u32,
 }
 
 impl JobSpec {
@@ -59,6 +63,8 @@ impl JobSpec {
             malleable,
             ranks_per_node: ranks_per_node.max(1),
             app: None,
+            tenant: j.user.max(0) as u32,
+            project: j.group.max(0) as u32,
         })
     }
 }
@@ -251,6 +257,8 @@ pub struct JobOutcome {
     /// Was shrunk at least once as a mate.
     pub was_mate: bool,
     pub app: Option<AppId>,
+    /// Owning tenant (0 = anonymous/untenanted).
+    pub tenant: u32,
 }
 
 impl JobOutcome {
@@ -371,6 +379,7 @@ mod tests {
             malleable_backfilled: true,
             was_mate: false,
             app: None,
+            tenant: 0,
         };
         assert_eq!(o.wait(), 300);
         assert_eq!(o.runtime(), 1000);
@@ -386,6 +395,8 @@ mod tests {
         assert_eq!(js.req_nodes, 2);
         assert_eq!(js.req_procs, 17);
         assert_eq!(js.req_time, 1200);
+        // `for_simulation` leaves user/group unknown (−1) → anonymous.
+        assert_eq!((js.tenant, js.project), (0, 0));
         // Unusable records rejected:
         sj.run_time = 0;
         assert!(JobSpec::from_swf(&sj, &spec, true, 2).is_none());

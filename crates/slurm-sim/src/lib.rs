@@ -13,6 +13,9 @@
 //!   time", §3.1) and the incrementally maintained release map,
 //! * [`rate`] — pluggable malleable-runtime models (paper Eq. 5/6 and the
 //!   app-behaviour model for the real-run reproduction),
+//! * [`tenant`] — multi-tenant identities, quotas and the fair-share queue
+//!   order enforced inside the backfill pass,
+//! * [`timing`] — opt-in per-function hot-path timing attribution,
 //! * [`job`], [`queue`], [`config`], [`result`] — supporting types.
 //!
 //! The SD-Policy itself lives in the `sd-policy` crate and plugs in through
@@ -29,6 +32,8 @@ pub mod replay;
 pub mod reservation;
 pub mod result;
 pub mod state;
+pub mod tenant;
+pub mod timing;
 
 pub use backfill::{backfill_pass, Scheduler, StaticBackfill};
 pub use config::{BackfillMode, SlurmConfig};
@@ -39,3 +44,4 @@ pub use rate::{AppAwareModel, IdealModel, RateInputs, RateModel, WorstCaseModel}
 pub use reservation::{Profile, ReleaseMap};
 pub use result::SimResult;
 pub use state::{CoScheduleError, DirtyFlags, Event, MateEntry, SimState, SimStats, SubmitError};
+pub use tenant::{QueuePolicy, Quota, Tenant, TenantRegistry, TenantUsage, NO_TENANT_SLOT};

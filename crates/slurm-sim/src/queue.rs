@@ -24,6 +24,10 @@ pub struct QueueEntry {
     pub req_nodes: u32,
     /// User-requested wall time (seconds).
     pub req_time: u64,
+    /// Tenant registry slot, resolved once at submit time
+    /// ([`crate::tenant::NO_TENANT_SLOT`] when unregistered/untenanted) so
+    /// quota checks and fair-share ordering never hash in the hot loop.
+    pub tslot: u32,
 }
 
 /// FIFO pending queue with stable order, O(1) prefix iteration and O(1)
@@ -53,7 +57,7 @@ impl PendingQueue {
     }
 
     /// Enqueues a newly submitted job at the tail.
-    pub fn push(&mut self, job: JobId, req_nodes: u32, req_time: u64) {
+    pub fn push(&mut self, job: JobId, req_nodes: u32, req_time: u64, tslot: u32) {
         debug_assert!(!self.index.contains_key(&job), "{job} queued twice");
         self.index
             .insert(job, self.head_seq + self.slots.len() as u64);
@@ -61,6 +65,7 @@ impl PendingQueue {
             job,
             req_nodes,
             req_time,
+            tslot,
         }));
     }
 
@@ -119,7 +124,7 @@ mod tests {
     fn fifo_order_preserved() {
         let mut q = PendingQueue::new();
         for i in 0..5 {
-            q.push(JobId(i), 1, 100);
+            q.push(JobId(i), 1, 100, u32::MAX);
         }
         assert_eq!(q.head(), Some(JobId(0)));
         assert_eq!(q.prefix(3).map(|e| e.job).collect::<Vec<_>>(), vec![JobId(0), JobId(1), JobId(2)]);
@@ -130,7 +135,7 @@ mod tests {
     fn remove_keeps_relative_order() {
         let mut q = PendingQueue::new();
         for i in 0..5 {
-            q.push(JobId(i), 1, 100);
+            q.push(JobId(i), 1, 100, u32::MAX);
         }
         assert!(q.remove(JobId(2)));
         assert!(!q.remove(JobId(2)));
@@ -143,7 +148,7 @@ mod tests {
     #[test]
     fn prefix_clamps_to_len() {
         let mut q = PendingQueue::new();
-        q.push(JobId(9), 1, 100);
+        q.push(JobId(9), 1, 100, u32::MAX);
         assert_eq!(q.prefix(100).map(|e| e.job).collect::<Vec<_>>(), vec![JobId(9)]);
         assert_eq!(PendingQueue::new().prefix(4).count(), 0);
     }
@@ -152,7 +157,7 @@ mod tests {
     fn head_skips_removed_jobs() {
         let mut q = PendingQueue::new();
         for i in 0..4 {
-            q.push(JobId(i), 1, 100);
+            q.push(JobId(i), 1, 100, u32::MAX);
         }
         q.remove(JobId(0));
         q.remove(JobId(1));
@@ -172,7 +177,7 @@ mod tests {
         let mut next = 0u64;
         for round in 0..200u64 {
             for _ in 0..(round % 4) + 1 {
-                q.push(JobId(next), 1, 100);
+                q.push(JobId(next), 1, 100, u32::MAX);
                 model.push(JobId(next));
                 next += 1;
             }

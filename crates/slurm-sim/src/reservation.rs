@@ -186,6 +186,7 @@ impl Profile {
     /// [`Profile::earliest_start_legacy`], kept as the perf baseline and the
     /// property-test oracle).
     pub fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        let _t = crate::timing::scope(&crate::timing::EARLIEST_START);
         let need = nodes as i64;
         let dur = duration.max(1);
         let n = self.times.len();
@@ -259,6 +260,7 @@ impl Profile {
     /// benchmarks can A/B the seed hot path, and as the oracle for the
     /// linear-sweep equivalence property test.
     pub fn earliest_start_legacy(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        let _t = crate::timing::scope(&crate::timing::EARLIEST_START);
         let need = nodes as i64;
         // Candidate instants: `after` itself and every later step point.
         let first_idx = match self.times.binary_search(&after) {

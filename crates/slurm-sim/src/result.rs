@@ -124,6 +124,7 @@ mod tests {
             malleable_backfilled: false,
             was_mate: false,
             app: None,
+            tenant: 0,
         }
     }
 

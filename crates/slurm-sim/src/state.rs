@@ -17,9 +17,11 @@
 
 use crate::config::SlurmConfig;
 use crate::job::{Job, JobOutcome, JobSpec, JobState, RunningJob};
-use crate::queue::PendingQueue;
+use crate::queue::{PendingQueue, QueueEntry};
 use crate::rate::{RateInputs, RateModel};
 use crate::reservation::{Profile, ReleaseMap};
+use crate::tenant::{fair_share_sort, QueuePolicy, TenantUsage, NO_TENANT_SLOT};
+use crate::timing;
 use cluster::{ClusterSpec, ClusterState, EnergyMeter, JobId, NodeId};
 use drom::{DromRegistry, NodeManager, SharingFactor};
 use simkit::{DetRng, EventQueue, SimTime};
@@ -56,9 +58,12 @@ pub struct SimStats {
     /// Event batches whose pass was provably a no-op and was skipped
     /// (incremental mode only; always 0 on the legacy path).
     pub passes_skipped: u64,
-    /// Pending jobs withdrawn via [`SimState::cancel_job`] (always 0 for
-    /// offline trace replays — cancellation only exists on the online path).
+    /// Jobs withdrawn via [`SimState::cancel_job`] (always 0 for offline
+    /// trace replays — cancellation only exists on the online path).
     pub cancelled: u64,
+    /// Backfill trials skipped because starting the job would exceed its
+    /// tenant's quota (always 0 with an empty [`crate::TenantRegistry`]).
+    pub quota_skipped: u64,
     /// Events dispatched (incl. stale end events).
     pub events_dispatched: u64,
     /// Largest pass-profile step count seen (perf/size diagnostic).
@@ -142,6 +147,9 @@ pub struct SimState {
     rate_model: Box<dyn RateModel>,
     sharing: SharingFactor,
     pub stats: SimStats,
+    /// Per-tenant accounting, parallel to the registry's slots (empty on
+    /// the untenanted path).
+    tenant_usage: Vec<TenantUsage>,
     first_submit: SimTime,
     last_end: SimTime,
 }
@@ -249,8 +257,12 @@ impl SimState {
         let mut events = EventQueue::with_capacity(trace.len() * 2);
         let mut first_submit = SimTime::MAX;
         for (idx, sj) in trace.jobs.iter().enumerate() {
-            let malleable =
-                cfg.malleable_fraction >= 1.0 || rng.fork(sj.job_id).chance(cfg.malleable_fraction);
+            // Per-tenant malleability adoption: a registered tenant's
+            // override replaces the global fraction (identical when the
+            // registry is empty — the draw structure never changes).
+            let fraction =
+                cfg.malleable_fraction_for(sj.user.max(0) as u32, sj.group.max(0) as u32);
+            let malleable = fraction >= 1.0 || rng.fork(sj.job_id).chance(fraction);
             let Some(mut js) = JobSpec::from_swf(sj, &spec, malleable, cfg.ranks_per_node) else {
                 continue;
             };
@@ -275,6 +287,7 @@ impl SimState {
         // end), matching the paper's definitions for both metrics.
         let mut meter = EnergyMeter::new(node_power, nodes);
         meter.start(first_submit);
+        let tenant_usage = vec![TenantUsage::default(); cfg.tenants.len()];
         SimState {
             now: SimTime::ZERO,
             cluster: ClusterState::new(spec.clone()),
@@ -301,6 +314,7 @@ impl SimState {
             rate_model,
             sharing,
             stats: SimStats::default(),
+            tenant_usage,
             first_submit,
             last_end: SimTime::ZERO,
         }
@@ -426,6 +440,53 @@ impl SimState {
         self.scratch.prefix = v;
     }
 
+    /// Fills `prefix` with the entries a scheduling pass examines: the FIFO
+    /// prefix under [`QueuePolicy::Fifo`] (today's behaviour), or the whole
+    /// queue reordered by usage-decayed fair-share priority and truncated to
+    /// `depth`. The reorder is a stable sort on `usage/weight`, so ties —
+    /// including the entire queue under a single tenant — keep FIFO order.
+    pub fn fill_pass_prefix(&mut self, depth: usize, prefix: &mut Vec<QueueEntry>) {
+        match self.cfg.queue_policy {
+            QueuePolicy::Fifo => prefix.extend(self.queue.prefix(depth)),
+            QueuePolicy::FairShare { half_life } => {
+                let _t = timing::scope(&timing::FAIR_SHARE_SORT);
+                prefix.extend(self.queue.prefix(usize::MAX));
+                let now = self.now;
+                for u in &mut self.tenant_usage {
+                    u.decay_to(now, half_life);
+                }
+                let usage = &self.tenant_usage;
+                let registry = &self.cfg.tenants;
+                fair_share_sort(prefix, |slot| {
+                    if slot == NO_TENANT_SLOT {
+                        0.0
+                    } else {
+                        usage[slot as usize].usage / registry.get(slot).weight
+                    }
+                });
+                prefix.truncate(depth);
+            }
+        }
+    }
+
+    /// Whether starting this entry now would exceed its tenant's quota.
+    /// Counts the skip (globally and per tenant) when it would. O(1), and a
+    /// constant-time `false` for untenanted entries.
+    pub fn quota_blocks(&mut self, e: &QueueEntry) -> bool {
+        if e.tslot == NO_TENANT_SLOT {
+            return false;
+        }
+        let _t = timing::scope(&timing::QUOTA_CHECK);
+        let quota = self.cfg.tenants.get(e.tslot).quota;
+        let usage = &mut self.tenant_usage[e.tslot as usize];
+        let blocked = usage.would_exceed(&quota, e.req_nodes, e.req_time);
+        if blocked {
+            usage.quota_skipped += 1;
+            self.stats.quota_skipped += 1;
+        }
+        blocked
+    }
+
     pub fn first_submit(&self) -> SimTime {
         self.first_submit
     }
@@ -460,10 +521,13 @@ impl SimState {
             });
         }
         let malleable = malleable.unwrap_or_else(|| {
-            self.cfg.malleable_fraction >= 1.0
+            let fraction = self
+                .cfg
+                .malleable_fraction_for(sj.user.max(0) as u32, sj.group.max(0) as u32);
+            fraction >= 1.0
                 || DetRng::new(self.cfg.malleable_seed)
                     .fork(sj.job_id)
-                    .chance(self.cfg.malleable_fraction)
+                    .chance(fraction)
         });
         let Some(mut js) = JobSpec::from_swf(sj, &self.spec, malleable, self.cfg.ranks_per_node)
         else {
@@ -487,25 +551,54 @@ impl SimState {
         Ok(id)
     }
 
-    /// Withdraws a pending job (SLURM `scancel` of a queued job). Running or
-    /// finished jobs are not touched — the paper's system has no preemption,
-    /// so neither does the reproduction. Returns whether the job was removed;
-    /// on success the queue dirty flag is raised (dropping a reservation
-    /// holder can unblock backfill).
+    /// Withdraws a job (SLURM `scancel`). Pending jobs leave the queue;
+    /// running jobs — including shrunk borrowers and active mates — tear
+    /// down exactly like a completion (partners expand back into the freed
+    /// cores, DROM masks and the energy meter are settled) but record no
+    /// outcome. Finished or already-cancelled jobs return `false`. On
+    /// success the matching dirty flag is raised (dropping a reservation
+    /// holder or freeing capacity can unblock backfill).
     pub fn cancel_job(&mut self, id: JobId) -> bool {
-        if id.0 == 0 || id.0 as usize > self.jobs.len() || !self.job(id).is_pending() {
+        if id.0 == 0 || id.0 as usize > self.jobs.len() {
             return false;
         }
-        // A pending job may not have reached its submit instant yet; cancel
-        // both the queue entry (present after dispatch) and any future
-        // submit event (skipped as stale by a state check on dispatch).
-        let was_queued = self.queue.remove(id);
-        self.job_mut(id).state = JobState::Cancelled;
-        self.stats.cancelled += 1;
-        if was_queued {
-            self.dirty.queue = true;
+        match self.job(id).state {
+            JobState::Pending => {
+                // A pending job may not have reached its submit instant yet;
+                // cancel both the queue entry (present after dispatch) and
+                // any future submit event (skipped as stale on dispatch).
+                let was_queued = self.queue.remove(id);
+                self.job_mut(id).state = JobState::Cancelled;
+                self.stats.cancelled += 1;
+                if was_queued {
+                    self.dirty.queue = true;
+                }
+                true
+            }
+            JobState::Running(_) => {
+                let now = self.now;
+                let (spec, run) = {
+                    let job = self.job_mut(id);
+                    let JobState::Running(mut run) =
+                        std::mem::replace(&mut job.state, JobState::Cancelled)
+                    else {
+                        unreachable!("matched running above");
+                    };
+                    run.bank(now);
+                    (job.spec.clone(), run)
+                };
+                self.tenant_finish(&spec, false);
+                // The machine was busy until this instant; the energy/
+                // makespan window must cover it even when the cancellation
+                // is the session's last activity.
+                self.last_end = self.last_end.max(now);
+                self.release_running(id, &spec, run);
+                self.stats.cancelled += 1;
+                self.dirty.capacity = true;
+                true
+            }
+            JobState::Done | JobState::Cancelled => false,
         }
-        true
     }
 
     // ------------------------------------------------------------------
@@ -524,7 +617,11 @@ impl SimState {
                     return false; // cancelled before its submit instant
                 }
                 let (req_nodes, req_time) = (job.spec.req_nodes, job.spec.req_time);
-                self.queue.push(id, req_nodes, req_time);
+                let tslot = self.tenant_slot(id);
+                if tslot != NO_TENANT_SLOT {
+                    self.tenant_usage[tslot as usize].submitted += 1;
+                }
+                self.queue.push(id, req_nodes, req_time, tslot);
                 self.dirty.queue = true;
                 true
             }
@@ -579,6 +676,7 @@ impl SimState {
         self.refresh_eligibility(id);
         self.energy_reweigh(&[id]);
         self.stats.started_static += 1;
+        self.tenant_charge_start(id);
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
             self.self_check_avail();
@@ -769,6 +867,7 @@ impl SimState {
         reweigh.push(new_id);
         self.energy_reweigh(&reweigh);
         self.stats.started_malleable += 1;
+        self.tenant_charge_start(new_id);
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
             for &n in &nodes_sorted {
@@ -963,12 +1062,24 @@ impl SimState {
             malleable_backfilled: run.malleable_backfilled,
             was_mate: run.ever_shrunk,
             app: spec.app,
+            tenant: spec.tenant,
         });
+        self.tenant_finish(&spec, true);
+        self.last_end = self.last_end.max(now);
+        self.release_running(id, &spec, run);
+    }
+
+    /// Shared teardown of a running job (completion and running-job
+    /// cancellation): removes it from every index, frees its nodes with
+    /// beneficiary expansion, settles DROM masks, partner links, the release
+    /// map and the energy meter. The caller has already replaced the job's
+    /// state and handled outcome/last-end bookkeeping.
+    fn release_running(&mut self, id: JobId, spec: &JobSpec, run: RunningJob) {
+        let now = self.now;
         self.running.remove(&id);
         self.running_by_end.remove(&(run.req_end, id));
         self.shrunk.remove(&id);
-        self.pool_remove_keyed(Self::pool_key(&spec, run.start), id);
-        self.last_end = self.last_end.max(now);
+        self.pool_remove_keyed(Self::pool_key(spec, run.start), id);
 
         // Free the cluster first so beneficiaries can expand into the cores.
         let mut touched: Vec<JobId> = Vec::new();
@@ -1027,6 +1138,59 @@ impl SimState {
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
             self.self_check_avail();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tenant accounting
+    // ------------------------------------------------------------------
+
+    /// Per-tenant accounting rows, parallel to the registry's slots.
+    pub fn tenant_usage(&self) -> &[TenantUsage] {
+        &self.tenant_usage
+    }
+
+    /// Registry slot of a job's `(tenant, project)`, [`NO_TENANT_SLOT`]
+    /// when unregistered (always the case with an empty registry).
+    fn tenant_slot(&self, id: JobId) -> u32 {
+        if self.cfg.tenants.is_empty() {
+            return NO_TENANT_SLOT;
+        }
+        let s = &self.job(id).spec;
+        self.cfg
+            .tenants
+            .slot(s.tenant, s.project)
+            .unwrap_or(NO_TENANT_SLOT)
+    }
+
+    /// Charges a starting job against its tenant (requested node-seconds +
+    /// running width). No-op for unregistered tenants.
+    fn tenant_charge_start(&mut self, id: JobId) {
+        let slot = self.tenant_slot(id);
+        if slot == NO_TENANT_SLOT {
+            return;
+        }
+        let (req_nodes, req_time) = {
+            let s = &self.job(id).spec;
+            (s.req_nodes, s.req_time)
+        };
+        self.tenant_usage[slot as usize].charge_start(req_nodes, req_time);
+    }
+
+    /// Releases a finished/cancelled running job's width back to its tenant
+    /// (the node-second charge stays — no refunds) and counts the
+    /// completion when `completed`.
+    fn tenant_finish(&mut self, spec: &JobSpec, completed: bool) {
+        if self.cfg.tenants.is_empty() {
+            return;
+        }
+        let Some(slot) = self.cfg.tenants.slot(spec.tenant, spec.project) else {
+            return;
+        };
+        let usage = &mut self.tenant_usage[slot as usize];
+        usage.release_width(spec.req_nodes);
+        if completed {
+            usage.completed += 1;
         }
     }
 
@@ -1337,6 +1501,23 @@ impl SimState {
         }
         if self.releases.busy_count() + self.cluster.empty_node_count() != self.spec.nodes {
             return Err("release-map busy counter out of sync".into());
+        }
+        if !self.cfg.tenants.is_empty() {
+            let mut widths = vec![0u32; self.tenant_usage.len()];
+            for &id in &self.running {
+                let s = &self.job(id).spec;
+                if let Some(slot) = self.cfg.tenants.slot(s.tenant, s.project) {
+                    widths[slot as usize] += s.req_nodes;
+                }
+            }
+            for (slot, (u, w)) in self.tenant_usage.iter().zip(&widths).enumerate() {
+                if u.running_width != *w {
+                    return Err(format!(
+                        "tenant slot {slot} running width {} vs rescan {w}",
+                        u.running_width
+                    ));
+                }
+            }
         }
         if self.cfg.incremental {
             let mut cached = self.avail.clone();
@@ -1721,8 +1902,108 @@ mod tests {
         assert!(!st.dispatch(ev.payload), "cancelled job never enqueues");
         assert!(st.queue.is_empty());
         assert_eq!(st.stats.cancelled, 2);
-        // Running and unknown jobs cannot be cancelled.
+        // Unknown jobs cannot be cancelled.
         assert!(!st.cancel_job(JobId(77)));
+    }
+
+    #[test]
+    fn cancel_running_static_job_frees_the_machine() {
+        let mut st = small_state(vec![job(1, 0, 100, 2, 200)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        st.now = SimTime(40);
+        assert!(st.cancel_job(JobId(1)));
+        assert!(st.job(JobId(1)).is_cancelled());
+        assert_eq!(st.running_count(), 0);
+        assert_eq!(st.cluster.busy_cores(), 0);
+        assert!(st.outcomes().is_empty(), "cancellation records no outcome");
+        assert_eq!(st.stats.cancelled, 1);
+        assert!(st.take_dirty().capacity, "freed capacity marks a pass");
+        assert!(st.deep_validate().is_ok());
+        // Its armed end event is stale and must not double-complete.
+        while let Some(ev) = st.events.pop() {
+            st.now = ev.time.max(st.now);
+            assert!(!st.dispatch(ev.payload), "stale end after cancel");
+        }
+        assert!(st.outcomes().is_empty());
+        // Energy: 2 nodes × 16 cores busy for 40 s, idle power over 0–40.
+        let joules = st.finish_energy();
+        let expected = 4.0 * 120.0 * 40.0 + 16.0 * 15.0 * 40.0;
+        assert!((joules - expected).abs() < 1e-6, "joules {joules}");
+    }
+
+    #[test]
+    fn cancel_shrunk_borrower_expands_mate_back() {
+        let mut st = small_state(vec![job(1, 0, 1000, 2, 1000), job(2, 0, 400, 2, 400)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        st.co_schedule(JobId(2), &[JobId(1)], 0).unwrap();
+        assert_eq!(st.shrunk_borrowers(), vec![JobId(2)]);
+        st.now = SimTime(100);
+        assert!(st.cancel_job(JobId(2)), "borrower cancel accepted");
+        assert!(st.deep_validate().is_ok());
+        let mate = st.job(JobId(1)).running().unwrap();
+        assert_eq!(mate.cores, vec![8, 8], "mate expanded into freed cores");
+        assert!((mate.rate - 1.0).abs() < 1e-12);
+        assert!(mate.lent_to.is_empty(), "partner link dropped");
+        assert!(st.shrunk_borrowers().is_empty(), "borrower index cleaned");
+        assert!(st.is_eligible_mate(JobId(1)), "pair dissolved");
+        // DROM masks on the shared nodes are consistent post-expansion.
+        for n in [cluster::NodeId(0), cluster::NodeId(1)] {
+            st.drom.validate_node(n).expect("masks disjoint");
+        }
+        while let Some(ev) = st.events.pop() {
+            st.now = ev.time.max(st.now);
+            st.dispatch(ev.payload);
+        }
+        assert_eq!(st.outcomes().len(), 1, "only the mate completes");
+        let o1 = &st.outcomes()[0];
+        // Mate: 100 s at rate 0.5 (50 work) + 950 remaining at full → 1050.
+        assert_eq!(o1.end, SimTime(1050));
+        let joules = st.finish_energy();
+        // 0–100: shared pair = 16 weighted cores; 100–1050: mate full = 16.
+        let expected = 4.0 * 120.0 * 1050.0 + 15.0 * (16.0 * 100.0 + 16.0 * 950.0);
+        assert!((joules - expected).abs() < 1e-6, "joules {joules}");
+    }
+
+    #[test]
+    fn cancel_active_mate_expands_borrower() {
+        let mut st = small_state(vec![job(1, 0, 1000, 2, 1000), job(2, 0, 400, 2, 400)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        st.co_schedule(JobId(2), &[JobId(1)], 0).unwrap();
+        st.now = SimTime(100);
+        assert!(st.cancel_job(JobId(1)), "mate cancel accepted");
+        assert!(st.deep_validate().is_ok());
+        let borrower = st.job(JobId(2)).running().unwrap();
+        assert_eq!(borrower.cores, vec![8, 8], "borrower took the cores");
+        assert!((borrower.rate - 1.0).abs() < 1e-12);
+        assert!(borrower.mates.is_empty(), "partner link dropped");
+        assert!(
+            st.shrunk_borrowers().is_empty(),
+            "full-width borrower left the shrunk index"
+        );
+        while let Some(ev) = st.events.pop() {
+            st.now = ev.time.max(st.now);
+            st.dispatch(ev.payload);
+        }
+        assert_eq!(st.outcomes().len(), 1, "only the borrower completes");
+        // Borrower: 50 work banked by t=100, 350 remaining at full → 450.
+        assert_eq!(st.outcomes()[0].end, SimTime(450));
+    }
+
+    #[test]
+    fn cancel_done_job_is_refused() {
+        let mut st = small_state(vec![job(1, 0, 100, 1, 100)]);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        while let Some(ev) = st.events.pop() {
+            st.now = ev.time.max(st.now);
+            st.dispatch(ev.payload);
+        }
+        assert_eq!(st.outcomes().len(), 1);
+        assert!(!st.cancel_job(JobId(1)), "done jobs cannot be cancelled");
+        assert_eq!(st.stats.cancelled, 0);
     }
 
     #[test]
@@ -1744,5 +2025,154 @@ mod tests {
         assert_eq!(st.outcomes().len(), 3);
         assert!(st.queue.is_empty());
         assert_eq!(st.running_count(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Tenant accounting
+    // ------------------------------------------------------------------
+
+    use crate::tenant::{Quota, Tenant, TenantRegistry};
+
+    fn tjob(id: u64, submit: u64, run: u64, nodes: u64, req: u64, user: i64) -> swf::SwfJob {
+        let mut sj = job(id, submit, run, nodes, req);
+        sj.user = user;
+        sj
+    }
+
+    fn tenant_state(jobs: Vec<swf::SwfJob>, tenants: TenantRegistry) -> SimState {
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 4;
+        let trace = swf::Trace::new(Default::default(), jobs);
+        SimState::new(
+            spec,
+            SlurmConfig {
+                self_check: true,
+                tenants,
+                ..SlurmConfig::default()
+            },
+            &trace,
+            Box::new(WorstCaseModel),
+            SharingFactor::HALF,
+        )
+    }
+
+    #[test]
+    fn start_charges_tenant_and_completion_releases_width() {
+        let reg = TenantRegistry::equal_weights(2, Quota::UNLIMITED);
+        let mut st = tenant_state(
+            vec![tjob(1, 0, 100, 2, 200, 1), tjob(2, 0, 100, 1, 150, 2)],
+            reg,
+        );
+        drain_submits(&mut st);
+        assert!(st.start_static(JobId(1)));
+        assert!(st.start_static(JobId(2)));
+        let u1 = &st.tenant_usage()[0];
+        assert_eq!((u1.submitted, u1.started), (1, 1));
+        assert_eq!(u1.running_width, 2);
+        assert_eq!(u1.committed_node_seconds, 2 * 200);
+        let u2 = &st.tenant_usage()[1];
+        assert_eq!(u2.running_width, 1);
+        assert_eq!(u2.committed_node_seconds, 150);
+        while let Some(ev) = st.events.pop() {
+            st.now = ev.time.max(st.now);
+            st.dispatch(ev.payload);
+        }
+        let u1 = &st.tenant_usage()[0];
+        assert_eq!(u1.running_width, 0, "width released on completion");
+        assert_eq!(u1.committed_node_seconds, 400, "charge never refunded");
+        assert_eq!(u1.completed, 1);
+        assert!(st.deep_validate().is_ok());
+    }
+
+    #[test]
+    fn quota_blocks_and_counts_skips() {
+        let reg = TenantRegistry::equal_weights(
+            1,
+            Quota {
+                node_seconds: Some(500),
+                max_running_width: Some(2),
+            },
+        );
+        let mut st = tenant_state(
+            vec![tjob(1, 0, 100, 2, 200, 1), tjob(2, 0, 100, 1, 200, 1)],
+            reg,
+        );
+        drain_submits(&mut st);
+        let entries: Vec<QueueEntry> = st.queue.prefix(10).collect();
+        assert_eq!(entries[0].tslot, 0, "slot resolved at dispatch");
+        assert!(!st.quota_blocks(&entries[0]));
+        assert!(st.start_static(JobId(1))); // charges 400 ns, width 2
+        assert!(
+            st.quota_blocks(&entries[1]),
+            "width 2+1 > 2 and 400+200 > 500"
+        );
+        assert_eq!(st.stats.quota_skipped, 1);
+        assert_eq!(st.tenant_usage()[0].quota_skipped, 1);
+        // Untenanted entries never block and never touch counters.
+        let anon = QueueEntry {
+            job: JobId(2),
+            req_nodes: 99,
+            req_time: 1 << 40,
+            tslot: crate::tenant::NO_TENANT_SLOT,
+        };
+        assert!(!st.quota_blocks(&anon));
+        assert_eq!(st.stats.quota_skipped, 1);
+    }
+
+    #[test]
+    fn fair_share_prefix_prefers_the_idle_tenant() {
+        let mut reg = TenantRegistry::new();
+        reg.add(Tenant::unlimited(1, 0));
+        reg.add(Tenant::unlimited(2, 0));
+        // Tenant 1 submits first (FIFO would favour it) but is the heavy
+        // user once its first job starts; tenant 2's job must jump ahead.
+        let mut st = tenant_state(
+            vec![
+                tjob(1, 0, 400, 2, 400, 1),
+                tjob(2, 0, 100, 1, 100, 1),
+                tjob(3, 0, 100, 1, 100, 2),
+            ],
+            reg,
+        );
+        st.cfg.queue_policy = QueuePolicy::FairShare { half_life: 0 };
+        drain_submits(&mut st);
+        assert!(st.start_static(JobId(1)));
+        let mut prefix = Vec::new();
+        st.fill_pass_prefix(10, &mut prefix);
+        assert_eq!(
+            prefix.iter().map(|e| e.job.0).collect::<Vec<_>>(),
+            vec![3, 2],
+            "idle tenant 2 outranks tenant 1's queued job"
+        );
+        // With zero usage everywhere the order is pure FIFO.
+        let mut st2 = tenant_state(
+            vec![tjob(1, 0, 100, 1, 100, 1), tjob(2, 0, 100, 1, 100, 2)],
+            TenantRegistry::equal_weights(2, Quota::UNLIMITED),
+        );
+        st2.cfg.queue_policy = QueuePolicy::FairShare { half_life: 3600 };
+        drain_submits(&mut st2);
+        let mut p2 = Vec::new();
+        st2.fill_pass_prefix(10, &mut p2);
+        assert_eq!(
+            p2.iter().map(|e| e.job.0).collect::<Vec<_>>(),
+            vec![1, 2],
+            "zero usage + equal weights degenerate to FIFO"
+        );
+    }
+
+    #[test]
+    fn cancelled_running_job_releases_tenant_width() {
+        let reg = TenantRegistry::equal_weights(1, Quota::UNLIMITED);
+        let mut st = tenant_state(vec![tjob(1, 0, 100, 2, 200, 1)], reg);
+        drain_submits(&mut st);
+        st.start_static(JobId(1));
+        assert_eq!(st.tenant_usage()[0].running_width, 2);
+        st.now = SimTime(10);
+        assert!(st.cancel_job(JobId(1)));
+        let u = &st.tenant_usage()[0];
+        assert_eq!(u.running_width, 0, "cancel releases the width");
+        assert_eq!(u.committed_node_seconds, 400, "charge stays");
+        assert_eq!(u.completed, 0, "cancelled ≠ completed");
+        assert!(st.deep_validate().is_ok());
     }
 }

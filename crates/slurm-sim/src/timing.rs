@@ -1,0 +1,172 @@
+//! Opt-in per-function hot-path timing attribution.
+//!
+//! The OAR simulator's `auto_bench_fct` idiom: every hot function gets a
+//! cheap global counter + wall-time accumulator, always compiled in but dormant
+//! until enabled (one relaxed atomic load per probe when off). Enable with
+//! [`enable`] or the `SD_TIMING` environment variable; `run_scenario
+//! --timing` prints the report. This is the "measure before choosing the
+//! tree" groundwork for the slot-tree roadmap item: it attributes a pass's
+//! wall time to `earliest_start`, the backfill trials and the quota checks
+//! instead of one opaque total.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns probes on (process-wide).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns probes off (accumulated totals are kept until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables probes when the `SD_TIMING` environment variable is set.
+pub fn init_from_env() {
+    if std::env::var_os("SD_TIMING").is_some_and(|v| v != "0") {
+        enable();
+    }
+}
+
+/// One instrumented function: invocation count + summed wall nanoseconds.
+pub struct FnTimer {
+    name: &'static str,
+    count: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl FnTimer {
+    const fn new(name: &'static str) -> FnTimer {
+        FnTimer {
+            name,
+            count: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> FnTiming {
+        FnTiming {
+            name: self.name,
+            count: self.count.load(Ordering::Relaxed),
+            total_secs: self.nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// `earliest_start` probes (both the legacy profile walk and the
+/// incremental linear sweep).
+pub static EARLIEST_START: FnTimer = FnTimer::new("earliest_start");
+/// One per pending job examined by a backfill pass (static trial +
+/// flexible/malleable fallback together).
+pub static BACKFILL_TRIAL: FnTimer = FnTimer::new("backfill_trial");
+/// Per-entry tenant quota admission checks.
+pub static QUOTA_CHECK: FnTimer = FnTimer::new("quota_check");
+/// Fair-share prefix reorders (decay + stable sort).
+pub static FAIR_SHARE_SORT: FnTimer = FnTimer::new("fair_share_sort");
+
+const ALL: [&FnTimer; 4] = [
+    &EARLIEST_START,
+    &BACKFILL_TRIAL,
+    &QUOTA_CHECK,
+    &FAIR_SHARE_SORT,
+];
+
+/// RAII probe: measures from construction to drop when timing is enabled,
+/// and is a no-op (no clock read) when disabled.
+pub struct TimedScope {
+    armed: Option<(Instant, &'static FnTimer)>,
+}
+
+impl Drop for TimedScope {
+    fn drop(&mut self) {
+        if let Some((start, timer)) = self.armed.take() {
+            timer.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Starts a timed scope over `timer` (no-op unless [`enabled`]).
+pub fn scope(timer: &'static FnTimer) -> TimedScope {
+    TimedScope {
+        armed: enabled().then(|| (Instant::now(), timer)),
+    }
+}
+
+/// A snapshot row of one instrumented function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnTiming {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_secs: f64,
+}
+
+impl FnTiming {
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs * 1e6 / self.count as f64
+        }
+    }
+}
+
+/// Snapshots every instrumented function (fixed, deterministic order).
+pub fn report() -> Vec<FnTiming> {
+    ALL.iter().map(|t| t.snapshot()).collect()
+}
+
+/// Zeroes all counters (e.g. between scenario runs).
+pub fn reset() {
+    for t in ALL {
+        t.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Timing state is process-global; keep every assertion in one test so
+    // parallel test threads can't interleave enable/reset windows.
+    #[test]
+    fn probes_accumulate_only_when_enabled() {
+        disable();
+        reset();
+        drop(scope(&EARLIEST_START));
+        assert_eq!(EARLIEST_START.snapshot().count, 0, "dormant when off");
+
+        enable();
+        for _ in 0..3 {
+            drop(scope(&EARLIEST_START));
+        }
+        drop(scope(&QUOTA_CHECK));
+        let rows = report();
+        assert_eq!(rows.len(), 4);
+        let es = rows.iter().find(|r| r.name == "earliest_start").unwrap();
+        assert_eq!(es.count, 3);
+        let qc = rows.iter().find(|r| r.name == "quota_check").unwrap();
+        assert_eq!(qc.count, 1);
+        assert!(qc.mean_micros() >= 0.0);
+
+        disable();
+        reset();
+        assert!(report().iter().all(|r| r.count == 0 && r.total_secs == 0.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the fair-share queue order (ISSUE 6 satellite):
+//!
+//! * the sorted prefix is always a *permutation* of the pending queue —
+//!   fair-share may reorder but never drop, duplicate or invent entries;
+//! * with equal weights and zero accumulated usage the order degenerates to
+//!   the incoming FIFO order exactly (the stable sort sees all-equal keys),
+//!   which is the combinatorial heart of the single-tenant equivalence
+//!   guarantee (DESIGN.md §11);
+//! * ties between tenants with identical usage-per-weight keys preserve
+//!   submit order among themselves.
+
+use cluster::JobId;
+use proptest::prelude::*;
+use slurm_sim::tenant::fair_share_sort;
+use slurm_sim::{QueueEntry, NO_TENANT_SLOT};
+
+fn entries(specs: &[(u32, u32, u64)]) -> Vec<QueueEntry> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(tslot, req_nodes, req_time))| QueueEntry {
+            job: JobId(i as u64 + 1),
+            req_nodes,
+            req_time,
+            tslot,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Sorting never loses, duplicates or fabricates queue entries, for any
+    /// usage/weight assignment (including NaN-free extremes).
+    #[test]
+    fn fair_share_is_a_permutation_of_the_queue(
+        specs in prop::collection::vec((0u32..8, 1u32..64, 1u64..100_000), 0..40),
+        usages in prop::collection::vec(0.0f64..1e12, 8),
+        weights in prop::collection::vec(0.1f64..100.0, 8),
+    ) {
+        let original = entries(&specs);
+        let mut sorted = original.clone();
+        fair_share_sort(&mut sorted, |slot| {
+            if slot == NO_TENANT_SLOT {
+                0.0
+            } else {
+                usages[slot as usize] / weights[slot as usize]
+            }
+        });
+        prop_assert_eq!(sorted.len(), original.len());
+        // Same multiset: jobs are unique, so compare sorted id lists.
+        let mut a: Vec<u64> = original.iter().map(|e| e.job.0).collect();
+        let mut b: Vec<u64> = sorted.iter().map(|e| e.job.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "entry set changed");
+        // And each entry's payload survived intact.
+        for e in &sorted {
+            let o = original.iter().find(|o| o.job == e.job).unwrap();
+            prop_assert_eq!(o, e);
+        }
+    }
+
+    /// Equal weights + zero usage ⇒ every key is identical, and the stable
+    /// sort leaves the FIFO order untouched. This is why a fresh fair-share
+    /// configuration reproduces the FIFO schedule bit-for-bit.
+    #[test]
+    fn zero_usage_equal_weights_degenerates_to_fifo(
+        specs in prop::collection::vec((0u32..8, 1u32..64, 1u64..100_000), 0..40),
+        weight in 0.1f64..100.0,
+    ) {
+        let original = entries(&specs);
+        let mut sorted = original.clone();
+        fair_share_sort(&mut sorted, |slot| {
+            if slot == NO_TENANT_SLOT { 0.0 } else { 0.0 / weight }
+        });
+        prop_assert_eq!(sorted, original, "order must be untouched");
+    }
+
+    /// Tenants sharing one usage-per-weight key keep submit order among
+    /// themselves, and lower keys always come first.
+    #[test]
+    fn sort_is_stable_and_key_monotone(
+        specs in prop::collection::vec((0u32..4, 1u32..64, 1u64..100_000), 0..40),
+        keys in prop::collection::vec(0.0f64..4.0, 4),
+    ) {
+        // Coarse keys force plenty of ties.
+        let coarse: Vec<f64> = keys.iter().map(|k| k.floor()).collect();
+        let original = entries(&specs);
+        let mut sorted = original.clone();
+        fair_share_sort(&mut sorted, |slot| coarse[slot as usize]);
+        for w in sorted.windows(2) {
+            let (ka, kb) = (coarse[w[0].tslot as usize], coarse[w[1].tslot as usize]);
+            prop_assert!(ka <= kb, "keys out of order: {ka} then {kb}");
+            if ka == kb {
+                prop_assert!(w[0].job.0 < w[1].job.0, "tie broke submit order");
+            }
+        }
+    }
+}

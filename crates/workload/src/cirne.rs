@@ -68,6 +68,7 @@ fn base(scale: f64, estimates: EstimateModel, name: &'static str) -> SyntheticTr
         estimates,
         batch_p: 0.30,
         batch_mean: 6.0,
+        tenant_mix: None,
     }
 }
 

@@ -54,6 +54,7 @@ pub fn workload4(scale: f64) -> SyntheticTraceModel {
         estimates: EstimateModel::UserFactor { max_factor: 12.0 },
         batch_p: 0.35,
         batch_mean: 6.0,
+        tenant_mix: None,
     }
 }
 

@@ -28,4 +28,4 @@ pub use apps::{AppId, AppModel, APPS};
 pub use arrivals::ArrivalModel;
 pub use realrun::{workload5, AppTrace};
 pub use spec::PaperWorkload;
-pub use synth::{EstimateModel, SizeStage, SyntheticTraceModel};
+pub use synth::{EstimateModel, SizeStage, SyntheticTraceModel, TenantMix};

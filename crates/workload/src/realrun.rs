@@ -74,6 +74,7 @@ pub fn workload5_model() -> SyntheticTraceModel {
         estimates: EstimateModel::UserFactor { max_factor: 4.0 },
         batch_p: 0.2,
         batch_mean: 3.0,
+        tenant_mix: None,
     }
 }
 

@@ -51,6 +51,7 @@ pub fn workload3(scale: f64) -> SyntheticTraceModel {
         estimates: EstimateModel::UserFactor { max_factor: 10.0 },
         batch_p: 0.40,
         batch_mean: 8.0,
+        tenant_mix: None,
     }
 }
 

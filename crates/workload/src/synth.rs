@@ -30,6 +30,17 @@ pub enum EstimateModel {
     UserFactor { max_factor: f64 },
 }
 
+/// Tenant population mix: job submitters drawn from `tenants` tenant ids
+/// (1..=N) with Zipf(`skew`) popularity — a few heavy tenants and a long
+/// tail, the shape shared accounting databases show in practice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantMix {
+    /// Number of distinct tenants; ids are `1..=tenants`.
+    pub tenants: u32,
+    /// Zipf exponent: 0 = uniform popularity, larger = more skewed.
+    pub skew: f64,
+}
+
 /// One size class: with `weight`, draw node counts log-uniformly in
 /// `[lo, hi]` nodes.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +80,10 @@ pub struct SyntheticTraceModel {
     pub batch_p: f64,
     /// Mean extra jobs in a batch (geometric tail).
     pub batch_mean: f64,
+    /// Optional tenant identity mix. `None` keeps the legacy synthetic user
+    /// stamp (`id % 97`) byte-identical; `Some` draws each job's SWF user
+    /// from an independent RNG stream, leaving every other field untouched.
+    pub tenant_mix: Option<TenantMix>,
 }
 
 impl SyntheticTraceModel {
@@ -108,6 +123,15 @@ impl SyntheticTraceModel {
     /// Resizes the machine; size stages are clamped to it at sampling time.
     pub fn with_system_nodes(mut self, nodes: u32) -> Self {
         self.system_nodes = nodes.max(1);
+        self
+    }
+
+    /// Stamps jobs with a Zipf-skewed tenant mix (see [`TenantMix`]).
+    pub fn with_tenant_mix(mut self, tenants: u32, skew: f64) -> Self {
+        self.tenant_mix = Some(TenantMix {
+            tenants: tenants.max(1),
+            skew: skew.max(0.0),
+        });
         self
     }
 
@@ -189,6 +213,12 @@ impl SyntheticTraceModel {
         let mut rt_rng = root.fork(3);
         let mut est_rng = root.fork(4);
         let mut batch_rng = root.fork(5);
+        // Stream 6 is tenant-only: enabling a mix cannot perturb arrivals,
+        // sizes or runtimes (the untenanted trace stays byte-identical).
+        let mut tenant_rng = root.fork(6);
+        let tenant_weights: Option<Vec<f64>> = self.tenant_mix.map(|m| {
+            (1..=m.tenants).map(|k| f64::from(k).powf(-m.skew)).collect()
+        });
 
         let mut jobs: Vec<SwfJob> = Vec::with_capacity(self.n_jobs);
         // Batches consume several jobs per submission event, so submission
@@ -236,7 +266,13 @@ impl SyntheticTraceModel {
                 let submit = t + b as u64;
                 let id = jobs.len() as u64 + 1;
                 let mut job = SwfJob::for_simulation(id, submit, rt, procs, req_time);
-                job.user = (id % 97) as i64; // synthetic user mix
+                match &tenant_weights {
+                    Some(w) => {
+                        job.user = (tenant_rng.weighted_index(w) + 1) as i64;
+                        job.group = 0;
+                    }
+                    None => job.user = (id % 97) as i64, // legacy synthetic user mix
+                }
                 jobs.push(job);
             }
         }
@@ -291,6 +327,7 @@ mod tests {
             estimates: EstimateModel::UserFactor { max_factor: 5.0 },
             batch_p: 0.2,
             batch_mean: 3.0,
+            tenant_mix: None,
         }
     }
 
@@ -381,6 +418,46 @@ mod tests {
         assert_eq!(t.len(), 123);
         assert!(t.jobs.iter().all(|j| j.procs().unwrap() / 8 <= 32));
         assert!(t.jobs.iter().all(|j| j.req_time == j.run_time));
+    }
+
+    #[test]
+    fn tenant_mix_stamps_users_without_touching_anything_else() {
+        let base = tiny_model().generate(42);
+        let mixed = tiny_model().with_tenant_mix(4, 1.0).generate(42);
+        assert_eq!(base.len(), mixed.len());
+        for (a, b) in base.jobs.iter().zip(&mixed.jobs) {
+            assert!((1..=4).contains(&b.user), "tenant id in range: {}", b.user);
+            assert_eq!(b.group, 0);
+            // Only the identity fields differ; the schedule-relevant trace
+            // is byte-identical to the untenanted draw.
+            let mut a2 = a.clone();
+            a2.user = b.user;
+            a2.group = b.group;
+            assert_eq!(&a2, b);
+        }
+    }
+
+    #[test]
+    fn tenant_skew_makes_tenant_one_heaviest() {
+        let t = tiny_model().with_tenant_mix(8, 1.5).generate(7);
+        let mut counts = [0usize; 9];
+        for j in &t.jobs {
+            counts[j.user as usize] += 1;
+        }
+        assert!(
+            counts[1] > counts[8] * 2,
+            "Zipf skew: tenant 1 ({}) dwarfs tenant 8 ({})",
+            counts[1],
+            counts[8]
+        );
+        // Uniform mix (skew 0) spreads far more evenly.
+        let u = tiny_model().with_tenant_mix(8, 0.0).generate(7);
+        let mut uc = [0usize; 9];
+        for j in &u.jobs {
+            uc[j.user as usize] += 1;
+        }
+        let (min, max) = (uc[1..].iter().min().unwrap(), uc[1..].iter().max().unwrap());
+        assert!(*max < *min * 3, "uniform mix is balanced ({min}..{max})");
     }
 
     #[test]

@@ -51,13 +51,15 @@ pub use workload;
 pub mod prelude {
     pub use cluster::{ClusterSpec, ClusterState, CpuMask, JobId, NodeId};
     pub use drom::{DromRegistry, NodeManager, SharingFactor};
-    pub use sched_metrics::{DailySeries, Heatmap, RatioHeatmap, Summary};
+    pub use sched_metrics::{
+        tenant_summaries, DailySeries, Heatmap, RatioHeatmap, Summary, TenantSummary,
+    };
     pub use sd_policy::{MaxSlowdown, SdPolicy, SdPolicyConfig};
     pub use sd_scenario::{builtin_scenarios, execute, expand, Scenario, SourceKind};
     pub use simkit::{DetRng, SimTime};
     pub use slurm_sim::{
-        run_trace, AppAwareModel, Controller, IdealModel, Scheduler, SimResult, SimState,
-        SlurmConfig, StaticBackfill, WorstCaseModel,
+        run_trace, AppAwareModel, Controller, IdealModel, QueuePolicy, Quota, Scheduler,
+        SimResult, SimState, SlurmConfig, StaticBackfill, Tenant, TenantRegistry, WorstCaseModel,
     };
     pub use swf::{SwfJob, Trace};
     pub use workload::{AppTrace, PaperWorkload};

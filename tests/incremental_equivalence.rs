@@ -95,6 +95,68 @@ fn w1_sd_policy_matches_legacy_path() {
     assert_equivalent(PaperWorkload::W1Cirne, 0.05, 7, true);
 }
 
+/// The multi-tenant layer must be *inert* when it cannot bind: a
+/// single-tenant registry with unlimited quotas under fair-share ordering is
+/// bit-identical to the default (untenanted, FIFO) configuration — every
+/// job maps to the same tenant, so `usage/weight` ties on every comparison
+/// and the stable sort preserves FIFO order, while unlimited quotas never
+/// block a backfill trial. Pinned on both scheduler hot paths.
+#[test]
+fn single_tenant_fair_share_is_bit_identical_to_untenanted() {
+    let w = PaperWorkload::W3Ricc;
+    // Stamp every job with tenant 1 and hold the trace fixed: the claim is
+    // that the *configuration* is inert, and a trace whose users map to a
+    // single registry slot is exactly the degenerate case.
+    let trace = w.model(0.05).with_tenant_mix(1, 0.0).generate(42);
+    for incremental in [false, true] {
+        let plain_cfg = SlurmConfig {
+            incremental,
+            ..SlurmConfig::default()
+        };
+        let tenanted_cfg = SlurmConfig {
+            incremental,
+            tenants: TenantRegistry::equal_weights(1, Quota::UNLIMITED),
+            queue_policy: QueuePolicy::FairShare { half_life: 3600 },
+            ..SlurmConfig::default()
+        };
+        let plain = run_trace(
+            w.cluster(0.05),
+            plain_cfg,
+            &trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            SdPolicy::default(),
+        );
+        let tenanted = run_trace(
+            w.cluster(0.05),
+            tenanted_cfg,
+            &trace,
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            SdPolicy::default(),
+        );
+        // Outcomes carry the tenant label, so compare the schedule itself.
+        let key = |r: &SimResult| {
+            r.outcomes
+                .iter()
+                .map(|o| (o.id, o.submit, o.start, o.end, o.nodes, o.procs))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            key(&plain),
+            key(&tenanted),
+            "incremental={incremental}: schedule diverged"
+        );
+        assert_eq!(plain.makespan, tenanted.makespan);
+        assert_eq!(plain.energy_joules, tenanted.energy_joules);
+        assert_eq!(
+            plain.stats.started_malleable,
+            tenanted.stats.started_malleable
+        );
+        assert_eq!(tenanted.stats.quota_skipped, 0, "unlimited quota never blocks");
+    }
+}
+
 /// The cached availability profile is re-validated against a full rebuild
 /// after every mutation when `self_check` is on — run a malleability-heavy
 /// workload end-to-end with the tripwire armed.

@@ -65,6 +65,10 @@ fn online(trace: &Trace, cluster: ClusterSpec, cfg: SlurmConfig, sd: bool) -> Si
                 submit: Some(j.submit.max(0) as u64),
                 malleable: None,
                 trace_id: Some(j.job_id),
+                // Outcomes record the tenant, so the wire must carry the
+                // trace's user/group for the results to compare equal.
+                tenant: Some(j.user.max(0) as u64),
+                project: Some(j.group.max(0) as u64),
             })
             .expect("live submission accepted");
         assert_eq!(id, j.job_id, "service assigns trace ids in order");
@@ -118,6 +122,48 @@ fn mixed_rigid_malleable_population_matches_offline_replay() {
 }
 
 #[test]
+fn tenanted_fair_share_session_matches_offline_replay() {
+    // A Zipf tenant mix under fair-share ordering with a running-width
+    // quota: the wire carries each job's tenant/project, so the online
+    // session must reproduce the offline replay bit-for-bit — including
+    // quota skip counts and per-tenant outcome labels.
+    let w = PaperWorkload::W3Ricc;
+    let trace = w.model(0.03).with_tenant_mix(3, 1.0).generate(7);
+    let cluster = w.cluster(0.03);
+    assert!(
+        trace.jobs.iter().any(|j| j.user > 1),
+        "the mix stamps more than one tenant"
+    );
+    for incremental in [true, false] {
+        let mut tenants = TenantRegistry::new();
+        for id in 1..=3 {
+            tenants.add(Tenant {
+                quota: Quota {
+                    node_seconds: None,
+                    max_running_width: Some(cluster.nodes.max(2) / 2),
+                },
+                ..Tenant::unlimited(id, 0)
+            });
+        }
+        let cfg = SlurmConfig {
+            incremental,
+            tenants,
+            queue_policy: QueuePolicy::FairShare { half_life: 3600 },
+            ..SlurmConfig::default()
+        };
+        let off = offline(&trace, cluster.clone(), cfg.clone(), true);
+        let on = online(&trace, cluster.clone(), cfg, true);
+        assert_eq!(
+            on, off,
+            "tenanted online session diverged (incremental={incremental})"
+        );
+        let labels: std::collections::BTreeSet<u32> =
+            on.outcomes.iter().map(|o| o.tenant).collect();
+        assert!(labels.len() > 1, "outcomes carry the tenant mix: {labels:?}");
+    }
+}
+
+#[test]
 fn interleaved_advance_still_matches_offline_replay() {
     // Submitting in bursts interleaved with clock advances exercises the
     // floor logic: as long as every submission lands at or after the clock,
@@ -166,6 +212,8 @@ fn interleaved_advance_still_matches_offline_replay() {
                     submit: Some(j.submit.max(0) as u64),
                     malleable: None,
                     trace_id: Some(j.job_id),
+                    tenant: Some(j.user.max(0) as u64),
+                    project: Some(j.group.max(0) as u64),
                 })
                 .unwrap();
         }
