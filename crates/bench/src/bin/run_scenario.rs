@@ -19,8 +19,8 @@ use sched_metrics::{
 };
 use sd_bench::{sweep_with, CliArgs, CliError, USAGE};
 use sd_scenario::{
-    baseline_point, builtin_scenarios, execute, expand, find_builtin, Campaign, PolicyKindDecl,
-    RunPoint, Scenario, ScenarioOutcome,
+    baseline_point, builtin_scenarios, execute, execute_traced, expand, find_builtin, Campaign,
+    PolicyKindDecl, RunPoint, Scenario, ScenarioOutcome,
 };
 
 const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campaign
@@ -34,6 +34,10 @@ const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campa
                           per-function hot-path attribution (earliest_start,
                           backfill trials, quota checks, fair-share sorts) to
                           stderr (per-run wall is noisy unless --threads 1)
+  --trace <path>          record every scheduler decision of the first run
+                          point and write it as Chrome trace-event JSON
+                          (open in Perfetto / chrome://tracing); prints a
+                          decision-mix + wait-decomposition summary to stderr
 ";
 
 fn fail(msg: &str) -> ! {
@@ -48,6 +52,7 @@ struct ScenarioCli {
     format: Option<String>,
     write_builtin: Option<String>,
     timing: bool,
+    trace: Option<String>,
     common: CliArgs,
 }
 
@@ -58,6 +63,7 @@ fn parse_cli() -> ScenarioCli {
     let mut format = None;
     let mut write_builtin = None;
     let mut timing = false;
+    let mut trace = None;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,6 +78,10 @@ fn parse_cli() -> ScenarioCli {
             },
             "--list" => list = true,
             "--timing" => timing = true,
+            "--trace" => match it.next() {
+                Some(v) => trace = Some(v),
+                None => fail("--trace needs an output path"),
+            },
             "--format" => match it.next().as_deref() {
                 Some("json") => format = Some("json".to_string()),
                 Some("csv") => format = Some("csv".to_string()),
@@ -107,6 +117,7 @@ fn parse_cli() -> ScenarioCli {
         format,
         write_builtin,
         timing,
+        trace,
         common,
     }
 }
@@ -245,10 +256,26 @@ fn main() {
         slurm_sim::timing::reset();
         slurm_sim::timing::enable();
     }
-    let results = sweep_with(&work, cli.common.threads, |p| {
+    // `--trace` arms decision tracing for the first run point only (a
+    // campaign-wide ring would interleave concurrent runs); it executes
+    // before the sweep so the stream is single-run and deterministic.
+    let ring = cli
+        .trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(slurm_sim::TraceRing::new(1 << 20)));
+    let mut results = Vec::with_capacity(work.len());
+    let swept: &[RunPoint] = match &ring {
+        Some(ring) => {
+            let t0 = std::time::Instant::now();
+            results.push((execute_traced(&work[0], ring.clone()), t0.elapsed().as_secs_f64()));
+            &work[1..]
+        }
+        None => &work,
+    };
+    results.extend(sweep_with(swept, cli.common.threads, |p| {
         let t0 = std::time::Instant::now();
         (execute(p), t0.elapsed().as_secs_f64())
-    });
+    }));
     let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(results.len());
     let mut walls: Vec<f64> = Vec::with_capacity(results.len());
     for (r, wall) in results {
@@ -259,6 +286,22 @@ fn main() {
             }
             Err(e) => fail(&format!("run failed: {e}")),
         }
+    }
+    if let (Some(path), Some(ring)) = (&cli.trace, &ring) {
+        let events = ring.snapshot();
+        if ring.overwritten() > 0 {
+            eprintln!(
+                "warning: trace ring overflowed, oldest {} events dropped",
+                ring.overwritten()
+            );
+        }
+        std::fs::write(path, slurm_sim::chrome_trace(&events))
+            .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        eprintln!(
+            "wrote {path} ({} events, Chrome trace-event JSON — open in Perfetto)",
+            events.len()
+        );
+        eprint!("{}", sched_metrics::summarize(&events).render());
     }
     if cli.timing {
         let mut tt = Table::new(&[
@@ -285,15 +328,29 @@ fn main() {
             ]);
         }
         eprintln!("{}", tt.render());
-        let fns = slurm_sim::timing::report();
-        if !fns.is_empty() {
-            let mut ft = Table::new(&["function", "calls", "total(s)", "mean(us)"]);
+        // Dormant probes (count 0) are noise, not data: skip them. The
+        // %-of-wall column attributes each probe against the campaign's
+        // total wall time (summed across runs, like the probe totals).
+        let total_wall: f64 = walls.iter().sum();
+        let fns: Vec<_> = slurm_sim::timing::report()
+            .into_iter()
+            .filter(|f| f.count > 0)
+            .collect();
+        if fns.is_empty() {
+            eprintln!("(no hot-path probes fired)");
+        } else {
+            let mut ft = Table::new(&["function", "calls", "total(s)", "mean(us)", "%-of-wall"]);
             for f in &fns {
                 ft.row(vec![
                     f.name.to_string(),
                     format!("{}", f.count),
                     format!("{:.3}", f.total_secs),
                     format!("{:.2}", f.mean_micros()),
+                    if total_wall > 0.0 {
+                        format!("{:.1}", 100.0 * f.total_secs / total_wall)
+                    } else {
+                        "-".to_string()
+                    },
                 ]);
             }
             eprintln!("{}", ft.render());

@@ -340,7 +340,17 @@ fn finish<S: slurm_sim::Scheduler>(
     }
 }
 
-fn run_state(state: SimState, s: &Scenario, variant: &str, scale: f64, cores: u64) -> ScenarioOutcome {
+fn run_state(
+    mut state: SimState,
+    ring: Option<std::sync::Arc<slurm_sim::TraceRing>>,
+    s: &Scenario,
+    variant: &str,
+    scale: f64,
+    cores: u64,
+) -> ScenarioOutcome {
+    if let Some(ring) = ring {
+        state.attach_trace(ring);
+    }
     match s.policy.kind {
         PolicyKindDecl::Static => finish(state, StaticBackfill, s, variant, scale, cores),
         PolicyKindDecl::Sd => {
@@ -377,6 +387,23 @@ pub fn baseline_point(p: &RunPoint) -> RunPoint {
 /// Executes one resolved run point. Deterministic: the same point always
 /// produces the same [`SimResult`].
 pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
+    execute_inner(p, None)
+}
+
+/// Like [`execute`] but with decision tracing armed: every scheduler
+/// decision of the run is appended to `ring` (`run_scenario --trace`).
+/// The virtual-time view of the stream is as deterministic as the run.
+pub fn execute_traced(
+    p: &RunPoint,
+    ring: std::sync::Arc<slurm_sim::TraceRing>,
+) -> Result<ScenarioOutcome, RunError> {
+    execute_inner(p, Some(ring))
+}
+
+fn execute_inner(
+    p: &RunPoint,
+    ring: Option<std::sync::Arc<slurm_sim::TraceRing>>,
+) -> Result<ScenarioOutcome, RunError> {
     let s = &p.scenario;
     let scale = s.effective_scale();
     let sharing = SharingFactor::new(s.policy.sharing);
@@ -389,7 +416,7 @@ pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
             let cores = spec.total_cores();
             let cfg = slurm_config(s, false);
             let state = SimState::with_apps(spec, cfg, &apps, model, sharing);
-            Ok(run_state(state, s, &p.variant, scale, cores))
+            Ok(run_state(state, ring.clone(), s, &p.variant, scale, cores))
         }
         SourceKind::Swf => {
             let path = s.workload.path.as_deref().expect("validated at parse time");
@@ -412,7 +439,7 @@ pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
                     s.name
                 )));
             }
-            Ok(run_state(state, s, &p.variant, scale, cores))
+            Ok(run_state(state, ring.clone(), s, &p.variant, scale, cores))
         }
         _ => {
             let w = s
@@ -476,7 +503,7 @@ pub fn execute(p: &RunPoint) -> Result<ScenarioOutcome, RunError> {
                 apply_tenancy(&mut cfg, t, &trace, &spec);
             }
             let state = SimState::new(spec, cfg, &trace, model, sharing);
-            Ok(run_state(state, s, &p.variant, scale, cores))
+            Ok(run_state(state, ring.clone(), s, &p.variant, scale, cores))
         }
     }
 }

@@ -46,7 +46,7 @@ pub mod registry;
 pub mod scenario;
 
 pub use campaign::Campaign;
-pub use compile::{baseline_point, execute, expand, RunError, RunPoint, ScenarioOutcome};
+pub use compile::{baseline_point, execute, execute_traced, expand, RunError, RunPoint, ScenarioOutcome};
 pub use format::ParseError;
 pub use registry::{builtin_scenarios, find_builtin};
 pub use scenario::{

@@ -14,19 +14,23 @@
 
 pub mod export;
 pub mod heatmap;
+pub mod histogram;
 pub mod normalize;
 pub mod percentiles;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
+pub mod tracesum;
 
 pub use export::{
     campaign_csv, campaign_json, daily_csv, heatmap_csv, series_csv, tenant_csv, CampaignDeltas,
     CampaignRow,
 };
 pub use heatmap::{Heatmap, HeatmapSpec, RatioHeatmap};
+pub use histogram::Histogram;
 pub use normalize::{improvement_pct, normalized};
 pub use percentiles::Percentiles;
 pub use summary::{tenant_summaries, Summary, TenantSummary};
 pub use table::Table;
 pub use timeseries::DailySeries;
+pub use tracesum::{summarize, TraceSummary, WaitDecomposition};

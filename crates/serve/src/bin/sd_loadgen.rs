@@ -27,6 +27,7 @@ const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
   --shutdown               stop the server afterwards, print its final result
   --min-rate <r>           fail (exit 1) if achieved rate falls below r
   --expect-completed <n>   fail (exit 1) unless exactly n jobs completed
+  --latency-out <csv>      write the request-latency histogram (ms buckets) to a file
   --help, -h               this text";
 
 fn fail(msg: &str) -> ! {
@@ -44,6 +45,7 @@ fn main() {
     let mut opts = LoadgenOptions::default();
     let mut min_rate: Option<f64> = None;
     let mut expect_completed: Option<u64> = None;
+    let mut latency_out: Option<String> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -85,6 +87,7 @@ fn main() {
                         .unwrap_or_else(|_| fail("bad --expect-completed")),
                 )
             }
+            "--latency-out" => latency_out = Some(value("--latency-out")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -136,6 +139,14 @@ fn main() {
         std::process::exit(1);
     });
     print!("{}", report.render());
+
+    if let Some(path) = &latency_out {
+        if let Err(e) = std::fs::write(path, report.latency_hist.csv()) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("latency histogram written to {path}");
+    }
 
     let mut failed = false;
     if let Some(min) = min_rate {

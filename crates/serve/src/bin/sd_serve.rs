@@ -38,6 +38,8 @@ const USAGE: &str = "sd-serve — online scheduling service (HTTP/JSON)
   --malleable-fraction <f64>  fraction of draw-decided malleable jobs (default 1)
   --tenant-rate <id=rps> per-tenant submit rate limit in submissions per wall
                          second (repeatable; unlisted tenants are unlimited)
+  --trace                enable decision tracing (GET /v1/trace, /v1/explain/{id})
+  --trace-capacity <n>   trace ring size in events (default 65536; power of two)
   --legacy-path          run the pre-incremental scheduler hot path
   --help, -h             this text";
 
@@ -59,6 +61,8 @@ struct Cli {
     sharing: f64,
     malleable_fraction: f64,
     tenant_rates: Vec<(u64, f64)>,
+    trace: bool,
+    trace_capacity: usize,
     legacy: bool,
 }
 
@@ -76,6 +80,8 @@ fn parse_cli() -> Cli {
         sharing: 0.5,
         malleable_fraction: 1.0,
         tenant_rates: Vec::new(),
+        trace: false,
+        trace_capacity: 65_536,
         legacy: false,
     };
     let mut compression: f64 = 60.0;
@@ -131,6 +137,15 @@ fn parse_cli() -> Cli {
                 }
                 cli.tenant_rates.push((id, rate));
             }
+            "--trace" => cli.trace = true,
+            "--trace-capacity" => {
+                cli.trace_capacity = value("--trace-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --trace-capacity"));
+                if cli.trace_capacity == 0 {
+                    fail("--trace-capacity must be at least 1");
+                }
+            }
             "--legacy-path" => cli.legacy = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -165,6 +180,7 @@ fn cluster_spec(cli: &Cli) -> ClusterSpec {
 
 fn main() {
     let cli = parse_cli();
+    slurm_sim::timing::init_from_env();
     let spec = cluster_spec(&cli);
     if !(0.0..1.0).contains(&cli.sharing) {
         fail("--sharing must be in [0, 1)");
@@ -202,7 +218,15 @@ fn main() {
     };
 
     let state = SimState::new_online(spec.clone(), cfg, model, SharingFactor::new(cli.sharing));
-    let mut engine = Engine::new(state, scheduler, cli.mode);
+    let hists = std::sync::Arc::new(sd_serve::metrics::ServeHistograms::default());
+    let ring = cli
+        .trace
+        .then(|| std::sync::Arc::new(slurm_sim::TraceRing::new(cli.trace_capacity)));
+    let mut engine = Engine::new(state, scheduler, cli.mode).with_histograms(hists.clone());
+    if let Some(r) = &ring {
+        engine = engine.with_trace(r.clone());
+        eprintln!("decision tracing on: ring capacity {} events", r.capacity());
+    }
     if !cli.tenant_rates.is_empty() {
         engine = engine.with_tenant_rates(&cli.tenant_rates);
         eprintln!(
@@ -230,7 +254,8 @@ fn main() {
         cli.workers,
     );
 
-    match server::run(engine, listener, ServerConfig { workers: cli.workers }) {
+    let server_cfg = ServerConfig { workers: cli.workers, trace: ring, hists };
+    match server::run(engine, listener, server_cfg) {
         Ok(result) => {
             eprintln!(
                 "shutdown: {} jobs completed, makespan {}, mean slowdown {:.2}, energy {:.1} kWh",

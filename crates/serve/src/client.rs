@@ -148,6 +148,16 @@ impl Client {
         String::from_utf8(bytes).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
     }
 
+    /// Tails the decision trace from cursor `since` (≤ `limit` events).
+    pub fn trace(&mut self, since: u64, limit: u64) -> Result<Json, ClientError> {
+        self.request_json("GET", &format!("/v1/trace?since={since}&limit={limit}"), None)
+    }
+
+    /// Full decision history of one job.
+    pub fn explain(&mut self, id: u64) -> Result<Json, ClientError> {
+        self.request_json("GET", &format!("/v1/explain/{id}"), None)
+    }
+
     /// Advances the virtual clock; returns the new clock position.
     pub fn advance(&mut self, to: u64) -> Result<u64, ClientError> {
         let v = self.request_json(

@@ -18,10 +18,12 @@
 //!   factor (sim-seconds per wall-second); due events are processed as their
 //!   instants pass, and submissions default to "now".
 
+use crate::metrics::ServeHistograms;
 use crate::proto::SubmitRequest;
 use simkit::SimTime;
-use slurm_sim::{Controller, Scheduler, SimResult, SimState, SubmitError};
+use slurm_sim::{Controller, DirtyFlags, Scheduler, SimResult, SimState, SubmitError, TraceRing};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the service clock advances.
@@ -68,6 +70,9 @@ pub struct Snapshot {
     /// Per-tenant breakdown, ascending by tenant id. Empty when the service
     /// has seen no tenant traffic and no registry is configured.
     pub tenants: Vec<TenantSnap>,
+    /// Submit→start wait of completed jobs, bucketed (virtual seconds) —
+    /// rendered as the `sd_serve_job_wait_seconds` histogram.
+    pub wait_hist: sched_metrics::Histogram,
 }
 
 /// One tenant's slice of the service counters: wire-side submission counts
@@ -111,6 +116,20 @@ pub struct QueueView {
     pub id: u64,
     pub req_nodes: u32,
     pub req_time: u64,
+}
+
+/// The decision chain of one job for `GET /v1/explain/{id}`: its current
+/// status plus every trace event that mentions it, oldest first.
+#[derive(Debug, Clone)]
+pub struct ExplainView {
+    pub job: JobView,
+    /// Whether a trace ring is attached (without one the history is empty).
+    pub tracing: bool,
+    /// Events involving the job still held in the ring, ascending by seq.
+    pub events: Vec<slurm_sim::TraceEvent>,
+    /// Ring events overwritten since creation — when non-zero, the oldest
+    /// part of this job's history may be missing.
+    pub overwritten: u64,
 }
 
 /// Why a command was refused (mapped to 4xx by the server).
@@ -157,6 +176,11 @@ pub enum Command {
     JobInfo {
         id: u64,
         reply: Sender<Result<JobView, EngineError>>,
+    },
+    /// Full decision history of one job (trace-backed).
+    Explain {
+        id: u64,
+        reply: Sender<Result<ExplainView, EngineError>>,
     },
     Queue {
         limit: usize,
@@ -240,6 +264,41 @@ pub struct Engine {
     tenant_rates: std::collections::HashMap<u64, TokenBucket>,
     /// Wire counters per tenant id; BTreeMap for deterministic snapshots.
     tenant_wire: std::collections::BTreeMap<u64, TenantWire>,
+    /// Decision-trace ring, shared with `/v1/trace` readers.
+    trace: Option<Arc<TraceRing>>,
+}
+
+/// Wraps the configured scheduler to time each pass into the service's
+/// wall-clock histograms (`sd_serve_pass_duration_seconds`).
+struct TimedScheduler {
+    inner: Box<dyn Scheduler + Send>,
+    hists: Arc<ServeHistograms>,
+}
+
+impl Scheduler for TimedScheduler {
+    fn schedule(&mut self, st: &mut SimState) {
+        let t0 = Instant::now();
+        self.inner.schedule(st);
+        self.hists.pass_seconds.observe(t0.elapsed().as_secs_f64());
+    }
+
+    fn pass_needed(&self, st: &SimState, dirty: DirtyFlags) -> bool {
+        self.inner.pass_needed(st, dirty)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Placeholder used only while swapping the scheduler box in
+/// [`Engine::with_histograms`]; never scheduled.
+struct NeverScheduled;
+
+impl Scheduler for NeverScheduled {
+    fn schedule(&mut self, _st: &mut SimState) {
+        unreachable!("placeholder scheduler must be replaced before use");
+    }
 }
 
 impl Engine {
@@ -252,6 +311,7 @@ impl Engine {
             submitted: 0,
             tenant_rates: Default::default(),
             tenant_wire: Default::default(),
+            trace: None,
         }
     }
 
@@ -262,6 +322,22 @@ impl Engine {
             .iter()
             .map(|&(t, r)| (t, TokenBucket::new(r)))
             .collect();
+        self
+    }
+
+    /// Attaches a decision-trace ring: the simulator emits into it and
+    /// `Explain` answers from it. Share the same `Arc` with the HTTP layer
+    /// so `/v1/trace` can tail it lock-free.
+    pub fn with_trace(mut self, ring: Arc<TraceRing>) -> Engine {
+        self.ctl.state.attach_trace(ring.clone());
+        self.trace = Some(ring);
+        self
+    }
+
+    /// Times every scheduler pass into `hists.pass_seconds`.
+    pub fn with_histograms(mut self, hists: Arc<ServeHistograms>) -> Engine {
+        let inner = std::mem::replace(&mut self.ctl.scheduler, Box::new(NeverScheduled));
+        self.ctl.scheduler = Box::new(TimedScheduler { inner, hists });
         self
     }
 
@@ -334,6 +410,9 @@ impl Engine {
             }
             Command::JobInfo { id, reply } => {
                 let _ = reply.send(self.job_view(id));
+            }
+            Command::Explain { id, reply } => {
+                let _ = reply.send(self.explain(id));
             }
             Command::Queue { limit, reply } => {
                 let st = &self.ctl.state;
@@ -494,16 +573,35 @@ impl Engine {
         })
     }
 
+    /// The job's status plus every decision about it still in the ring.
+    fn explain(&self, id: u64) -> Result<ExplainView, EngineError> {
+        let job = self.job_view(id)?;
+        let (tracing, events, overwritten) = match &self.trace {
+            None => (false, Vec::new(), 0),
+            Some(r) => (
+                true,
+                r.snapshot()
+                    .into_iter()
+                    .filter(|e| e.kind.involves(id))
+                    .collect(),
+                r.overwritten(),
+            ),
+        };
+        Ok(ExplainView { job, tracing, events, overwritten })
+    }
+
     fn snapshot(&self) -> Snapshot {
         let st = &self.ctl.state;
         let outcomes = st.outcomes();
         let mut slow = 0.0;
         let mut resp = 0.0;
         let mut wait = 0.0;
+        let mut wait_hist = sched_metrics::Histogram::wait_seconds();
         for o in outcomes {
             slow += o.slowdown();
             resp += o.response() as f64;
             wait += o.wait() as f64;
+            wait_hist.observe(o.wait() as f64);
         }
         let n = outcomes.len().max(1) as f64;
         Snapshot {
@@ -527,6 +625,7 @@ impl Engine {
             makespan: st.last_end().since(st.first_submit().min(st.last_end())),
             submitted: self.submitted,
             tenants: self.tenant_snaps(),
+            wait_hist,
         }
     }
 
@@ -744,6 +843,54 @@ mod tests {
         assert_eq!((row(2).submitted, row(2).rate_limited), (1, 1));
         assert_eq!((row(1).submitted, row(1).rate_limited), (1, 0));
         assert_eq!(row(0).submitted, 1);
+        shutdown(&tx);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn explain_returns_decision_chain_from_trace() {
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 8;
+        let state = SimState::new_online(
+            spec,
+            SlurmConfig::default(),
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+        );
+        let ring = Arc::new(TraceRing::new(4096));
+        let engine = Engine::new(state, Box::new(SdPolicy::default()), ClockMode::Virtual)
+            .with_trace(ring)
+            .with_histograms(Arc::new(ServeHistograms::default()));
+        let (tx, rx) = mpsc::channel();
+        let h = std::thread::spawn(move || engine.run(rx));
+        // Job 1 fills the machine; job 2 queues behind it.
+        submit(&tx, 64, 1000, 0).unwrap();
+        submit(&tx, 64, 1000, 1).unwrap();
+        drain(&tx);
+
+        let explain = |id: u64| {
+            let (rtx, rrx) = mpsc::channel();
+            tx.send(Command::Explain { id, reply: rtx }).unwrap();
+            rrx.recv().unwrap()
+        };
+        let v = explain(2).unwrap();
+        assert!(v.tracing);
+        assert_eq!(v.overwritten, 0);
+        assert_eq!(v.job.id, 2);
+        let kinds: Vec<&str> = v.events.iter().map(|e| e.kind.name()).collect();
+        assert!(kinds.contains(&"submitted"), "{kinds:?}");
+        assert!(kinds.contains(&"started"), "{kinds:?}");
+        assert!(kinds.contains(&"completed"), "{kinds:?}");
+        // Every event mentions the job, in ascending seq order.
+        assert!(v.events.iter().all(|e| e.kind.involves(2)));
+        assert!(v.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(explain(99).is_err());
+        // The pass timer observed at least one pass.
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Stats { reply: rtx }).unwrap();
+        let snap = rrx.recv().unwrap();
+        assert!(snap.stats.sched_passes > 0);
+        assert!(!snap.wait_hist.is_empty(), "completed jobs feed the wait histogram");
         shutdown(&tx);
         h.join().unwrap();
     }

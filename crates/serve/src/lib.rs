@@ -26,7 +26,8 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use engine::{ClockMode, Command, Engine, EngineError, Snapshot};
+pub use engine::{ClockMode, Command, Engine, EngineError, ExplainView, Snapshot};
 pub use json::Json;
+pub use metrics::ServeHistograms;
 pub use proto::SubmitRequest;
 pub use server::{run, ServerConfig};

@@ -12,7 +12,7 @@
 use crate::client::{Client, ClientError};
 use crate::json::Json;
 use crate::proto::SubmitRequest;
-use sched_metrics::Percentiles;
+use sched_metrics::{Histogram, Percentiles};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -74,8 +74,12 @@ pub struct LoadgenReport {
     pub submit_wall_s: f64,
     /// Achieved submissions per wall-second.
     pub achieved_rate: f64,
-    /// Per-request latency percentiles, milliseconds.
+    /// Per-request latency percentiles, milliseconds — interpolated from
+    /// [`latency_hist`](Self::latency_hist) buckets, not a sorted vector.
     pub latency_ms: Option<Percentiles>,
+    /// The full submit→first-state-change latency histogram (milliseconds)
+    /// behind those percentiles; `--latency-out` writes its CSV.
+    pub latency_hist: Histogram,
     /// Wall seconds the final drain took (0 when not draining).
     pub drain_wall_s: f64,
     /// `/v1/stats` before the run and after the drain.
@@ -161,14 +165,23 @@ pub fn run(
     client.health()?;
     let stats_before = client.stats()?;
 
-    #[derive(Default)]
     struct TenantAcc {
         submitted: u64,
         rejected: u64,
         rate_limited: u64,
-        latencies_ms: Vec<f64>,
+        latency: Histogram,
     }
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    impl Default for TenantAcc {
+        fn default() -> Self {
+            TenantAcc {
+                submitted: 0,
+                rejected: 0,
+                rate_limited: 0,
+                latency: Histogram::latency_ms(),
+            }
+        }
+    }
+    let mut latency = Histogram::latency_ms();
     let mut by_tenant: std::collections::BTreeMap<u64, TenantAcc> = Default::default();
     let mut submitted = 0u64;
     let mut rejected = 0u64;
@@ -224,13 +237,13 @@ pub fn run(
             Err(e) => return Err(e),
         }
         let ms = r0.elapsed().as_secs_f64() * 1e3;
-        latencies_ms.push(ms);
-        acc.latencies_ms.push(ms);
+        latency.observe(ms);
+        acc.latency.observe(ms);
     }
     let submit_wall_s = t0.elapsed().as_secs_f64();
     let per_tenant = by_tenant
         .into_iter()
-        .map(|(tenant, mut a)| TenantLoad {
+        .map(|(tenant, a)| TenantLoad {
             tenant,
             submitted: a.submitted,
             rejected: a.rejected,
@@ -240,7 +253,7 @@ pub fn run(
             } else {
                 0.0
             },
-            latency_ms: Percentiles::compute(&mut a.latencies_ms),
+            latency_ms: a.latency.percentiles(),
         })
         .collect();
 
@@ -269,7 +282,8 @@ pub fn run(
         } else {
             0.0
         },
-        latency_ms: Percentiles::compute(&mut latencies_ms),
+        latency_ms: latency.percentiles(),
+        latency_hist: latency,
         drain_wall_s,
         stats_before,
         stats_after,

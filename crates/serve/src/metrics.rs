@@ -4,6 +4,12 @@
 //! read under the single-writer scheduler thread) plus the HTTP-layer
 //! request counters. Plain text format 0.0.4: `# HELP`/`# TYPE` pairs and
 //! one sample per line — scrapeable by any Prometheus without extra deps.
+//!
+//! Three histogram-typed series ride along: HTTP request latency and
+//! scheduler pass duration (wall clock, observed lock-free into
+//! [`ServeHistograms`] by the workers/engine) and the submit→start wait of
+//! started jobs (virtual time, rebuilt from outcomes at snapshot time so
+//! the simulation result stays wall-clock-free).
 
 use crate::engine::Snapshot;
 use std::fmt::Write as _;
@@ -29,14 +35,97 @@ impl HttpCounters {
     }
 }
 
+/// Upper bounds (seconds) for the wall-clock duration histograms: 10 µs to
+/// 1 s in a 1-2.5-5 ladder, `+Inf` implicit.
+pub const DURATION_BOUNDS_S: [f64; 14] = [
+    0.000_01, 0.000_025, 0.000_05, 0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01,
+    0.025, 0.05, 0.1, 1.0,
+];
+
+/// A fixed-bucket histogram writable from any thread (relaxed atomics) —
+/// the wall-clock counterpart of `sched_metrics::Histogram`.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    /// Per-bucket counts; the last entry is the `+Inf` overflow bucket.
+    buckets: [AtomicU64; DURATION_BOUNDS_S.len() + 1],
+    sum_nanos: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    pub fn observe(&self, secs: f64) {
+        let idx = DURATION_BOUNDS_S
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(DURATION_BOUNDS_S.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((secs.max(0.0) * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn sum_secs(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// The service's wall-clock histograms, shared between the HTTP workers
+/// (request latency), the engine's pass timer and the `/metrics` renderer.
+#[derive(Debug, Default)]
+pub struct ServeHistograms {
+    /// Wall time spent routing one HTTP request (engine round-trip included).
+    pub request_seconds: AtomicHistogram,
+    /// Wall time of one scheduler pass (`Scheduler::schedule` call).
+    pub pass_seconds: AtomicHistogram,
+}
+
 fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
     let _ = writeln!(out, "{name} {value}");
 }
 
-/// Renders the full exposition. Deterministic order.
-pub fn render(snap: &Snapshot, http: &HttpCounters) -> String {
+/// One histogram exposition block: cumulative `_bucket{le=...}` samples,
+/// `_sum`, `_count`. `counts` holds per-bucket counts with the `+Inf`
+/// overflow bucket appended after `bounds`.
+fn histogram(out: &mut String, name: &str, help: &str, bounds: &[f64], counts: &[u64], sum: f64) {
+    debug_assert_eq!(counts.len(), bounds.len() + 1);
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if i < bounds.len() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bounds[i]);
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {sum}");
+    let _ = writeln!(out, "{name}_count {cum}");
+}
+
+fn atomic_histogram(out: &mut String, name: &str, help: &str, h: &AtomicHistogram) {
+    histogram(out, name, help, &DURATION_BOUNDS_S, &h.counts(), h.sum_secs());
+}
+
+/// Renders the full exposition. Deterministic order (the wall-clock
+/// histogram and timing values are the only non-deterministic numbers).
+pub fn render(snap: &Snapshot, http: &HttpCounters, hists: &ServeHistograms) -> String {
     let mut out = String::with_capacity(2048);
     let s = &snap.stats;
     sample(&mut out, "sd_serve_sim_now_seconds", "Virtual clock position.", "gauge", snap.now);
@@ -80,6 +169,41 @@ pub fn render(snap: &Snapshot, http: &HttpCounters) -> String {
         );
     }
     sample(&mut out, "sd_serve_http_connections_total", "Accepted TCP connections.", "counter", http.connections.load(Ordering::Relaxed));
+
+    atomic_histogram(
+        &mut out,
+        "sd_serve_http_request_duration_seconds",
+        "Wall time to serve one HTTP request.",
+        &hists.request_seconds,
+    );
+    atomic_histogram(
+        &mut out,
+        "sd_serve_pass_duration_seconds",
+        "Wall time of one scheduler pass.",
+        &hists.pass_seconds,
+    );
+    histogram(
+        &mut out,
+        "sd_serve_job_wait_seconds",
+        "Virtual submit-to-start wait of started jobs.",
+        snap.wait_hist.bounds(),
+        snap.wait_hist.counts(),
+        snap.wait_hist.sum(),
+    );
+
+    // The simulator's per-function timing probes (dormant unless enabled
+    // with SD_TIMING / slurm_sim::timing::enable) as labelled counters.
+    let timing = slurm_sim::timing::report();
+    let _ = writeln!(out, "# HELP sd_serve_timing_seconds_total Wall seconds attributed to instrumented hot functions.");
+    let _ = writeln!(out, "# TYPE sd_serve_timing_seconds_total counter");
+    for f in &timing {
+        let _ = writeln!(out, "sd_serve_timing_seconds_total{{function=\"{}\"}} {}", f.name, f.total_secs);
+    }
+    let _ = writeln!(out, "# HELP sd_serve_timing_calls_total Invocations of instrumented hot functions.");
+    let _ = writeln!(out, "# TYPE sd_serve_timing_calls_total counter");
+    for f in &timing {
+        let _ = writeln!(out, "sd_serve_timing_calls_total{{function=\"{}\"}} {}", f.name, f.count);
+    }
 
     if !snap.tenants.is_empty() {
         for (name, help, get) in [
@@ -141,6 +265,7 @@ mod tests {
             makespan: 5000,
             submitted: 20,
             tenants: vec![],
+            wait_hist: sched_metrics::Histogram::wait_seconds(),
         }
     }
 
@@ -151,18 +276,53 @@ mod tests {
         http.count_status(204);
         http.count_status(404);
         http.count_status(500);
-        let text = render(&snap(), &http);
+        let text = render(&snap(), &http, &ServeHistograms::default());
         assert!(text.contains("sd_serve_jobs_submitted_total 20"));
         assert!(text.contains("sd_serve_sim_now_seconds 1234"));
         assert!(text.contains("sd_serve_sched_passes_skipped_total 0"));
         assert!(text.contains("sd_serve_http_requests_total{class=\"2xx\"} 2"));
         assert!(text.contains("sd_serve_http_requests_total{class=\"4xx\"} 1"));
         assert!(text.contains("sd_serve_http_requests_total{class=\"5xx\"} 1"));
+        assert!(text.contains("sd_serve_timing_calls_total{function=\"earliest_start\"}"));
         // Every HELP has a TYPE and at least one sample.
         let helps = text.matches("# HELP").count();
         let types = text.matches("# TYPE").count();
         assert_eq!(helps, types);
         assert!(helps >= 20, "{helps} series");
+        let hist_types = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE") && l.ends_with("histogram"))
+            .count();
+        assert!(hist_types >= 3, "{hist_types} histogram series");
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets() {
+        let hists = ServeHistograms::default();
+        hists.request_seconds.observe(0.000_02); // → le 0.000025
+        hists.request_seconds.observe(0.003); // → le 0.005
+        hists.request_seconds.observe(30.0); // → +Inf
+        hists.pass_seconds.observe(0.000_2);
+        let mut s = snap();
+        s.wait_hist.observe(5.0);
+        s.wait_hist.observe(50_000.0);
+        let text = render(&s, &HttpCounters::default(), &hists);
+        assert!(
+            text.contains("sd_serve_http_request_duration_seconds_bucket{le=\"0.000025\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("sd_serve_http_request_duration_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("sd_serve_http_request_duration_seconds_count 3"));
+        assert!(text.contains("sd_serve_pass_duration_seconds_count 1"));
+        assert!(text.contains("sd_serve_job_wait_seconds_count 2"));
+        assert!(text.contains("sd_serve_job_wait_seconds_sum 50005"));
+        // Buckets are cumulative: every later bucket ≥ the first one.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("sd_serve_http_request_duration_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
     }
 
     #[test]
@@ -186,7 +346,7 @@ mod tests {
                 ..Default::default()
             },
         ];
-        let text = render(&s, &HttpCounters::default());
+        let text = render(&s, &HttpCounters::default(), &ServeHistograms::default());
         assert!(text.contains("sd_serve_tenant_submitted_total{tenant=\"1\"} 10"), "{text}");
         assert!(text.contains("sd_serve_tenant_rate_limited_total{tenant=\"2\"} 3"), "{text}");
         assert!(text.contains("sd_serve_tenant_quota_skipped_total{tenant=\"2\"} 7"), "{text}");
@@ -196,6 +356,7 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let http = HttpCounters::default();
-        assert_eq!(render(&snap(), &http), render(&snap(), &http));
+        let hists = ServeHistograms::default();
+        assert_eq!(render(&snap(), &http, &hists), render(&snap(), &http, &hists));
     }
 }

@@ -13,29 +13,35 @@
 //! structural: the connection channel is bounded, and each worker pipelines
 //! at most one in-flight command.
 
-use crate::engine::{ClockMode, Command, Engine, EngineError, Snapshot};
+use crate::engine::{ClockMode, Command, Engine, EngineError, JobView, Snapshot};
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::Json;
-use crate::metrics::HttpCounters;
+use crate::metrics::{HttpCounters, ServeHistograms};
 use crate::proto::{self, SubmitRequest};
-use slurm_sim::SimResult;
+use slurm_sim::{FieldVal, SimResult, TraceEvent, TraceRing};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Server configuration (the engine is built by the caller).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// HTTP worker threads (the scheduler thread is extra).
     pub workers: usize,
+    /// Decision-trace ring backing `/v1/trace` — share the same `Arc` the
+    /// engine was built with (`Engine::with_trace`).
+    pub trace: Option<Arc<TraceRing>>,
+    /// Wall-clock histograms for `/metrics` — share with
+    /// `Engine::with_histograms` so pass durations land in the same place.
+    pub hists: Arc<ServeHistograms>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4 }
+        ServerConfig { workers: 4, trace: None, hists: Arc::default() }
     }
 }
 
@@ -45,6 +51,8 @@ struct Shared {
     stop: AtomicBool,
     final_result: Mutex<Option<SimResult>>,
     addr: std::net::SocketAddr,
+    trace: Option<Arc<TraceRing>>,
+    hists: Arc<ServeHistograms>,
 }
 
 /// Runs the service until a client posts `/v1/shutdown` (or the listener
@@ -66,6 +74,8 @@ pub fn run(
         stop: AtomicBool::new(false),
         final_result: Mutex::new(None),
         addr,
+        trace: cfg.trace.clone(),
+        hists: cfg.hists.clone(),
     };
 
     std::thread::scope(|s| {
@@ -146,7 +156,9 @@ fn serve_connection(conn: TcpStream, shared: &Shared) {
             Ok(None) => return,
             Ok(Some(req)) => {
                 let close = req.wants_close() || shared.stop.load(Ordering::SeqCst);
+                let t0 = Instant::now();
                 let resp = route(&req, shared);
+                shared.hists.request_seconds.observe(t0.elapsed().as_secs_f64());
                 shared.counters.count_status(resp.status);
                 let is_shutdown = req.method == "POST" && req.path == "/v1/shutdown";
                 if resp.write_to(&mut write_half, close).is_err() {
@@ -218,7 +230,33 @@ fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
         ("GET", "/healthz") => Ok(Response::json(200, &Json::obj().set("ok", true))),
         ("GET", "/metrics") => {
             let snap = call(shared, |reply| Command::Stats { reply })?;
-            Ok(Response::text(200, crate::metrics::render(&snap, &shared.counters)))
+            Ok(Response::text(
+                200,
+                crate::metrics::render(&snap, &shared.counters, &shared.hists),
+            ))
+        }
+        ("GET", "/v1/trace") => {
+            // Tail the ring lock-free right here — no engine round-trip, so
+            // trace reads never queue behind scheduling work.
+            let Some(ring) = &shared.trace else {
+                return Err(Response::error(
+                    404,
+                    "tracing is not enabled (start the server with --trace)",
+                ));
+            };
+            let since = query_u64(req, "since")?.unwrap_or(0);
+            let limit = query_u64(req, "limit")?.unwrap_or(1_000).min(10_000) as usize;
+            let tail = ring.read_since(since, limit);
+            let events: Vec<Json> = tail.events.iter().map(event_json).collect();
+            Ok(Response::json(
+                200,
+                &Json::obj()
+                    .set("next", tail.next)
+                    .set("dropped", tail.dropped)
+                    .set("pushed", ring.pushed())
+                    .set("capacity", ring.capacity() as u64)
+                    .set("events", events),
+            ))
         }
         ("GET", "/v1/stats") => {
             let snap = call(shared, |reply| Command::Stats { reply })?;
@@ -293,16 +331,66 @@ fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
                 return route_job(method, rest, shared);
             }
+            if let Some(rest) = path.strip_prefix("/v1/explain/") {
+                if method != "GET" {
+                    return Err(Response::error(405, "method not allowed for this path"));
+                }
+                let id: u64 = rest
+                    .parse()
+                    .map_err(|_| Response::error(400, "job id must be an integer"))?;
+                let view = call(shared, |reply| Command::Explain { id, reply })?
+                    .map_err(engine_error)?;
+                let decisions: Vec<Json> = view.events.iter().map(event_json).collect();
+                return Ok(Response::json(
+                    200,
+                    &Json::obj()
+                        .set("job", job_json(&view.job))
+                        .set("tracing", view.tracing)
+                        .set("overwritten", view.overwritten)
+                        .set("decisions", decisions),
+                ));
+            }
             if matches!(
                 path,
                 "/healthz" | "/metrics" | "/v1/stats" | "/v1/cluster" | "/v1/queue" | "/v1/jobs"
                     | "/v1/clock/advance" | "/v1/drain" | "/v1/result" | "/v1/shutdown"
+                    | "/v1/trace"
             ) {
                 return Err(Response::error(405, "method not allowed for this path"));
             }
             Err(Response::error(404, "no such endpoint"))
         }
     }
+}
+
+/// First value of a `?key=value` query parameter parsed as u64; `Ok(None)`
+/// when absent, 400 when present but malformed.
+fn query_u64(req: &Request, key: &str) -> Result<Option<u64>, Response> {
+    let Some(v) = req.query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    }) else {
+        return Ok(None);
+    };
+    v.parse()
+        .map(Some)
+        .map_err(|_| Response::error(400, &format!("`{key}` must be a non-negative integer")))
+}
+
+/// One trace event as a JSON object (`seq`, `t`, `event`, then the typed
+/// payload fields).
+fn event_json(ev: &TraceEvent) -> Json {
+    let mut o = Json::obj()
+        .set("seq", ev.seq)
+        .set("t", ev.t)
+        .set("event", ev.kind.name());
+    for (k, v) in ev.kind.fields() {
+        o = match v {
+            FieldVal::U64(n) => o.set(k, n),
+            FieldVal::Str(s) => o.set(k, s),
+        };
+    }
+    o
 }
 
 fn route_job(method: &str, rest: &str, shared: &Shared) -> Result<Response, Response> {
@@ -317,20 +405,7 @@ fn route_job(method: &str, rest: &str, shared: &Shared) -> Result<Response, Resp
         ("GET", None) => {
             let view = call(shared, |reply| Command::JobInfo { id, reply })?
                 .map_err(engine_error)?;
-            Ok(Response::json(
-                200,
-                &Json::obj()
-                    .set("id", view.id)
-                    .set("state", view.state)
-                    .set("submit", view.submit)
-                    .set("req_nodes", view.req_nodes)
-                    .set("req_time", view.req_time)
-                    .set("malleable", view.malleable)
-                    .set("start", view.start)
-                    .set("end", view.end)
-                    .set("cores", view.cores)
-                    .set("rate", view.rate.map(Json::Num)),
-            ))
+            Ok(Response::json(200, &job_json(&view)))
         }
         ("DELETE", None) | ("POST", Some("cancel")) => {
             call(shared, |reply| Command::Cancel { id, reply })?.map_err(engine_error)?;
@@ -338,6 +413,20 @@ fn route_job(method: &str, rest: &str, shared: &Shared) -> Result<Response, Resp
         }
         _ => Err(Response::error(405, "method not allowed for this path")),
     }
+}
+
+fn job_json(view: &JobView) -> Json {
+    Json::obj()
+        .set("id", view.id)
+        .set("state", view.state)
+        .set("submit", view.submit)
+        .set("req_nodes", view.req_nodes)
+        .set("req_time", view.req_time)
+        .set("malleable", view.malleable)
+        .set("start", view.start)
+        .set("end", view.end)
+        .set("cores", view.cores)
+        .set("rate", view.rate.map(Json::Num))
 }
 
 fn snapshot_json(snap: &Snapshot) -> Json {

@@ -25,7 +25,7 @@ fn start_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
     let addr = listener.local_addr().unwrap();
     let h = std::thread::spawn(move || {
-        let _ = server::run(engine, listener, ServerConfig { workers: 2 });
+        let _ = server::run(engine, listener, ServerConfig { workers: 2, ..Default::default() });
     });
     (addr, h)
 }

@@ -30,7 +30,7 @@ fn start(nodes: u32, sd: bool) -> (SocketAddr, std::thread::JoinHandle<Option<Si
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let h = std::thread::spawn(move || {
-        server::run(engine, listener, ServerConfig { workers: 4 }).ok()
+        server::run(engine, listener, ServerConfig { workers: 4, ..Default::default() }).ok()
     });
     (addr, h)
 }
@@ -162,6 +162,157 @@ fn concurrent_clients_share_one_scheduler() {
     let mut ids: Vec<u64> = res.outcomes.iter().map(|o| o.id.0).collect();
     ids.sort_unstable();
     assert_eq!(ids, (1..=100).collect::<Vec<_>>());
+}
+
+#[test]
+fn trace_and_explain_endpoints_cover_quota_skips() {
+    // 4 × 8-core nodes; tenant 1 may run at most 2 requested nodes at once.
+    let mut spec = cluster::ClusterSpec::ricc();
+    spec.nodes = 4;
+    let mut tenants = slurm_sim::TenantRegistry::new();
+    tenants.add(slurm_sim::Tenant {
+        quota: slurm_sim::Quota { node_seconds: None, max_running_width: Some(2) },
+        ..slurm_sim::Tenant::unlimited(1, 0)
+    });
+    let state = SimState::new_online(
+        spec,
+        SlurmConfig { tenants, ..SlurmConfig::default() },
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+    );
+    let ring = std::sync::Arc::new(slurm_sim::TraceRing::new(4096));
+    let hists = std::sync::Arc::new(sd_serve::ServeHistograms::default());
+    let engine = Engine::new(state, Box::new(StaticBackfill), ClockMode::Virtual)
+        .with_trace(ring.clone())
+        .with_histograms(hists.clone());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let h = std::thread::spawn(move || {
+        server::run(engine, listener, ServerConfig { workers: 4, trace: Some(ring), hists }).ok()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    let submit_as = |client: &mut Client, procs: u64, run: u64, at: u64| {
+        client
+            .submit(&SubmitRequest {
+                procs,
+                req_time: run * 2,
+                run_time: run,
+                submit: Some(at),
+                malleable: None,
+                trace_id: None,
+                tenant: Some(1),
+                project: Some(0),
+            })
+            .expect("submit accepted")
+            .0
+    };
+    // Job 1 takes tenant 1 to its width cap; job 2 must wait on the quota.
+    let id1 = submit_as(&mut client, 16, 100, 0);
+    let id2 = submit_as(&mut client, 8, 50, 1);
+    client.advance(10).unwrap();
+
+    // /v1/trace: cursor tail with the quota decision visible.
+    let tail = client.trace(0, 1000).unwrap();
+    let next = tail.get("next").and_then(Json::as_u64).unwrap();
+    assert!(next > 0, "{tail:?}");
+    assert_eq!(tail.get("dropped").and_then(Json::as_u64), Some(0));
+    let events = tail.get("events").and_then(Json::as_arr).unwrap();
+    assert_eq!(events.len() as u64, next);
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert!(kinds.contains(&"submitted"), "{kinds:?}");
+    assert!(kinds.contains(&"started"), "{kinds:?}");
+    assert!(kinds.contains(&"quota_skipped"), "{kinds:?}");
+    // Cursor resume: nothing new until the clock moves again.
+    let again = client.trace(next, 1000).unwrap();
+    assert_eq!(again.get("events").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+
+    client.drain().unwrap();
+
+    // /v1/explain/{id2}: the full decision chain of the quota-skipped job.
+    let explain = client.explain(id2).unwrap();
+    assert_eq!(explain.get("tracing").and_then(Json::as_bool), Some(true));
+    assert_eq!(explain.get("overwritten").and_then(Json::as_u64), Some(0));
+    let job = explain.get("job").unwrap();
+    assert_eq!(job.get("id").and_then(Json::as_u64), Some(id2));
+    assert_eq!(job.get("state").and_then(Json::as_str), Some("done"));
+    let chain: Vec<&str> = explain
+        .get("decisions")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    let pos = |k: &str| {
+        chain
+            .iter()
+            .position(|&c| c == k)
+            .unwrap_or_else(|| panic!("missing {k} in decision chain {chain:?}"))
+    };
+    assert!(
+        pos("submitted") < pos("quota_skipped")
+            && pos("quota_skipped") < pos("started")
+            && pos("started") < pos("completed"),
+        "decision chain out of order: {chain:?}"
+    );
+    // The quota event names the tenant.
+    let decisions = explain.get("decisions").and_then(Json::as_arr).unwrap();
+    let quota_ev = decisions
+        .iter()
+        .find(|e| e.get("event").and_then(Json::as_str) == Some("quota_skipped"))
+        .unwrap();
+    assert_eq!(quota_ev.get("tenant").and_then(Json::as_u64), Some(1));
+    assert!(client.explain(99).is_err(), "unknown job is a 404");
+
+    // /metrics: the three histogram series are exposed.
+    let text = client.metrics().unwrap();
+    for series in [
+        "sd_serve_http_request_duration_seconds",
+        "sd_serve_pass_duration_seconds",
+        "sd_serve_job_wait_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {series} histogram")),
+            "missing {series}: {text}"
+        );
+        assert!(text.contains(&format!("{series}_bucket{{le=\"+Inf\"}}")), "{series}");
+    }
+    assert!(text.contains("sd_serve_timing_calls_total{function=\"backfill_trial\"}"));
+    // Requests flowed, passes ran, job 2 waited: the counts are live.
+    let count = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(-1.0)
+    };
+    assert!(count("sd_serve_http_request_duration_seconds_count") > 0.0);
+    assert!(count("sd_serve_pass_duration_seconds_count") > 0.0);
+    assert!(count("sd_serve_job_wait_seconds_count") >= 2.0);
+
+    let _ = id1;
+    client.shutdown().unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn untraced_server_answers_trace_404_and_bare_explain() {
+    let (addr, h) = start(8, true);
+    let mut client = Client::connect(addr).unwrap();
+    let id = submit(&mut client, 8, 50, 0);
+    let err = client.trace(0, 10).unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    // Explain still answers — with an empty history and tracing=false.
+    let explain = client.explain(id).unwrap();
+    assert_eq!(explain.get("tracing").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        explain.get("decisions").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+    client.shutdown().unwrap();
+    h.join().unwrap();
 }
 
 #[test]

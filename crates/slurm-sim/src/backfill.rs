@@ -13,6 +13,7 @@ use crate::reservation::Profile;
 use crate::state::{DirtyFlags, SimState};
 use crate::timing;
 use cluster::JobId;
+use sd_trace::{RejectReason, TraceKind};
 use simkit::SimTime;
 
 /// A scheduling policy: invoked by the controller after every batch of
@@ -123,6 +124,14 @@ where
             if est == st.now {
                 if st.start_static(id) {
                     profile.reserve(st.now, req_time, req_nodes);
+                } else {
+                    st.trace.emit(
+                        st.now.secs(),
+                        TraceKind::BackfillRejected {
+                            job: id.0,
+                            reason: RejectReason::Fragmentation,
+                        },
+                    );
                 }
                 continue;
             }
@@ -135,6 +144,10 @@ where
                 continue;
             }
             if est == SimTime::MAX {
+                st.trace.emit(
+                    st.now.secs(),
+                    TraceKind::BackfillRejected { job: id.0, reason: RejectReason::NeverFits },
+                );
                 continue; // cannot ever run (larger than the machine)
             }
             let reserve = match mode {
@@ -145,6 +158,15 @@ where
                 profile.reserve(est, req_time, req_nodes);
                 waiting_resv.push((est, req_time, req_nodes));
                 head_reserved = true;
+                st.trace.emit(
+                    st.now.secs(),
+                    TraceKind::EasyReserved { job: id.0, est: est.secs() },
+                );
+            } else {
+                st.trace.emit(
+                    st.now.secs(),
+                    TraceKind::BackfillRejected { job: id.0, reason: RejectReason::NoFitNow },
+                );
             }
             continue;
         }
@@ -153,10 +175,18 @@ where
         if profile.can_start_now(req_nodes, req_time, st.now) {
             if st.start_static(id) {
                 profile.reserve(st.now, req_time, req_nodes);
+            } else {
+                // On failure: the profile admitted the job but the cluster
+                // had no whole empty nodes (fragmentation across shared
+                // nodes). Skip; the next pass sees a consistent picture.
+                st.trace.emit(
+                    st.now.secs(),
+                    TraceKind::BackfillRejected {
+                        job: id.0,
+                        reason: RejectReason::Fragmentation,
+                    },
+                );
             }
-            // On failure: the profile admitted the job but the cluster had
-            // no whole empty nodes (fragmentation across shared nodes).
-            // Skip silently; the next pass sees a consistent picture.
             continue;
         }
         let reserve_wanted = match mode {
@@ -166,6 +196,10 @@ where
         if reserve_wanted {
             let est = profile.earliest_start(req_nodes, req_time, st.now);
             if est == SimTime::MAX {
+                st.trace.emit(
+                    st.now.secs(),
+                    TraceKind::BackfillRejected { job: id.0, reason: RejectReason::NeverFits },
+                );
                 continue; // cannot ever run (larger than the machine)
             }
             debug_assert!(est > st.now, "can_start_now said otherwise");
@@ -175,10 +209,17 @@ where
             profile.reserve(est, req_time, req_nodes);
             waiting_resv.push((est, req_time, req_nodes));
             head_reserved = true;
+            st.trace
+                .emit(st.now.secs(), TraceKind::EasyReserved { job: id.0, est: est.secs() });
         } else {
             // EASY non-head: no reservation either way; the hook computes
             // the est itself only if it mounts a trial.
-            let _ = flexible(st, id, None, &mut profile);
+            if !flexible(st, id, None, &mut profile) {
+                st.trace.emit(
+                    st.now.secs(),
+                    TraceKind::BackfillRejected { job: id.0, reason: RejectReason::NoFitNow },
+                );
+            }
         }
     }
     st.stats.peak_profile_len = st.stats.peak_profile_len.max(profile.len());

@@ -51,13 +51,38 @@ impl<S: Scheduler> Controller<S> {
                 let dirty = self.state.take_dirty();
                 if !self.state.cfg.incremental || self.scheduler.pass_needed(&self.state, dirty)
                 {
-                    self.scheduler.schedule(&mut self.state);
-                    self.state.stats.sched_passes += 1;
+                    self.run_pass();
                 } else {
                     self.state.stats.passes_skipped += 1;
                 }
             }
         }
+    }
+
+    /// One scheduler pass, bracketed by `pass_begin`/`pass_end` trace
+    /// events when tracing is armed. `wall_ns` lives only in these two
+    /// events; the virtual-time stream stays deterministic.
+    fn run_pass(&mut self) {
+        let st = &mut self.state;
+        if st.trace.active() {
+            let pass = st.stats.sched_passes + 1;
+            let before = st.stats.started_static + st.stats.started_malleable;
+            st.trace.emit(
+                st.now.secs(),
+                sd_trace::TraceKind::PassBegin { pass, wall_ns: st.trace.wall_ns() },
+            );
+            self.scheduler.schedule(&mut self.state);
+            let st = &mut self.state;
+            let started =
+                (st.stats.started_static + st.stats.started_malleable - before) as u32;
+            st.trace.emit(
+                st.now.secs(),
+                sd_trace::TraceKind::PassEnd { pass, wall_ns: st.trace.wall_ns(), started },
+            );
+        } else {
+            self.scheduler.schedule(&mut self.state);
+        }
+        self.state.stats.sched_passes += 1;
     }
 
     /// Runs one scheduling pass outside the event loop (same gating as the
@@ -69,8 +94,7 @@ impl<S: Scheduler> Controller<S> {
             return;
         }
         if !self.state.cfg.incremental || self.scheduler.pass_needed(&self.state, dirty) {
-            self.scheduler.schedule(&mut self.state);
-            self.state.stats.sched_passes += 1;
+            self.run_pass();
         } else {
             self.state.stats.passes_skipped += 1;
         }

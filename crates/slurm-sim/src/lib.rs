@@ -45,3 +45,9 @@ pub use reservation::{Profile, ReleaseMap};
 pub use result::SimResult;
 pub use state::{CoScheduleError, DirtyFlags, Event, MateEntry, SimState, SimStats, SubmitError};
 pub use tenant::{QueuePolicy, Quota, Tenant, TenantRegistry, TenantUsage, NO_TENANT_SLOT};
+// Decision tracing (DESIGN.md §12) — re-exported so downstream crates can
+// attach rings and decode events without a direct `sd-trace` dependency.
+pub use sd_trace::{
+    chrome_trace, render_virtual, FieldVal, RejectReason, TraceEvent, TraceKind, TraceRing,
+    TraceSink, TraceTail,
+};

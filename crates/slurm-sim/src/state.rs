@@ -152,6 +152,10 @@ pub struct SimState {
     tenant_usage: Vec<TenantUsage>,
     first_submit: SimTime,
     last_end: SimTime,
+    /// Decision-trace probe handle (DESIGN.md §12). Detached by default:
+    /// every probe is then a single `Option` check. Attach a ring with
+    /// [`SimState::attach_trace`] to record scheduler decisions.
+    pub trace: sd_trace::TraceSink,
 }
 
 /// Error from an online job submission.
@@ -317,7 +321,14 @@ impl SimState {
             tenant_usage,
             first_submit,
             last_end: SimTime::ZERO,
+            trace: sd_trace::TraceSink::detached(),
         }
+    }
+
+    /// Arms decision tracing: every subsequent scheduler decision is
+    /// appended to `ring` (until `ring.disable()`).
+    pub fn attach_trace(&mut self, ring: std::sync::Arc<sd_trace::TraceRing>) {
+        self.trace = sd_trace::TraceSink::attached(ring);
     }
 
     // ------------------------------------------------------------------
@@ -483,6 +494,13 @@ impl SimState {
         if blocked {
             usage.quota_skipped += 1;
             self.stats.quota_skipped += 1;
+            self.trace.emit(
+                self.now.secs(),
+                sd_trace::TraceKind::QuotaSkipped {
+                    job: e.job.0,
+                    tenant: self.cfg.tenants.get(e.tslot).id as u64,
+                },
+            );
         }
         blocked
     }
@@ -570,6 +588,8 @@ impl SimState {
                 let was_queued = self.queue.remove(id);
                 self.job_mut(id).state = JobState::Cancelled;
                 self.stats.cancelled += 1;
+                self.trace
+                    .emit(self.now.secs(), sd_trace::TraceKind::Cancelled { job: id.0 });
                 if was_queued {
                     self.dirty.queue = true;
                 }
@@ -594,6 +614,8 @@ impl SimState {
                 self.last_end = self.last_end.max(now);
                 self.release_running(id, &spec, run);
                 self.stats.cancelled += 1;
+                self.trace
+                    .emit(self.now.secs(), sd_trace::TraceKind::Cancelled { job: id.0 });
                 self.dirty.capacity = true;
                 true
             }
@@ -622,6 +644,8 @@ impl SimState {
                     self.tenant_usage[tslot as usize].submitted += 1;
                 }
                 self.queue.push(id, req_nodes, req_time, tslot);
+                self.trace
+                    .emit(self.now.secs(), sd_trace::TraceKind::Submitted { job: id.0 });
                 self.dirty.queue = true;
                 true
             }
@@ -676,6 +700,15 @@ impl SimState {
         self.refresh_eligibility(id);
         self.energy_reweigh(&[id]);
         self.stats.started_static += 1;
+        self.trace.emit(
+            self.now.secs(),
+            sd_trace::TraceKind::Started {
+                job: id.0,
+                malleable: false,
+                nodes: spec.req_nodes,
+                wait: self.now.secs().saturating_sub(spec.submit.secs()),
+            },
+        );
         self.tenant_charge_start(id);
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
@@ -802,6 +835,10 @@ impl SimState {
                 }
             }
             self.stats.shrink_events += 1;
+            self.trace.emit(
+                self.now.secs(),
+                sd_trace::TraceKind::Shrunk { mate: m.0, borrower: new_id.0 },
+            );
             self.arm_end(m);
             self.refresh_eligibility(m);
             // A mate that was itself malleable-backfilled (a relocated
@@ -867,6 +904,15 @@ impl SimState {
         reweigh.push(new_id);
         self.energy_reweigh(&reweigh);
         self.stats.started_malleable += 1;
+        self.trace.emit(
+            self.now.secs(),
+            sd_trace::TraceKind::Started {
+                job: new_id.0,
+                malleable: true,
+                nodes: new_spec.req_nodes,
+                wait: self.now.secs().saturating_sub(new_spec.submit.secs()),
+            },
+        );
         self.tenant_charge_start(new_id);
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
@@ -1001,6 +1047,13 @@ impl SimState {
                 .unwrap()
                 .set_rate(now, rate);
             self.stats.expand_events += 1;
+            self.trace.emit(
+                self.now.secs(),
+                sd_trace::TraceKind::Expanded {
+                    job: t.0,
+                    nodes: self.job(t).running().unwrap().nodes.len() as u32,
+                },
+            );
             self.arm_end(t);
             self.refresh_eligibility(t);
             self.refresh_borrower_index(t);
@@ -1011,6 +1064,8 @@ impl SimState {
         }
         self.energy_reweigh_iter(touched.iter().copied().chain(std::iter::once(id)));
         self.stats.relocations += 1;
+        self.trace
+            .emit(self.now.secs(), sd_trace::TraceKind::Relocated { job: id.0, nodes: width });
         if self.cfg.self_check {
             self.cluster.validate().expect("cluster consistent");
             for i in 0..width as usize {
@@ -1067,6 +1122,8 @@ impl SimState {
         self.tenant_finish(&spec, true);
         self.last_end = self.last_end.max(now);
         self.release_running(id, &spec, run);
+        self.trace
+            .emit(self.now.secs(), sd_trace::TraceKind::Completed { job: id.0 });
     }
 
     /// Shared teardown of a running job (completion and running-job
@@ -1124,6 +1181,13 @@ impl SimState {
                 .unwrap()
                 .set_rate(now, rate);
             self.stats.expand_events += 1;
+            self.trace.emit(
+                self.now.secs(),
+                sd_trace::TraceKind::Expanded {
+                    job: t.0,
+                    nodes: self.job(t).running().unwrap().nodes.len() as u32,
+                },
+            );
             self.arm_end(t);
             self.refresh_eligibility(t);
             self.refresh_borrower_index(t);

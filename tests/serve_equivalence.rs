@@ -53,7 +53,7 @@ fn online(trace: &Trace, cluster: ClusterSpec, cfg: SlurmConfig, sd: bool) -> Si
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
     let addr = listener.local_addr().unwrap();
     let handle =
-        std::thread::spawn(move || server::run(engine, listener, ServerConfig { workers: 4 }));
+        std::thread::spawn(move || server::run(engine, listener, ServerConfig { workers: 4, ..Default::default() }));
 
     let mut client = Client::connect(addr).expect("connect to sd-serve");
     for j in &trace.jobs {
@@ -187,7 +187,7 @@ fn interleaved_advance_still_matches_offline_replay() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let handle =
-        std::thread::spawn(move || server::run(engine, listener, ServerConfig { workers: 2 }));
+        std::thread::spawn(move || server::run(engine, listener, ServerConfig { workers: 2, ..Default::default() }));
     let mut client = Client::connect(addr).unwrap();
 
     // Generated traces are sorted by (submit, id) — submitting in trace
