@@ -23,8 +23,7 @@ use crate::mates::{collect_candidates, pick_mates};
 use crate::penalty::malleable_wall_time;
 use cluster::JobId;
 use simkit::SimTime;
-use slurm_sim::reservation::Profile;
-use slurm_sim::{backfill_pass, DirtyFlags, Scheduler, SimState};
+use slurm_sim::{backfill_pass, Availability, DirtyFlags, Scheduler, SimState};
 
 /// The Slowdown Driven policy.
 #[derive(Debug, Clone)]
@@ -64,12 +63,12 @@ impl SdPolicy {
     /// (trial budget, non-malleable) come first. An infeasible est
     /// (`SimTime::MAX`) bails before the trial budget is charged, exactly
     /// as the old always-computed flow never called the hook for such jobs.
-    fn try_malleable(
+    fn try_malleable<A: Availability>(
         &mut self,
         st: &mut SimState,
         id: JobId,
         est_static_start: Option<SimTime>,
-        profile: &mut Profile,
+        profile: &mut A,
     ) -> bool {
         if self.trials_this_pass >= self.cfg.max_trials_per_pass {
             return false;
@@ -170,11 +169,10 @@ impl Scheduler for SdPolicy {
                     let left = (job.spec.req_time as f64 - run.work_done).ceil();
                     (run.nodes.len() as u32, (left.max(1.0)) as u64)
                 };
-                let start_now = if st.cfg.incremental {
-                    profile.earliest_start(width, remaining, st.now)
-                } else {
-                    profile.earliest_start_legacy(width, remaining, st.now)
-                };
+                // Same query under both settings: the linear sweep is pinned
+                // against the legacy oracle by a property test, so the
+                // legacy path no longer needs the quadratic scan here.
+                let start_now = profile.earliest_start(width, remaining, st.now);
                 if st.cluster.empty_node_count() < width || start_now != st.now {
                     continue;
                 }

@@ -324,6 +324,49 @@ pub enum BackfillDecl {
     Conservative,
 }
 
+/// Availability-backend choice (DESIGN.md §13). Results are bit-identical
+/// either way; the knob selects the data structure the pass queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AvailBackendDecl {
+    /// The step-function availability profile (two flat vectors).
+    #[default]
+    Profile,
+    /// The OAR-style slot tree (segment-tree descents over the slots).
+    SlotTree,
+}
+
+impl AvailBackendDecl {
+    fn parse(e: &RawEntry) -> Result<Self, ParseError> {
+        Self::parse_str(&e.value, e.line)
+    }
+
+    /// Parses the `avail_backend` vocabulary from a bare string (shared
+    /// with the sweep-axis list items and the CLI `--backend` flags).
+    pub fn parse_str(v: &str, line: usize) -> Result<Self, ParseError> {
+        match v {
+            "profile" => Ok(AvailBackendDecl::Profile),
+            "slottree" => Ok(AvailBackendDecl::SlotTree),
+            v => Err(ParseError::new(
+                line,
+                format!("`avail_backend`: unknown backend `{v}` (profile|slottree)"),
+            )),
+        }
+    }
+
+    fn render(self) -> &'static str {
+        match self {
+            AvailBackendDecl::Profile => "profile",
+            AvailBackendDecl::SlotTree => "slottree",
+        }
+    }
+}
+
+impl fmt::Display for AvailBackendDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.render())
+    }
+}
+
 /// SLURM-side knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlurmDecl {
@@ -332,6 +375,8 @@ pub struct SlurmDecl {
     /// Fraction of jobs that are malleable, in `[0, 1]`.
     pub malleable_fraction: f64,
     pub ranks_per_node: Option<u32>,
+    /// None → the simulator default ([`AvailBackendDecl::Profile`]).
+    pub avail_backend: Option<AvailBackendDecl>,
 }
 
 impl Default for SlurmDecl {
@@ -341,6 +386,7 @@ impl Default for SlurmDecl {
             backfill_depth: None,
             malleable_fraction: 1.0,
             ranks_per_node: None,
+            avail_backend: None,
         }
     }
 }
@@ -429,6 +475,9 @@ pub struct SweepDecl {
     pub tenant_skew: Vec<f64>,
     /// Per-tenant budget fractions (requires a `[tenants]` section).
     pub quota_fraction: Vec<f64>,
+    /// Availability backends (scheduler-cost axis; results are
+    /// bit-identical across values, only the wall time moves).
+    pub avail_backend: Vec<AvailBackendDecl>,
 }
 
 impl SweepDecl {
@@ -443,6 +492,7 @@ impl SweepDecl {
             && self.tenant_count.is_empty()
             && self.tenant_skew.is_empty()
             && self.quota_fraction.is_empty()
+            && self.avail_backend.is_empty()
     }
 
     /// Number of runs the cross-product expands to.
@@ -458,6 +508,7 @@ impl SweepDecl {
             * n(self.tenant_count.len())
             * n(self.tenant_skew.len())
             * n(self.quota_fraction.len())
+            * n(self.avail_backend.len())
     }
 }
 
@@ -718,6 +769,9 @@ impl Scenario {
                     }
                     self.slurm.ranks_per_node = Some(n);
                 }
+                "avail_backend" => {
+                    self.slurm.avail_backend = Some(AvailBackendDecl::parse(e)?)
+                }
                 k => return Err(unknown_key(k, "slurm", e.line)),
             }
         }
@@ -842,6 +896,13 @@ impl Scenario {
                         let v: f64 = it.parse().map_err(|_| list_num_err(e, it))?;
                         check_positive("quota_fraction", v, e.line)?;
                         self.sweep.quota_fraction.push(v);
+                    }
+                }
+                "avail_backend" => {
+                    for it in &items {
+                        self.sweep
+                            .avail_backend
+                            .push(AvailBackendDecl::parse_str(it, e.line)?);
                     }
                 }
                 k => return Err(unknown_key(k, "sweep", e.line)),
@@ -1040,6 +1101,9 @@ impl Scenario {
             if let Some(n) = self.slurm.ranks_per_node {
                 let _ = writeln!(out, "ranks_per_node = {n}");
             }
+            if let Some(b) = self.slurm.avail_backend {
+                let _ = writeln!(out, "avail_backend = {}", b.render());
+            }
         }
 
         if let Some(t) = &self.tenants {
@@ -1105,6 +1169,13 @@ impl Scenario {
                     out,
                     "quota_fraction = {}",
                     render_list(&self.sweep.quota_fraction)
+                );
+            }
+            if !self.sweep.avail_backend.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "avail_backend = {}",
+                    render_list(&self.sweep.avail_backend)
                 );
             }
         }
@@ -1194,6 +1265,7 @@ backfill = easy
 backfill_depth = 50
 malleable_fraction = 0.5
 ranks_per_node = 4
+avail_backend = slottree
 
 [tenants]
 count = 4
@@ -1207,6 +1279,7 @@ malleable_fraction = [0, 0.5, 1]
 maxsd = [5, inf, dyn]
 seed = [1, 2]
 tenant_skew = [0, 1]
+avail_backend = [profile, slottree]
 ";
 
     #[test]
@@ -1232,7 +1305,23 @@ tenant_skew = [0, 1]
         assert_eq!(t.queue, TenantQueueDecl::FairShare);
         assert_eq!(t.half_life, 3600);
         assert_eq!(s.sweep.tenant_skew, vec![0.0, 1.0]);
-        assert_eq!(s.sweep.run_count(), 3 * 3 * 2 * 2);
+        assert_eq!(s.slurm.avail_backend, Some(AvailBackendDecl::SlotTree));
+        assert_eq!(
+            s.sweep.avail_backend,
+            vec![AvailBackendDecl::Profile, AvailBackendDecl::SlotTree]
+        );
+        assert_eq!(s.sweep.run_count(), 3 * 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn avail_backend_vocabulary() {
+        let base = |extra: &str| {
+            format!("[scenario]\nname = x\n[workload]\nsource = ricc\n{extra}")
+        };
+        let e = Scenario::parse(&base("[slurm]\navail_backend = btree\n")).unwrap_err();
+        assert!(e.msg.contains("profile|slottree"), "{e}");
+        let s = Scenario::parse(&base("[slurm]\navail_backend = profile\n")).unwrap();
+        assert_eq!(s.slurm.avail_backend, Some(AvailBackendDecl::Profile));
     }
 
     #[test]

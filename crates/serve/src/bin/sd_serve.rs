@@ -41,6 +41,8 @@ const USAGE: &str = "sd-serve — online scheduling service (HTTP/JSON)
   --trace                enable decision tracing (GET /v1/trace, /v1/explain/{id})
   --trace-capacity <n>   trace ring size in events (default 65536; power of two)
   --legacy-path          run the pre-incremental scheduler hot path
+  --backend <profile|slottree>  availability backend (default profile;
+                         results are identical, only scheduler cost moves)
   --help, -h             this text";
 
 fn fail(msg: &str) -> ! {
@@ -64,6 +66,7 @@ struct Cli {
     trace: bool,
     trace_capacity: usize,
     legacy: bool,
+    backend: slurm_sim::AvailBackendKind,
 }
 
 fn parse_cli() -> Cli {
@@ -83,6 +86,7 @@ fn parse_cli() -> Cli {
         trace: false,
         trace_capacity: 65_536,
         legacy: false,
+        backend: slurm_sim::AvailBackendKind::default(),
     };
     let mut compression: f64 = 60.0;
     let mut realtime = false;
@@ -147,6 +151,11 @@ fn parse_cli() -> Cli {
                 }
             }
             "--legacy-path" => cli.legacy = true,
+            "--backend" => {
+                let v = value("--backend");
+                cli.backend = slurm_sim::AvailBackendKind::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("--backend must be profile or slottree, got {v}")));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -197,6 +206,7 @@ fn main() {
     let cfg = SlurmConfig {
         malleable_fraction: cli.malleable_fraction,
         incremental: !cli.legacy,
+        avail_backend: cli.backend,
         ..SlurmConfig::default()
     };
     let scheduler: Box<dyn Scheduler + Send> = match cli.policy.as_str() {

@@ -1,0 +1,327 @@
+//! The availability-backend abstraction (DESIGN.md §13).
+//!
+//! Backfill never cares *how* free-node availability over future time is
+//! represented — it needs an `earliest_start` query, a `can_start_now`
+//! probe, reservation writes, and the incremental patch hooks the cached
+//! profile uses between passes. [`Availability`] captures exactly that
+//! contract; [`Profile`] (the step-function representation the simulator
+//! grew up with) and [`SlotTree`] (an annotated slot structure modeled on
+//! OAR's `TreeSlotSet`) both implement it, and [`AvailBackend`] is the
+//! enum the non-generic [`SimState`](crate::SimState) threads through a
+//! run. `backfill_pass`, SD-Policy's `static_end` estimate and the
+//! per-pass scratch buffers are generic over the trait, so adding a third
+//! backend means implementing one trait and one enum arm.
+
+use crate::reservation::{Profile, ReleaseMap};
+use crate::slot_tree::SlotTree;
+use simkit::SimTime;
+
+/// What a scheduling pass needs from an availability representation.
+///
+/// Semantics are pinned to [`Profile`]'s (the reference implementation):
+/// every query must return *bit-identical* answers across backends — the
+/// equivalence harness and `prop_backend` enforce it. `Default` is the
+/// resting value of reusable pass buffers (an empty placeholder with no
+/// domain); real instances come from [`Availability::rebuild`] or
+/// [`Availability::snapshot_from`].
+pub trait Availability: std::fmt::Debug + Clone + Default {
+    /// Rebuilds from scratch at `now` against the release map (the legacy
+    /// per-pass path, and the oracle the incremental cache is checked
+    /// against).
+    fn rebuild(&mut self, now: SimTime, free_now: u32, releases: &ReleaseMap);
+
+    /// Snapshots `src` into `self`, reusing allocations — the
+    /// `clone_from` hook pass buffers use to copy the cached availability
+    /// at pass start without reallocating.
+    fn snapshot_from(&mut self, src: &Self);
+
+    /// Earliest instant ≥ `after` at which `nodes` stay free for
+    /// `duration` seconds (`SimTime::MAX` = never fits).
+    fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime;
+
+    /// Whether `nodes` stay free for `duration` seconds starting *now* —
+    /// exactly `earliest_start(nodes, duration, now) == now`, but with an
+    /// early exit at the first blocking segment.
+    fn can_start_now(&self, nodes: u32, duration: u64, now: SimTime) -> bool;
+
+    /// Subtracts `nodes` over `[start, start + duration)` (a reservation
+    /// or an actual start).
+    fn reserve(&mut self, start: SimTime, duration: u64, nodes: u32);
+
+    /// Moves the origin forward to `now` without any state change.
+    fn advance_to(&mut self, now: SimTime);
+
+    /// Applies one node's predicted-release change (`old` → `new`) as a
+    /// delta; the result must equal a fresh rebuild against the updated
+    /// release map.
+    fn patch_release(&mut self, now: SimTime, old: Option<SimTime>, new: Option<SimTime>) {
+        self.patch_release_many(now, old, new, 1);
+    }
+
+    /// [`Availability::patch_release`] for `count` nodes making the same
+    /// transition at once.
+    fn patch_release_many(
+        &mut self,
+        now: SimTime,
+        old: Option<SimTime>,
+        new: Option<SimTime>,
+        count: u32,
+    );
+
+    /// Re-canonicalises the representation (merges redundant slots) so
+    /// patched instances compare equal to freshly built ones.
+    fn compact(&mut self);
+
+    /// Number of slots / step points (size and perf diagnostics).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical step-function view — what `self_check` and
+    /// `deep_validate` compare against a fresh [`Profile::build`], and
+    /// what the equivalence tests diff across backends.
+    fn as_steps(&self) -> &Profile;
+}
+
+impl Availability for Profile {
+    fn rebuild(&mut self, now: SimTime, free_now: u32, releases: &ReleaseMap) {
+        *self = Profile::build(now, free_now, releases);
+    }
+
+    fn snapshot_from(&mut self, src: &Self) {
+        self.clone_from(src);
+    }
+
+    fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        Profile::earliest_start(self, nodes, duration, after)
+    }
+
+    fn can_start_now(&self, nodes: u32, duration: u64, now: SimTime) -> bool {
+        Profile::can_start_now(self, nodes, duration, now)
+    }
+
+    fn reserve(&mut self, start: SimTime, duration: u64, nodes: u32) {
+        Profile::reserve(self, start, duration, nodes);
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        Profile::advance_to(self, now);
+    }
+
+    fn patch_release_many(
+        &mut self,
+        now: SimTime,
+        old: Option<SimTime>,
+        new: Option<SimTime>,
+        count: u32,
+    ) {
+        Profile::patch_release_many(self, now, old, new, count);
+    }
+
+    fn compact(&mut self) {
+        Profile::compact(self);
+    }
+
+    fn len(&self) -> usize {
+        Profile::len(self)
+    }
+
+    fn as_steps(&self) -> &Profile {
+        self
+    }
+}
+
+/// Which [`Availability`] implementation a run uses. Selected through
+/// `SlurmConfig::avail_backend`, the scenario `avail_backend` key, and the
+/// `--backend {profile,slottree}` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AvailBackendKind {
+    /// The flat step-function [`Profile`] (linear candidate sweep).
+    #[default]
+    Profile,
+    /// [`SlotTree`]: slots indexed by a min/max-annotated implicit tree;
+    /// `earliest_start` descends annotations instead of sweeping.
+    SlotTree,
+}
+
+impl AvailBackendKind {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "profile" => Some(AvailBackendKind::Profile),
+            "slottree" => Some(AvailBackendKind::SlotTree),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AvailBackendKind::Profile => "profile",
+            AvailBackendKind::SlotTree => "slottree",
+        }
+    }
+}
+
+impl std::fmt::Display for AvailBackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runtime-selected availability backend: the concrete type `SimState`
+/// stores so the rest of the simulator stays non-generic while the pass
+/// internals ([`crate::backfill_pass_with`], `SdPolicy::try_malleable`)
+/// are generic over [`Availability`].
+#[derive(Debug, Clone)]
+pub enum AvailBackend {
+    Profile(Profile),
+    SlotTree(SlotTree),
+}
+
+impl Default for AvailBackend {
+    fn default() -> Self {
+        AvailBackend::Profile(Profile::default())
+    }
+}
+
+impl AvailBackend {
+    /// An empty placeholder of the given kind (same caveat as
+    /// [`Profile::default`]: no domain until rebuilt or snapshotted).
+    pub fn new(kind: AvailBackendKind) -> Self {
+        match kind {
+            AvailBackendKind::Profile => AvailBackend::Profile(Profile::default()),
+            AvailBackendKind::SlotTree => AvailBackend::SlotTree(SlotTree::default()),
+        }
+    }
+
+    /// A backend with constant capacity (mostly for tests).
+    pub fn flat(kind: AvailBackendKind, now: SimTime, free: u32) -> Self {
+        match kind {
+            AvailBackendKind::Profile => AvailBackend::Profile(Profile::flat(now, free)),
+            AvailBackendKind::SlotTree => AvailBackend::SlotTree(SlotTree::flat(now, free)),
+        }
+    }
+
+    pub fn kind(&self) -> AvailBackendKind {
+        match self {
+            AvailBackend::Profile(_) => AvailBackendKind::Profile,
+            AvailBackend::SlotTree(_) => AvailBackendKind::SlotTree,
+        }
+    }
+
+    /// Swaps in an empty instance of `kind` if the variant differs —
+    /// used when a recycled pass buffer meets a differently-configured
+    /// state (only ever on the first pass of a run).
+    pub fn ensure_kind(&mut self, kind: AvailBackendKind) {
+        if self.kind() != kind {
+            *self = AvailBackend::new(kind);
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            AvailBackend::Profile($inner) => $e,
+            AvailBackend::SlotTree($inner) => $e,
+        }
+    };
+}
+
+impl Availability for AvailBackend {
+    fn rebuild(&mut self, now: SimTime, free_now: u32, releases: &ReleaseMap) {
+        delegate!(self, b => b.rebuild(now, free_now, releases))
+    }
+
+    fn snapshot_from(&mut self, src: &Self) {
+        match (self, src) {
+            (AvailBackend::Profile(dst), AvailBackend::Profile(s)) => dst.snapshot_from(s),
+            (AvailBackend::SlotTree(dst), AvailBackend::SlotTree(s)) => dst.snapshot_from(s),
+            // Variant mismatch: only possible on a fresh buffer's first
+            // use; fall back to a plain clone.
+            (dst, s) => *dst = s.clone(),
+        }
+    }
+
+    fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        delegate!(self, b => b.earliest_start(nodes, duration, after))
+    }
+
+    fn can_start_now(&self, nodes: u32, duration: u64, now: SimTime) -> bool {
+        delegate!(self, b => b.can_start_now(nodes, duration, now))
+    }
+
+    fn reserve(&mut self, start: SimTime, duration: u64, nodes: u32) {
+        delegate!(self, b => b.reserve(start, duration, nodes))
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        delegate!(self, b => b.advance_to(now))
+    }
+
+    fn patch_release_many(
+        &mut self,
+        now: SimTime,
+        old: Option<SimTime>,
+        new: Option<SimTime>,
+        count: u32,
+    ) {
+        delegate!(self, b => b.patch_release_many(now, old, new, count))
+    }
+
+    fn compact(&mut self) {
+        delegate!(self, b => b.compact())
+    }
+
+    fn len(&self) -> usize {
+        delegate!(self, b => Availability::len(b))
+    }
+
+    fn as_steps(&self) -> &Profile {
+        delegate!(self, b => b.as_steps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [AvailBackendKind::Profile, AvailBackendKind::SlotTree] {
+            assert_eq!(AvailBackendKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(AvailBackendKind::parse("btree"), None);
+    }
+
+    #[test]
+    fn backend_enum_delegates_queries() {
+        for kind in [AvailBackendKind::Profile, AvailBackendKind::SlotTree] {
+            let mut b = AvailBackend::flat(kind, SimTime(0), 4);
+            assert_eq!(b.kind(), kind);
+            b.reserve(SimTime(100), 200, 3);
+            assert_eq!(b.earliest_start(2, 100, SimTime(60)), SimTime(300));
+            assert!(b.can_start_now(1, 1_000, SimTime(0)));
+            assert!(!b.can_start_now(2, 300, SimTime(60)));
+        }
+    }
+
+    #[test]
+    fn ensure_kind_replaces_mismatched_variant() {
+        let mut b = AvailBackend::default();
+        b.ensure_kind(AvailBackendKind::SlotTree);
+        assert_eq!(b.kind(), AvailBackendKind::SlotTree);
+        b.ensure_kind(AvailBackendKind::SlotTree);
+        assert_eq!(b.kind(), AvailBackendKind::SlotTree);
+    }
+
+    #[test]
+    fn snapshot_from_crosses_variants_by_clone() {
+        let src = AvailBackend::flat(AvailBackendKind::SlotTree, SimTime(5), 7);
+        let mut dst = AvailBackend::default();
+        dst.snapshot_from(&src);
+        assert_eq!(dst.kind(), AvailBackendKind::SlotTree);
+        assert_eq!(dst.as_steps(), src.as_steps());
+    }
+}

@@ -149,6 +149,12 @@ impl Profile {
         self.times[0]
     }
 
+    /// The raw `(times, free)` slot arrays — read-only view for backends
+    /// that index the canonical slot list (see `slot_tree`).
+    pub(crate) fn steps(&self) -> (&[SimTime], &[i64]) {
+        (&self.times, &self.free)
+    }
+
     /// Free nodes at instant `t` (clamped to the profile's domain).
     pub fn free_at(&self, t: SimTime) -> i64 {
         match self.times.binary_search(&t) {
@@ -183,8 +189,7 @@ impl Profile {
     /// as soon as a low-capacity segment intersects its window; the next
     /// viable step point becomes the new candidate. Equivalent to probing
     /// every candidate with [`Profile::min_free_in`] (the quadratic
-    /// [`Profile::earliest_start_legacy`], kept as the perf baseline and the
-    /// property-test oracle).
+    /// `earliest_start_legacy`, kept below as a test-only oracle).
     pub fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
         let _t = crate::timing::scope(&crate::timing::EARLIEST_START);
         let need = nodes as i64;
@@ -256,11 +261,12 @@ impl Profile {
     }
 
     /// The original candidate-probing `earliest_start` (`O(len²)` worst
-    /// case). Retained verbatim for `incremental = false` runs so macro
-    /// benchmarks can A/B the seed hot path, and as the oracle for the
-    /// linear-sweep equivalence property test.
-    pub fn earliest_start_legacy(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
-        let _t = crate::timing::scope(&crate::timing::EARLIEST_START);
+    /// case). Dead on the hot path since the `Availability` trait landed —
+    /// every backend answers through its own `earliest_start` — so it
+    /// survives only as the oracle for the equivalence property test
+    /// below.
+    #[cfg(test)]
+    fn earliest_start_legacy(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
         let need = nodes as i64;
         // Candidate instants: `after` itself and every later step point.
         let first_idx = match self.times.binary_search(&after) {
@@ -454,7 +460,7 @@ impl Profile {
     /// Removes redundant step points (equal adjacent values) so the
     /// representation stays canonical — patched profiles compare equal
     /// (`PartialEq`) to freshly built ones.
-    fn compact(&mut self) {
+    pub(crate) fn compact(&mut self) {
         let mut w = 1;
         for r in 1..self.times.len() {
             if self.free[r] != self.free[w - 1] {
@@ -606,5 +612,40 @@ mod tests {
         let p = Profile::build(SimTime(0), 1, &rm);
         assert_eq!(p.len(), 2);
         assert_eq!(p.free_at(SimTime(100)), 4);
+    }
+
+    proptest::proptest! {
+        /// The O(len) forward-sweep `earliest_start` returns exactly what
+        /// the original candidate-probing implementation returns, on
+        /// profiles with arbitrary releases *and* reservations (dips
+        /// included). The oracle lives here as `#[cfg(test)]` so it can
+        /// never creep back onto the hot path.
+        #[test]
+        fn linear_earliest_start_matches_legacy_oracle(
+            releases in proptest::collection::vec((1u64..800, 1u32..4), 0..16),
+            resvs in proptest::collection::vec((0u64..700, 1u64..300, 1u32..5), 0..10),
+            free_now in 0u32..8,
+            nodes in 1u32..10,
+            duration in 1u64..600,
+            after in 0u64..900,
+        ) {
+            let mut rm = ReleaseMap::new(64);
+            let mut nid = 0u32;
+            for &(t, c) in &releases {
+                for _ in 0..c {
+                    rm.set_release(NodeId(nid), Some(SimTime(t)));
+                    nid += 1;
+                }
+            }
+            let mut p = Profile::build(SimTime(0), free_now, &rm);
+            for &(s, d, n) in &resvs {
+                p.reserve(SimTime(s), d, n);
+            }
+            proptest::prop_assert_eq!(
+                p.earliest_start(nodes, duration, SimTime(after)),
+                p.earliest_start_legacy(nodes, duration, SimTime(after)),
+                "sweep and probe disagree on {:?}", p
+            );
+        }
     }
 }

@@ -1,0 +1,335 @@
+//! `SlotTree` — an availability backend modeled on OAR's `TreeSlotSet`.
+//!
+//! The canonical representation is the same ordered slot list as
+//! [`Profile`] (`free[i]` holds over `[times[i], times[i+1])`), so all
+//! mutation paths — build, reserve splices, release patches, advance —
+//! are shared with the reference backend and stay bit-identical by
+//! construction. What changes is the *query* path: a lazily rebuilt
+//! implicit binary tree annotates every subtree of slots with its min and
+//! max free-node level, and [`SlotTree::earliest_start`] descends those
+//! annotations instead of sweeping slots linearly:
+//!
+//! * phase A ("find the next viable slot") descends the **max**
+//!   annotations — a run of low-capacity slots is skipped in `O(log n)`
+//!   instead of `O(run)`;
+//! * phase B ("does capacity hold until the window closes?") descends the
+//!   **min** annotations to jump straight to the first blocking slot
+//!   instead of scanning every slot under the window.
+//!
+//! The candidate sequence visited is exactly the one the linear sweep
+//! visits, so answers are identical; only the per-candidate cost drops
+//! from `O(run length)` to `O(log n)`. Mutations mark the annotation tree
+//! stale; the first query after a mutation re-merges it in `O(n)`
+//! ([`timing::SLOT_MERGE`]), which pays off when queries outnumber
+//! mutations (EASY mode's deep passes) and loses when every query follows
+//! a write (conservative mode) — see DESIGN.md §13 for the measurements.
+
+use crate::reservation::{Profile, ReleaseMap};
+use crate::timing;
+use simkit::SimTime;
+use std::cell::RefCell;
+
+/// Min/max annotations over the slot array: an implicit binary tree with
+/// `base` leaves (`base` = slot count rounded up to a power of two),
+/// node `i`'s children at `2i`/`2i+1`, leaves at `base..base+len`.
+#[derive(Debug, Default)]
+struct TreeIdx {
+    min: Vec<i64>,
+    max: Vec<i64>,
+    base: usize,
+    len: usize,
+    stale: bool,
+}
+
+impl TreeIdx {
+    fn new_stale() -> Self {
+        TreeIdx {
+            stale: true,
+            ..TreeIdx::default()
+        }
+    }
+
+    /// Re-merges the annotations bottom-up from the slot levels.
+    fn refresh(&mut self, free: &[i64]) {
+        let _t = timing::scope(&timing::SLOT_MERGE);
+        let n = free.len();
+        let base = n.next_power_of_two().max(1);
+        self.base = base;
+        self.len = n;
+        // Padding leaves qualify for neither descend direction.
+        self.min.clear();
+        self.min.resize(2 * base, i64::MAX);
+        self.max.clear();
+        self.max.resize(2 * base, i64::MIN);
+        self.min[base..base + n].copy_from_slice(free);
+        self.max[base..base + n].copy_from_slice(free);
+        for i in (1..base).rev() {
+            self.min[i] = self.min[2 * i].min(self.min[2 * i + 1]);
+            self.max[i] = self.max[2 * i].max(self.max[2 * i + 1]);
+        }
+        self.stale = false;
+    }
+
+    /// First slot index ≥ `from` with free ≥ `need` (descends max).
+    fn first_ge(&self, from: usize, need: i64) -> Option<usize> {
+        self.descend(from, |i| self.max[i] >= need)
+    }
+
+    /// First slot index ≥ `from` with free < `need` (descends min).
+    fn first_lt(&self, from: usize, need: i64) -> Option<usize> {
+        self.descend(from, |i| self.min[i] < need)
+    }
+
+    /// Leftmost leaf ≥ `from` inside a qualifying subtree: climb right
+    /// siblings until one qualifies, then descend its leftmost
+    /// qualifying path. `O(log n)`.
+    fn descend(&self, from: usize, qualifies: impl Fn(usize) -> bool) -> Option<usize> {
+        let _t = timing::scope(&timing::SLOT_DESCEND);
+        if from >= self.len {
+            return None;
+        }
+        let mut i = self.base + from;
+        if !qualifies(i) {
+            loop {
+                while i != 1 && i & 1 == 1 {
+                    i >>= 1;
+                }
+                if i == 1 {
+                    return None;
+                }
+                i += 1;
+                if qualifies(i) {
+                    break;
+                }
+            }
+        }
+        while i < self.base {
+            i <<= 1;
+            if !qualifies(i) {
+                i += 1;
+            }
+        }
+        let leaf = i - self.base;
+        (leaf < self.len).then_some(leaf)
+    }
+}
+
+/// Slot-set availability backend (see module docs).
+#[derive(Debug)]
+pub struct SlotTree {
+    /// Canonical slot list — shared representation with [`Profile`].
+    prof: Profile,
+    /// Lazily rebuilt annotation tree (interior-mutable: queries take
+    /// `&self` but may need to re-merge after a mutation marked it
+    /// stale).
+    idx: RefCell<TreeIdx>,
+}
+
+impl Default for SlotTree {
+    fn default() -> Self {
+        SlotTree {
+            prof: Profile::default(),
+            idx: RefCell::new(TreeIdx::new_stale()),
+        }
+    }
+}
+
+impl Clone for SlotTree {
+    /// Clones the slots only — the annotation tree is cheap to re-merge
+    /// and usually stale by the time a snapshot is queried.
+    fn clone(&self) -> Self {
+        SlotTree {
+            prof: self.prof.clone(),
+            idx: RefCell::new(TreeIdx::new_stale()),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.prof.clone_from(&src.prof);
+        self.idx.get_mut().stale = true;
+    }
+}
+
+impl PartialEq for SlotTree {
+    /// Slot-list equality — the annotation tree is derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.prof == other.prof
+    }
+}
+
+impl SlotTree {
+    /// Builds at `now` against the release map (mirrors
+    /// [`Profile::build`]).
+    pub fn build(now: SimTime, free_now: u32, releases: &ReleaseMap) -> SlotTree {
+        SlotTree {
+            prof: Profile::build(now, free_now, releases),
+            idx: RefCell::new(TreeIdx::new_stale()),
+        }
+    }
+
+    /// A slot set with constant capacity (mostly for tests).
+    pub fn flat(now: SimTime, free: u32) -> SlotTree {
+        SlotTree {
+            prof: Profile::flat(now, free),
+            idx: RefCell::new(TreeIdx::new_stale()),
+        }
+    }
+
+    fn touch(&mut self) {
+        self.idx.get_mut().stale = true;
+    }
+
+    /// See [`Profile::earliest_start`] — identical answers, descending
+    /// the annotation tree instead of sweeping.
+    pub fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        let _t = timing::scope(&timing::EARLIEST_START);
+        let (times, free) = self.prof.steps();
+        let need = nodes as i64;
+        let dur = duration.max(1);
+        let mut idx = self.idx.borrow_mut();
+        if idx.stale {
+            idx.refresh(free);
+        }
+        let init = match times.binary_search(&after) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut i = init;
+        loop {
+            // Phase A: next viable slot (its step point — or `after`
+            // itself for the initial slot — is the candidate).
+            let Some(k) = idx.first_ge(i, need) else {
+                return SimTime::MAX;
+            };
+            i = k;
+            let cand = if i == init { after } else { times[i] };
+            let close = cand.after(dur);
+            // Phase B: the first below-capacity slot anywhere to the
+            // right; only blocking if it opens before the window closes.
+            match idx.first_lt(i + 1, need) {
+                Some(j) if times[j] < close => i = j,
+                _ => return cand,
+            }
+        }
+    }
+
+    /// See [`Profile::can_start_now`]. The linear early-exit probe is
+    /// already O(1) in the congested common case, so this path does not
+    /// pay for (or benefit from) the annotation tree.
+    pub fn can_start_now(&self, nodes: u32, duration: u64, now: SimTime) -> bool {
+        self.prof.can_start_now(nodes, duration, now)
+    }
+}
+
+impl crate::avail::Availability for SlotTree {
+    fn rebuild(&mut self, now: SimTime, free_now: u32, releases: &ReleaseMap) {
+        self.prof = Profile::build(now, free_now, releases);
+        self.touch();
+    }
+
+    fn snapshot_from(&mut self, src: &Self) {
+        self.clone_from(src);
+    }
+
+    fn earliest_start(&self, nodes: u32, duration: u64, after: SimTime) -> SimTime {
+        SlotTree::earliest_start(self, nodes, duration, after)
+    }
+
+    fn can_start_now(&self, nodes: u32, duration: u64, now: SimTime) -> bool {
+        SlotTree::can_start_now(self, nodes, duration, now)
+    }
+
+    fn reserve(&mut self, start: SimTime, duration: u64, nodes: u32) {
+        let _t = timing::scope(&timing::SLOT_SPLIT);
+        self.prof.reserve(start, duration, nodes);
+        self.touch();
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        self.prof.advance_to(now);
+        self.touch();
+    }
+
+    fn patch_release_many(
+        &mut self,
+        now: SimTime,
+        old: Option<SimTime>,
+        new: Option<SimTime>,
+        count: u32,
+    ) {
+        let _t = timing::scope(&timing::SLOT_SPLIT);
+        self.prof.patch_release_many(now, old, new, count);
+        self.touch();
+    }
+
+    fn compact(&mut self) {
+        self.prof.compact();
+        self.touch();
+    }
+
+    fn len(&self) -> usize {
+        self.prof.len()
+    }
+
+    fn as_steps(&self) -> &Profile {
+        &self.prof
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avail::Availability;
+    use cluster::NodeId;
+
+    #[test]
+    fn descend_matches_sweep_on_small_profiles() {
+        // 6 slots with a dip and a peak.
+        let mut t = SlotTree::flat(SimTime(0), 8);
+        Availability::reserve(&mut t, SimTime(10), 20, 5); // [10,30): 3
+        Availability::reserve(&mut t, SimTime(50), 10, 8); // [50,60): 0
+        for need in 1..=9u32 {
+            for dur in [1u64, 5, 15, 40, 100] {
+                for after in [0u64, 5, 10, 29, 30, 55, 60, 200] {
+                    assert_eq!(
+                        t.earliest_start(need, dur, SimTime(after)),
+                        t.as_steps().earliest_start(need, dur, SimTime(after)),
+                        "need={need} dur={dur} after={after}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_and_patch_match_profile() {
+        let mut rm = ReleaseMap::new(8);
+        rm.set_release(NodeId(0), Some(SimTime(100)));
+        rm.set_release(NodeId(1), Some(SimTime(100)));
+        rm.set_release(NodeId(2), Some(SimTime(300)));
+        let mut t = SlotTree::build(SimTime(0), 5, &rm);
+        let mut p = Profile::build(SimTime(0), 5, &rm);
+        assert_eq!(t.as_steps(), &p);
+        // Same patch sequence on both.
+        t.patch_release_many(SimTime(40), Some(SimTime(100)), None, 2);
+        p.patch_release_many(SimTime(40), Some(SimTime(100)), None, 2);
+        assert_eq!(t.as_steps(), &p);
+        Availability::advance_to(&mut t, SimTime(120));
+        p.advance_to(SimTime(120));
+        assert_eq!(t.as_steps(), &p);
+    }
+
+    #[test]
+    fn never_fits_returns_max() {
+        let t = SlotTree::flat(SimTime(0), 4);
+        assert_eq!(t.earliest_start(5, 10, SimTime(0)), SimTime::MAX);
+    }
+
+    #[test]
+    fn single_slot_tree() {
+        let t = SlotTree::flat(SimTime(7), 2);
+        assert_eq!(t.earliest_start(2, 1_000, SimTime(7)), SimTime(7));
+        assert_eq!(t.earliest_start(2, 1_000, SimTime(99)), SimTime(99));
+    }
+}

@@ -15,6 +15,7 @@
 //! by backfill profiles, and the energy meter. `cfg.self_check` re-validates
 //! the cluster after each mutation.
 
+use crate::avail::{AvailBackend, Availability};
 use crate::config::SlurmConfig;
 use crate::job::{Job, JobOutcome, JobSpec, JobState, RunningJob};
 use crate::queue::{PendingQueue, QueueEntry};
@@ -81,12 +82,13 @@ pub struct DirtyFlags {
     pub capacity: bool,
 }
 
-/// Reusable buffers for the scheduling pass: the pass profile and the
+/// Reusable buffers for the scheduling pass: the pass availability and the
 /// per-pass vectors live here between passes so the hot loop never
-/// allocates.
+/// allocates. Generic over the availability backend; [`SimState`] pins it
+/// to the runtime-selected [`AvailBackend`].
 #[derive(Debug, Default)]
-struct PassScratch {
-    profile: Profile,
+struct PassScratch<A: Availability = AvailBackend> {
+    profile: A,
     resv: Vec<(SimTime, u64, u32)>,
     prefix: Vec<crate::queue::QueueEntry>,
 }
@@ -134,10 +136,11 @@ pub struct SimState {
     /// (maintained at every reconfiguration; ascending id).
     shrunk: BTreeSet<JobId>,
     releases: ReleaseMap,
-    /// Cached availability profile, patched on every release change
-    /// (incremental mode). Always equals `Profile::build(now', empty,
-    /// releases)` for the instant `now'` it was last advanced to.
-    avail: Profile,
+    /// Cached availability (backend per `cfg.avail_backend`), patched on
+    /// every release change (incremental mode). Its canonical step view
+    /// always equals `Profile::build(now', empty, releases)` for the
+    /// instant `now'` it was last advanced to.
+    avail: AvailBackend,
     dirty: DirtyFlags,
     scratch: PassScratch,
     pub events: EventQueue<Event>,
@@ -292,6 +295,7 @@ impl SimState {
         let mut meter = EnergyMeter::new(node_power, nodes);
         meter.start(first_submit);
         let tenant_usage = vec![TenantUsage::default(); cfg.tenants.len()];
+        let backend = cfg.avail_backend;
         SimState {
             now: SimTime::ZERO,
             cluster: ClusterState::new(spec.clone()),
@@ -308,7 +312,7 @@ impl SimState {
             running_by_end: BTreeSet::new(),
             shrunk: BTreeSet::new(),
             releases: ReleaseMap::new(nodes),
-            avail: Profile::flat(SimTime::ZERO, nodes),
+            avail: AvailBackend::flat(backend, SimTime::ZERO, nodes),
             dirty: DirtyFlags::default(),
             scratch: PassScratch::default(),
             events,
@@ -388,10 +392,10 @@ impl SimState {
         Profile::build(self.now, self.cluster.empty_node_count(), &self.releases)
     }
 
-    /// The incrementally maintained availability profile, advanced to `now`.
-    /// Equal to [`SimState::build_profile`] by construction (asserted under
-    /// `self_check` and by property tests).
-    pub fn availability(&mut self) -> &Profile {
+    /// The incrementally maintained availability, advanced to `now`. Its
+    /// canonical step view equals [`SimState::build_profile`] by
+    /// construction (asserted under `self_check` and by property tests).
+    pub fn availability(&mut self) -> &AvailBackend {
         self.avail.advance_to(self.now);
         &self.avail
     }
@@ -409,219 +413,6 @@ impl SimState {
         std::mem::take(&mut self.dirty)
     }
 
-    // ------------------------------------------------------------------
-    // Pass-scratch buffers (reused across scheduling passes)
-    // ------------------------------------------------------------------
-
-    /// Takes the reusable pass-profile buffer, filled with the current
-    /// availability: a `clone_from` of the cache in incremental mode (no
-    /// BTreeMap walk, allocations reused), a fresh build on the legacy path.
-    pub fn take_pass_profile(&mut self) -> Profile {
-        let mut p = std::mem::take(&mut self.scratch.profile);
-        if self.cfg.incremental {
-            p.clone_from(self.availability());
-        } else {
-            p = self.build_profile();
-        }
-        p
-    }
-
-    /// Returns a pass profile for reuse by the next pass.
-    pub fn recycle_pass_profile(&mut self, p: Profile) {
-        self.scratch.profile = p;
-    }
-
-    pub(crate) fn take_resv_scratch(&mut self) -> Vec<(SimTime, u64, u32)> {
-        let mut v = std::mem::take(&mut self.scratch.resv);
-        v.clear();
-        v
-    }
-
-    pub(crate) fn recycle_resv_scratch(&mut self, v: Vec<(SimTime, u64, u32)>) {
-        self.scratch.resv = v;
-    }
-
-    pub(crate) fn take_prefix_scratch(&mut self) -> Vec<crate::queue::QueueEntry> {
-        let mut v = std::mem::take(&mut self.scratch.prefix);
-        v.clear();
-        v
-    }
-
-    pub(crate) fn recycle_prefix_scratch(&mut self, v: Vec<crate::queue::QueueEntry>) {
-        self.scratch.prefix = v;
-    }
-
-    /// Fills `prefix` with the entries a scheduling pass examines: the FIFO
-    /// prefix under [`QueuePolicy::Fifo`] (today's behaviour), or the whole
-    /// queue reordered by usage-decayed fair-share priority and truncated to
-    /// `depth`. The reorder is a stable sort on `usage/weight`, so ties —
-    /// including the entire queue under a single tenant — keep FIFO order.
-    pub fn fill_pass_prefix(&mut self, depth: usize, prefix: &mut Vec<QueueEntry>) {
-        match self.cfg.queue_policy {
-            QueuePolicy::Fifo => prefix.extend(self.queue.prefix(depth)),
-            QueuePolicy::FairShare { half_life } => {
-                let _t = timing::scope(&timing::FAIR_SHARE_SORT);
-                prefix.extend(self.queue.prefix(usize::MAX));
-                let now = self.now;
-                for u in &mut self.tenant_usage {
-                    u.decay_to(now, half_life);
-                }
-                let usage = &self.tenant_usage;
-                let registry = &self.cfg.tenants;
-                fair_share_sort(prefix, |slot| {
-                    if slot == NO_TENANT_SLOT {
-                        0.0
-                    } else {
-                        usage[slot as usize].usage / registry.get(slot).weight
-                    }
-                });
-                prefix.truncate(depth);
-            }
-        }
-    }
-
-    /// Whether starting this entry now would exceed its tenant's quota.
-    /// Counts the skip (globally and per tenant) when it would. O(1), and a
-    /// constant-time `false` for untenanted entries.
-    pub fn quota_blocks(&mut self, e: &QueueEntry) -> bool {
-        if e.tslot == NO_TENANT_SLOT {
-            return false;
-        }
-        let _t = timing::scope(&timing::QUOTA_CHECK);
-        let quota = self.cfg.tenants.get(e.tslot).quota;
-        let usage = &mut self.tenant_usage[e.tslot as usize];
-        let blocked = usage.would_exceed(&quota, e.req_nodes, e.req_time);
-        if blocked {
-            usage.quota_skipped += 1;
-            self.stats.quota_skipped += 1;
-            self.trace.emit(
-                self.now.secs(),
-                sd_trace::TraceKind::QuotaSkipped {
-                    job: e.job.0,
-                    tenant: self.cfg.tenants.get(e.tslot).id as u64,
-                },
-            );
-        }
-        blocked
-    }
-
-    pub fn first_submit(&self) -> SimTime {
-        self.first_submit
-    }
-
-    pub fn last_end(&self) -> SimTime {
-        self.last_end
-    }
-
-    // ------------------------------------------------------------------
-    // Online submission / cancellation (the sd-serve path)
-    // ------------------------------------------------------------------
-
-    /// Adds a job after construction and arms its submit event — the online
-    /// twin of the constructor's trace loop: same [`JobSpec::from_swf`]
-    /// conversion, same dense renumbering, same malleability draw (forked
-    /// from the record's own id), so feeding a trace job-by-job builds a
-    /// byte-identical simulation to building it up front.
-    ///
-    /// The record's submit time must not lie in the past (`>= now`); jobs
-    /// the simulator cannot run are rejected like the constructor drops them.
-    /// `malleable` overrides the configured fraction draw (`None` = draw,
-    /// exactly as the constructor would).
-    pub fn submit_job(
-        &mut self,
-        sj: &swf::SwfJob,
-        malleable: Option<bool>,
-    ) -> Result<JobId, SubmitError> {
-        if sj.submit >= 0 && SimTime(sj.submit as u64) < self.now {
-            return Err(SubmitError::InPast {
-                submit: SimTime(sj.submit as u64),
-                now: self.now,
-            });
-        }
-        let malleable = malleable.unwrap_or_else(|| {
-            let fraction = self
-                .cfg
-                .malleable_fraction_for(sj.user.max(0) as u32, sj.group.max(0) as u32);
-            fraction >= 1.0
-                || DetRng::new(self.cfg.malleable_seed)
-                    .fork(sj.job_id)
-                    .chance(fraction)
-        });
-        let Some(mut js) = JobSpec::from_swf(sj, &self.spec, malleable, self.cfg.ranks_per_node)
-        else {
-            return Err(SubmitError::Unusable);
-        };
-        js.id = JobId(self.jobs.len() as u64 + 1);
-        let id = js.id;
-        if js.submit < self.first_submit {
-            // Re-anchor the measurement window. Only possible before the
-            // first dispatch: afterwards `now > ZERO` and past submits were
-            // rejected above, so the window never moves under the meter.
-            debug_assert_eq!(self.stats.events_dispatched, 0, "window moved mid-run");
-            self.first_submit = js.submit;
-            self.meter.start(js.submit);
-        }
-        self.events.push(js.submit, Event::Submit(id));
-        self.jobs.push(Job {
-            spec: js,
-            state: JobState::Pending,
-        });
-        Ok(id)
-    }
-
-    /// Withdraws a job (SLURM `scancel`). Pending jobs leave the queue;
-    /// running jobs — including shrunk borrowers and active mates — tear
-    /// down exactly like a completion (partners expand back into the freed
-    /// cores, DROM masks and the energy meter are settled) but record no
-    /// outcome. Finished or already-cancelled jobs return `false`. On
-    /// success the matching dirty flag is raised (dropping a reservation
-    /// holder or freeing capacity can unblock backfill).
-    pub fn cancel_job(&mut self, id: JobId) -> bool {
-        if id.0 == 0 || id.0 as usize > self.jobs.len() {
-            return false;
-        }
-        match self.job(id).state {
-            JobState::Pending => {
-                // A pending job may not have reached its submit instant yet;
-                // cancel both the queue entry (present after dispatch) and
-                // any future submit event (skipped as stale on dispatch).
-                let was_queued = self.queue.remove(id);
-                self.job_mut(id).state = JobState::Cancelled;
-                self.stats.cancelled += 1;
-                self.trace
-                    .emit(self.now.secs(), sd_trace::TraceKind::Cancelled { job: id.0 });
-                if was_queued {
-                    self.dirty.queue = true;
-                }
-                true
-            }
-            JobState::Running(_) => {
-                let now = self.now;
-                let (spec, run) = {
-                    let job = self.job_mut(id);
-                    let JobState::Running(mut run) =
-                        std::mem::replace(&mut job.state, JobState::Cancelled)
-                    else {
-                        unreachable!("matched running above");
-                    };
-                    run.bank(now);
-                    (job.spec.clone(), run)
-                };
-                self.tenant_finish(&spec, false);
-                // The machine was busy until this instant; the energy/
-                // makespan window must cover it even when the cancellation
-                // is the session's last activity.
-                self.last_end = self.last_end.max(now);
-                self.release_running(id, &spec, run);
-                self.stats.cancelled += 1;
-                self.trace
-                    .emit(self.now.secs(), sd_trace::TraceKind::Cancelled { job: id.0 });
-                self.dirty.capacity = true;
-                true
-            }
-            JobState::Done | JobState::Cancelled => false,
-        }
-    }
 
     // ------------------------------------------------------------------
     // Event dispatch (called by the controller)
@@ -666,842 +457,6 @@ impl SimState {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Static start
-    // ------------------------------------------------------------------
-
-    /// Starts `id` on exclusive whole nodes if enough are free.
-    pub fn start_static(&mut self, id: JobId) -> bool {
-        let spec = self.job(id).spec.clone();
-        debug_assert!(self.job(id).is_pending(), "start of non-pending {id}");
-        let Some(nodes) = self.cluster.take_empty_nodes(spec.req_nodes) else {
-            return false;
-        };
-        let full = self.spec.node.cores();
-        self.cluster
-            .place(id, &nodes, full)
-            .expect("empty nodes accept a full-width placement");
-        for &n in &nodes {
-            let mask = self.node_mgrs[n.0 as usize]
-                .launch(&mut self.drom, id, full, spec.malleable)
-                .expect("empty node accepts launch");
-            debug_assert_eq!(mask.count() as u32, full);
-        }
-        let cores = vec![full; nodes.len()];
-        let mut run = RunningJob::new(self.now, nodes.clone(), cores, full, spec.req_time);
-        run.rate = 1.0;
-        let req_end = run.req_end;
-        self.job_mut(id).state = JobState::Running(run);
-        self.running.insert(id);
-        self.running_by_end.insert((req_end, id));
-        self.arm_end(id);
-        self.update_releases(&nodes);
-        self.queue.remove(id);
-        self.refresh_eligibility(id);
-        self.energy_reweigh(&[id]);
-        self.stats.started_static += 1;
-        self.trace.emit(
-            self.now.secs(),
-            sd_trace::TraceKind::Started {
-                job: id.0,
-                malleable: false,
-                nodes: spec.req_nodes,
-                wait: self.now.secs().saturating_sub(spec.submit.secs()),
-            },
-        );
-        self.tenant_charge_start(id);
-        if self.cfg.self_check {
-            self.cluster.validate().expect("cluster consistent");
-            self.self_check_avail();
-        }
-        true
-    }
-
-    // ------------------------------------------------------------------
-    // Malleable co-scheduling (SD-Policy's mechanism)
-    // ------------------------------------------------------------------
-
-    /// Planned rate (worst-case) the new job would get if co-scheduled with
-    /// these mates, and the freed cores per node. Used by the policy to
-    /// compute `mall_end` before committing.
-    pub fn plan_co_schedule(&self, mates: &[JobId]) -> Option<(f64, u32)> {
-        let full = self.spec.node.cores();
-        let mut min_freed = u32::MAX;
-        for &m in mates {
-            let mj = self.job(m);
-            let freed = self
-                .sharing
-                .freed_cores(full, mj.spec.ranks_per_node);
-            min_freed = min_freed.min(freed);
-        }
-        if min_freed == 0 || min_freed == u32::MAX {
-            return None;
-        }
-        Some((min_freed as f64 / full as f64, min_freed))
-    }
-
-    /// Executes the malleable start: shrinks every node of every mate,
-    /// places `new_id` in the freed cores (plus `free_nodes` completely idle
-    /// nodes when the "include free nodes to reduce fragmentation" option is
-    /// active), and re-arms everyone's end events.
-    ///
-    /// The caller (the policy) has already verified the slowdown condition,
-    /// the weight constraint (Σ mate nodes + free = job nodes) and the
-    /// finish-inside-mates constraint; this re-checks the structural ones.
-    pub fn co_schedule(
-        &mut self,
-        new_id: JobId,
-        mates: &[JobId],
-        free_nodes: u32,
-    ) -> Result<(), CoScheduleError> {
-        let new_spec = self.job(new_id).spec.clone();
-        if !self.job(new_id).is_pending() {
-            return Err(CoScheduleError::NotPending);
-        }
-        if !new_spec.malleable || mates.is_empty() {
-            return Err(CoScheduleError::NotMalleable);
-        }
-        let mut total_nodes = free_nodes;
-        for &m in mates {
-            if !self.is_eligible_mate(m) {
-                return Err(CoScheduleError::MateNotEligible(m));
-            }
-            total_nodes += self.job(m).running().unwrap().nodes.len() as u32;
-        }
-        if total_nodes != new_spec.req_nodes || free_nodes > self.cluster.empty_node_count() {
-            return Err(CoScheduleError::WeightMismatch {
-                mates: total_nodes,
-                wanted: new_spec.req_nodes,
-            });
-        }
-        let full = self.spec.node.cores();
-        let (plan_rate, plan_freed) = self
-            .plan_co_schedule(mates)
-            .ok_or(CoScheduleError::NoFreedCores(mates[0]))?;
-        // Planned wall duration of the new job (worst-case model, §3.4:
-        // "in the SD-Policy case, we use the worst case model").
-        let new_wall = (new_spec.req_time as f64 / plan_rate).ceil() as u64;
-
-        let mut new_nodes: Vec<NodeId> = Vec::with_capacity(new_spec.req_nodes as usize);
-        let mut new_cores: Vec<u32> = Vec::with_capacity(new_spec.req_nodes as usize);
-
-        for &m in mates {
-            let (m_nodes, m_ranks) = {
-                let mj = self.job(m);
-                (
-                    mj.running().unwrap().nodes.clone(),
-                    mj.spec.ranks_per_node,
-                )
-            };
-            for &n in &m_nodes {
-                let updates = self.node_mgrs[n.0 as usize]
-                    .co_launch(&mut self.drom, new_id, m, self.sharing, m_ranks)
-                    .ok_or(CoScheduleError::NoFreedCores(m))?;
-                // updates[0] = mate's shrunken mask, updates[1] = new job's.
-                let keep = updates[0].cores();
-                let given = updates[1].cores();
-                self.cluster
-                    .set_cores(m, n, keep)
-                    .expect("shrink within capacity");
-                self.cluster
-                    .place(new_id, &[n], given)
-                    .expect("freed cores accept the new job");
-                new_nodes.push(n);
-                new_cores.push(given);
-                // Update the mate's per-node core record.
-                let run = self.jobs[(m.0 - 1) as usize].running_mut().unwrap();
-                let idx = run.nodes.binary_search(&n).expect("mate owns node");
-                run.cores[idx] = keep;
-            }
-            // Re-rate the mate. Its requested end (wall-clock limit) stays
-            // fixed: SLURM never extends a job's time limit on shrink — the
-            // stretch eats the job's own over-request slack, and §3.2.4's
-            // finish-inside constraint is defined against the *original*
-            // requested end. (Extending it here created a feedback loop:
-            // later profiles grew more pessimistic, admitting ever longer
-            // borrowers — the makespan/energy regression.)
-            {
-                let now = self.now;
-                let rate = self.compute_rate(m);
-                let was_mate_before = {
-                    let run = self.jobs[(m.0 - 1) as usize].running_mut().unwrap();
-                    let was = run.ever_shrunk;
-                    run.set_rate(now, rate);
-                    run.lent_to.push(new_id);
-                    was
-                };
-                if !was_mate_before {
-                    self.stats.unique_mates += 1;
-                }
-            }
-            self.stats.shrink_events += 1;
-            self.trace.emit(
-                self.now.secs(),
-                sd_trace::TraceKind::Shrunk { mate: m.0, borrower: new_id.0 },
-            );
-            self.arm_end(m);
-            self.refresh_eligibility(m);
-            // A mate that was itself malleable-backfilled (a relocated
-            // ex-borrower lending again) just dropped below full width.
-            self.refresh_borrower_index(m);
-        }
-
-        // One malleability broadcast for the whole co-schedule: every mate's
-        // staged shrink across every shared node applies here, per *job*
-        // (`new_nodes` holds exactly the shared nodes at this point).
-        self.drom.poll_nodes(&new_nodes);
-
-        // Optional free nodes: the new job takes the same per-node width as
-        // on the shared nodes (keeps the allocation balanced, constraint 3).
-        if free_nodes > 0 {
-            let idle: Vec<NodeId> = self
-                .cluster
-                .take_empty_nodes(free_nodes)
-                .expect("checked empty count above");
-            for &n in &idle {
-                self.cluster
-                    .place(new_id, &[n], plan_freed)
-                    .expect("idle node accepts placement");
-                self.node_mgrs[n.0 as usize]
-                    .launch(&mut self.drom, new_id, plan_freed, true)
-                    .expect("idle node accepts launch");
-                new_nodes.push(n);
-                new_cores.push(plan_freed);
-            }
-        }
-
-        // Sort the new job's allocation for binary-searchable node lookups.
-        let mut paired: Vec<(NodeId, u32)> = new_nodes.into_iter().zip(new_cores).collect();
-        paired.sort_by_key(|&(n, _)| n);
-        let (nodes_sorted, cores_sorted): (Vec<NodeId>, Vec<u32>) = paired.into_iter().unzip();
-
-        let mut run = RunningJob::new(
-            self.now,
-            nodes_sorted.clone(),
-            cores_sorted,
-            full,
-            new_spec.req_time,
-        );
-        run.mates = mates.to_vec();
-        run.malleable_backfilled = true;
-        // Requested end uses the planned (worst-case) rate.
-        run.req_end = self.now.after(new_wall);
-        let new_req_end = run.req_end;
-        self.job_mut(new_id).state = JobState::Running(run);
-        self.running.insert(new_id);
-        self.running_by_end.insert((new_req_end, new_id));
-        self.refresh_borrower_index(new_id);
-        let rate = self.compute_rate(new_id);
-        let now = self.now;
-        self.job_mut(new_id)
-            .running_mut()
-            .unwrap()
-            .set_rate(now, rate);
-        self.arm_end(new_id);
-        self.update_releases(&nodes_sorted);
-        self.queue.remove(new_id);
-        let mut reweigh: Vec<JobId> = mates.to_vec();
-        reweigh.push(new_id);
-        self.energy_reweigh(&reweigh);
-        self.stats.started_malleable += 1;
-        self.trace.emit(
-            self.now.secs(),
-            sd_trace::TraceKind::Started {
-                job: new_id.0,
-                malleable: true,
-                nodes: new_spec.req_nodes,
-                wait: self.now.secs().saturating_sub(new_spec.submit.secs()),
-            },
-        );
-        self.tenant_charge_start(new_id);
-        if self.cfg.self_check {
-            self.cluster.validate().expect("cluster consistent");
-            for &n in &nodes_sorted {
-                self.drom.validate_node(n).expect("masks disjoint");
-            }
-            self.self_check_avail();
-        }
-        Ok(())
-    }
-
-    /// Running malleable-backfilled jobs currently shrunk below full width —
-    /// the candidates for [`SimState::relocate_borrower`] (ascending id).
-    /// Incremental mode serves this from an index maintained at every
-    /// reconfiguration; the legacy path keeps the original running-set scan
-    /// as the perf baseline (both orders are ascending — identical output).
-    pub fn shrunk_borrowers(&self) -> Vec<JobId> {
-        if self.cfg.incremental {
-            self.shrunk.iter().copied().collect()
-        } else {
-            self.running
-                .iter()
-                .copied()
-                .filter(|&id| {
-                    self.job(id)
-                        .running()
-                        .is_some_and(|r| r.malleable_backfilled && !r.at_full_allocation())
-                })
-                .collect()
-        }
-    }
-
-    /// Whether any shrunk borrower exists (O(1); pass gating).
-    pub fn has_shrunk_borrowers(&self) -> bool {
-        !self.shrunk.is_empty()
-    }
-
-    /// Moves a shrunk malleable-backfilled job onto idle whole nodes at full
-    /// width, expanding its former mates back — the expand half of the
-    /// resource manager (DMR-style node reconfiguration). Without it, a
-    /// co-scheduled pair stays at reduced rate even when the machine drains,
-    /// which stretches the tail and charges idle power: the makespan/energy
-    /// regression. Returns `false` when `id` is not a shrunk borrower or the
-    /// cluster lacks enough empty nodes.
-    pub fn relocate_borrower(&mut self, id: JobId) -> bool {
-        let now = self.now;
-        {
-            let Some(r) = self.job(id).running() else {
-                return false;
-            };
-            if !r.malleable_backfilled || r.at_full_allocation() {
-                return false;
-            }
-            if self.cluster.empty_node_count() < r.nodes.len() as u32 {
-                return false;
-            }
-        }
-        // The old allocation and mate links are replaced wholesale below, so
-        // move them out instead of cloning.
-        let (old_nodes, mates) = {
-            let r = self.jobs[(id.0 - 1) as usize].running_mut().unwrap();
-            (std::mem::take(&mut r.nodes), std::mem::take(&mut r.mates))
-        };
-        let width = old_nodes.len() as u32;
-
-        // Leave the shared nodes; former mates expand into the cores.
-        let mut touched: Vec<JobId> = Vec::new();
-        for &n in &old_nodes {
-            self.cluster
-                .remove_from_node(id, n)
-                .expect("borrower occupies its nodes");
-            let updates = self.node_mgrs[n.0 as usize].finish(&mut self.drom, id);
-            for up in updates {
-                let cores = up.cores();
-                self.cluster
-                    .set_cores(up.job, n, cores)
-                    .expect("expansion within capacity");
-                let other = self.jobs[(up.job.0 - 1) as usize]
-                    .running_mut()
-                    .expect("beneficiary is running");
-                let idx = other.nodes.binary_search(&n).expect("owns node");
-                other.cores[idx] = cores;
-                if !touched.contains(&up.job) {
-                    touched.push(up.job);
-                }
-            }
-        }
-        // Close the departure's reconfiguration batch: one broadcast over
-        // the vacated allocation applies every staged expansion.
-        self.drom.poll_nodes(&old_nodes);
-        self.update_releases(&old_nodes);
-        for &m in &mates {
-            if let Some(other) = self.jobs[(m.0 - 1) as usize].running_mut() {
-                other.lent_to.retain(|&x| x != id);
-            }
-        }
-
-        // Take the idle nodes at full width.
-        let full = self.spec.node.cores();
-        let mut new_nodes = self
-            .cluster
-            .take_empty_nodes(width)
-            .expect("checked empty count above");
-        self.cluster
-            .place(id, &new_nodes, full)
-            .expect("empty nodes accept a full-width placement");
-        for &n in &new_nodes {
-            self.node_mgrs[n.0 as usize]
-                .launch(&mut self.drom, id, full, true)
-                .expect("empty node accepts launch");
-        }
-        new_nodes.sort();
-        // Releases first (reads occupancy + req_end only), while the node
-        // list is still ours — it moves into the run just below.
-        self.update_releases(&new_nodes);
-        {
-            let run = self.jobs[(id.0 - 1) as usize].running_mut().unwrap();
-            run.cores.fill(full); // same width, now full everywhere
-            run.nodes = new_nodes; // moved, not cloned
-        }
-        let rate = self.compute_rate(id);
-        self.job_mut(id).running_mut().unwrap().set_rate(now, rate);
-        self.arm_end(id);
-        self.refresh_eligibility(id);
-        self.refresh_borrower_index(id);
-
-        // Re-rate the expanded former mates.
-        for &t in &touched {
-            let rate = self.compute_rate(t);
-            self.jobs[(t.0 - 1) as usize]
-                .running_mut()
-                .unwrap()
-                .set_rate(now, rate);
-            self.stats.expand_events += 1;
-            self.trace.emit(
-                self.now.secs(),
-                sd_trace::TraceKind::Expanded {
-                    job: t.0,
-                    nodes: self.job(t).running().unwrap().nodes.len() as u32,
-                },
-            );
-            self.arm_end(t);
-            self.refresh_eligibility(t);
-            self.refresh_borrower_index(t);
-            for i in 0..self.job(t).running().unwrap().nodes.len() {
-                let n = self.job(t).running().unwrap().nodes[i];
-                self.update_release(n);
-            }
-        }
-        self.energy_reweigh_iter(touched.iter().copied().chain(std::iter::once(id)));
-        self.stats.relocations += 1;
-        self.trace
-            .emit(self.now.secs(), sd_trace::TraceKind::Relocated { job: id.0, nodes: width });
-        if self.cfg.self_check {
-            self.cluster.validate().expect("cluster consistent");
-            for i in 0..width as usize {
-                let n = self.job(id).running().unwrap().nodes[i];
-                self.drom.validate_node(n).expect("masks disjoint");
-            }
-            self.self_check_avail();
-        }
-        true
-    }
-
-    /// Whether `id` currently qualifies as a mate: running, malleable, at
-    /// full allocation and not already involved in a co-schedule.
-    pub fn is_eligible_mate(&self, id: JobId) -> bool {
-        let j = self.job(id);
-        if !j.spec.malleable {
-            return false;
-        }
-        match j.running() {
-            Some(r) => r.lent_to.is_empty() && r.mates.is_empty() && r.at_full_allocation(),
-            None => false,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Completion
-    // ------------------------------------------------------------------
-
-    fn complete_job(&mut self, id: JobId) {
-        let now = self.now;
-        let (spec, run) = {
-            let job = self.job_mut(id);
-            let JobState::Running(mut run) = std::mem::replace(&mut job.state, JobState::Done)
-            else {
-                unreachable!("complete_job on non-running job");
-            };
-            run.bank(now);
-            (job.spec.clone(), run)
-        };
-        self.outcomes.push(JobOutcome {
-            id,
-            submit: spec.submit,
-            start: run.start,
-            end: now,
-            nodes: run.nodes.len() as u32,
-            procs: spec.req_procs,
-            req_time: spec.req_time,
-            static_runtime: spec.static_runtime,
-            malleable_backfilled: run.malleable_backfilled,
-            was_mate: run.ever_shrunk,
-            app: spec.app,
-            tenant: spec.tenant,
-        });
-        self.tenant_finish(&spec, true);
-        self.last_end = self.last_end.max(now);
-        self.release_running(id, &spec, run);
-        self.trace
-            .emit(self.now.secs(), sd_trace::TraceKind::Completed { job: id.0 });
-    }
-
-    /// Shared teardown of a running job (completion and running-job
-    /// cancellation): removes it from every index, frees its nodes with
-    /// beneficiary expansion, settles DROM masks, partner links, the release
-    /// map and the energy meter. The caller has already replaced the job's
-    /// state and handled outcome/last-end bookkeeping.
-    fn release_running(&mut self, id: JobId, spec: &JobSpec, run: RunningJob) {
-        let now = self.now;
-        self.running.remove(&id);
-        self.running_by_end.remove(&(run.req_end, id));
-        self.shrunk.remove(&id);
-        self.pool_remove_keyed(Self::pool_key(spec, run.start), id);
-
-        // Free the cluster first so beneficiaries can expand into the cores.
-        let mut touched: Vec<JobId> = Vec::new();
-        for &n in &run.nodes {
-            self.cluster
-                .remove_from_node(id, n)
-                .expect("running job occupies its nodes");
-            let updates = self.node_mgrs[n.0 as usize].finish(&mut self.drom, id);
-            for up in updates {
-                let cores = up.cores();
-                self.cluster
-                    .set_cores(up.job, n, cores)
-                    .expect("expansion within capacity");
-                let other = self.jobs[(up.job.0 - 1) as usize]
-                    .running_mut()
-                    .expect("beneficiary is running");
-                let idx = other.nodes.binary_search(&n).expect("owns node");
-                other.cores[idx] = cores;
-                if !touched.contains(&up.job) {
-                    touched.push(up.job);
-                }
-            }
-        }
-        // Per-job batch: apply every expansion staged across the ended
-        // job's allocation in one broadcast (skips nodes with no residents).
-        self.drom.poll_nodes(&run.nodes);
-        self.update_releases(&run.nodes);
-
-        // Unlink this job from partners' bookkeeping.
-        for &m in run.mates.iter().chain(run.lent_to.iter()) {
-            if let Some(other) = self.jobs[(m.0 - 1) as usize].running_mut() {
-                other.lent_to.retain(|&x| x != id);
-                other.mates.retain(|&x| x != id);
-            }
-        }
-
-        // Re-rate everyone whose allocation changed.
-        for &t in &touched {
-            let rate = self.compute_rate(t);
-            self.jobs[(t.0 - 1) as usize]
-                .running_mut()
-                .unwrap()
-                .set_rate(now, rate);
-            self.stats.expand_events += 1;
-            self.trace.emit(
-                self.now.secs(),
-                sd_trace::TraceKind::Expanded {
-                    job: t.0,
-                    nodes: self.job(t).running().unwrap().nodes.len() as u32,
-                },
-            );
-            self.arm_end(t);
-            self.refresh_eligibility(t);
-            self.refresh_borrower_index(t);
-            // The beneficiary's predicted release may have moved.
-            for i in 0..self.job(t).running().unwrap().nodes.len() {
-                let n = self.job(t).running().unwrap().nodes[i];
-                self.update_release(n);
-            }
-        }
-        self.energy_sub_job(run.energy_weight);
-        self.energy_reweigh(&touched);
-        if self.cfg.self_check {
-            self.cluster.validate().expect("cluster consistent");
-            self.self_check_avail();
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Tenant accounting
-    // ------------------------------------------------------------------
-
-    /// Per-tenant accounting rows, parallel to the registry's slots.
-    pub fn tenant_usage(&self) -> &[TenantUsage] {
-        &self.tenant_usage
-    }
-
-    /// Registry slot of a job's `(tenant, project)`, [`NO_TENANT_SLOT`]
-    /// when unregistered (always the case with an empty registry).
-    fn tenant_slot(&self, id: JobId) -> u32 {
-        if self.cfg.tenants.is_empty() {
-            return NO_TENANT_SLOT;
-        }
-        let s = &self.job(id).spec;
-        self.cfg
-            .tenants
-            .slot(s.tenant, s.project)
-            .unwrap_or(NO_TENANT_SLOT)
-    }
-
-    /// Charges a starting job against its tenant (requested node-seconds +
-    /// running width). No-op for unregistered tenants.
-    fn tenant_charge_start(&mut self, id: JobId) {
-        let slot = self.tenant_slot(id);
-        if slot == NO_TENANT_SLOT {
-            return;
-        }
-        let (req_nodes, req_time) = {
-            let s = &self.job(id).spec;
-            (s.req_nodes, s.req_time)
-        };
-        self.tenant_usage[slot as usize].charge_start(req_nodes, req_time);
-    }
-
-    /// Releases a finished/cancelled running job's width back to its tenant
-    /// (the node-second charge stays — no refunds) and counts the
-    /// completion when `completed`.
-    fn tenant_finish(&mut self, spec: &JobSpec, completed: bool) {
-        if self.cfg.tenants.is_empty() {
-            return;
-        }
-        let Some(slot) = self.cfg.tenants.slot(spec.tenant, spec.project) else {
-            return;
-        };
-        let usage = &mut self.tenant_usage[slot as usize];
-        usage.release_width(spec.req_nodes);
-        if completed {
-            usage.completed += 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Internals
-    // ------------------------------------------------------------------
-
-    /// Computes the progress rate of a running job via the rate model,
-    /// including neighbour memory pressure for the app-aware model.
-    fn compute_rate(&self, id: JobId) -> f64 {
-        let job = self.job(id);
-        let run = job.running().expect("rate of running job");
-        let mut neighbour_mem = 0.0_f64;
-        for &n in &run.nodes {
-            for &(other, _) in &self.cluster.occupancy(n).jobs {
-                if other == id {
-                    continue;
-                }
-                if let Some(app) = self.job(other).spec.app {
-                    neighbour_mem = neighbour_mem.max(AppModel::by_id(app).mem_util);
-                } else {
-                    // Unknown co-resident app: neutral pressure.
-                    neighbour_mem = neighbour_mem.max(0.0);
-                }
-            }
-        }
-        let inputs = RateInputs {
-            cores: &run.cores,
-            full_cores: run.full_cores,
-            app: job.spec.app,
-            neighbour_mem,
-        };
-        self.rate_model.rate(&inputs).clamp(0.0, 1.0)
-    }
-
-    /// Arms (or re-arms) the end event for `id` at its predicted completion.
-    fn arm_end(&mut self, id: JobId) {
-        let now = self.now;
-        let total = self.job(id).spec.static_runtime;
-        let run = self.job(id).running().expect("arm end of running job");
-        let when = run.predicted_end(now, total);
-        let gen = run.end_gen;
-        debug_assert!(when != SimTime::MAX, "job would never finish");
-        self.events.push(when, Event::End { job: id, gen });
-    }
-
-    /// The predicted release instant of a node: max over its residents'
-    /// requested ends; `None` when empty.
-    fn node_release(&self, n: NodeId) -> Option<SimTime> {
-        let occ = self.cluster.occupancy(n);
-        let mut latest: Option<SimTime> = None;
-        for &(j, _) in &occ.jobs {
-            if let Some(r) = self.job(j).running() {
-                latest = Some(latest.map_or(r.req_end, |l| l.max(r.req_end)));
-            }
-        }
-        latest
-    }
-
-    /// Recomputes a node's predicted release and, in incremental mode,
-    /// patches the cached availability profile with the delta.
-    fn update_release(&mut self, n: NodeId) {
-        let latest = self.node_release(n);
-        let old = self.releases.release_of(n);
-        if old == latest {
-            return;
-        }
-        self.releases.set_release(n, latest);
-        if self.cfg.incremental {
-            self.avail.patch_release(self.now, old, latest);
-        }
-    }
-
-    /// [`SimState::update_release`] over a whole allocation: identical
-    /// transitions are grouped into one profile patch each (a whole-job
-    /// start or end moves every node the same way, so a W-node job costs
-    /// one O(len) patch instead of W).
-    fn update_releases(&mut self, nodes: &[NodeId]) {
-        // Distinct (old, new) transitions; virtually always a single entry.
-        let mut groups: Vec<(Option<SimTime>, Option<SimTime>, u32)> = Vec::new();
-        for &n in nodes {
-            let latest = self.node_release(n);
-            let old = self.releases.release_of(n);
-            if old == latest {
-                continue;
-            }
-            self.releases.set_release(n, latest);
-            if !self.cfg.incremental {
-                continue;
-            }
-            match groups.iter_mut().find(|g| g.0 == old && g.1 == latest) {
-                Some(g) => g.2 += 1,
-                None => groups.push((old, latest, 1)),
-            }
-        }
-        for (old, new, count) in groups {
-            self.avail.patch_release_many(self.now, old, new, count);
-        }
-    }
-
-    /// Re-evaluates whether `id` belongs in the shrunk-borrower index.
-    /// Called wherever a running job's per-node cores can change.
-    fn refresh_borrower_index(&mut self, id: JobId) {
-        let is_shrunk = self
-            .job(id)
-            .running()
-            .is_some_and(|r| r.malleable_backfilled && !r.at_full_allocation());
-        if is_shrunk {
-            self.shrunk.insert(id);
-        } else {
-            self.shrunk.remove(&id);
-        }
-    }
-
-    /// The mate pool's sort key for a job: the fixed part of Eq. 4,
-    /// `(wait + req)/req`. Deterministic from immutable job data, so the
-    /// same key can be recomputed for an O(log n) indexed removal.
-    fn pool_key(spec: &JobSpec, start: SimTime) -> f64 {
-        let wait = start.since(spec.submit) as f64;
-        let req = spec.req_time.max(1) as f64;
-        (wait + req) / req
-    }
-
-    /// Inserts/removes `id` from the mate pool according to eligibility.
-    fn refresh_eligibility(&mut self, id: JobId) {
-        let Some(start) = self.job(id).running().map(|r| r.start) else {
-            return; // never called on non-running jobs; nothing to refresh
-        };
-        let base = Self::pool_key(&self.job(id).spec, start);
-        self.pool_remove_keyed(base, id);
-        if self.is_eligible_mate(id) {
-            let (spec, run) = (&self.job(id).spec, self.job(id).running().unwrap());
-            let entry = MateEntry {
-                base,
-                id,
-                wait: run.start.since(spec.submit),
-                req_time: spec.req_time,
-                req_end: run.req_end,
-                weight: run.nodes.len() as u32,
-                ranks_per_node: spec.ranks_per_node,
-            };
-            let pos = self
-                .mate_pool
-                .partition_point(|e| (e.base, e.id) < (base, id));
-            self.mate_pool.insert(pos, entry);
-        }
-    }
-
-    /// Removes `id` from the mate pool by binary search on its recomputed
-    /// key (the pool is sorted by `(base, id)`), replacing the old O(n)
-    /// position scan.
-    fn pool_remove_keyed(&mut self, base: f64, id: JobId) {
-        let pos = self
-            .mate_pool
-            .partition_point(|e| (e.base, e.id) < (base, id));
-        if self.mate_pool.get(pos).is_some_and(|e| e.id == id) {
-            self.mate_pool.remove(pos);
-        } else {
-            debug_assert!(
-                !self.mate_pool.iter().any(|e| e.id == id),
-                "{id} in mate pool under a different key"
-            );
-        }
-    }
-
-    // Energy accounting: weighted busy cores = Σ job cores × cpu-utilisation.
-    fn job_weight(cores: u64, app: Option<workload::AppId>) -> f64 {
-        let util = app.map(|a| AppModel::by_id(a).cpu_util).unwrap_or(1.0);
-        cores as f64 * util
-    }
-
-    /// Updates the global weighted-busy figure after the allocations of
-    /// exactly the `changed` jobs moved: each job's delta against its
-    /// registered `energy_weight` is applied to the running sum — `O(|changed|)`
-    /// per event instead of a full `O(running)` rescan. The meter integrates
-    /// the pre-change level over the elapsed interval first, so the step
-    /// function stays piecewise-exact across shrink/expand boundaries.
-    /// `cfg.self_check` cross-validates the sum against a full rescan.
-    fn energy_reweigh(&mut self, changed: &[JobId]) {
-        self.energy_reweigh_iter(changed.iter().copied());
-    }
-
-    /// Iterator form of [`SimState::energy_reweigh`] so callers can chain id
-    /// sources without building a temporary `Vec`.
-    fn energy_reweigh_iter(&mut self, changed: impl IntoIterator<Item = JobId>) {
-        for id in changed {
-            let job = &mut self.jobs[(id.0 - 1) as usize];
-            let app = job.spec.app;
-            if let Some(r) = job.running_mut() {
-                let w = Self::job_weight(r.total_cores(), app);
-                self.weighted_busy += w - r.energy_weight;
-                r.energy_weight = w;
-            }
-        }
-        if self.weighted_busy < 0.0 {
-            // Float drift can leave a tiny negative residue on an empty
-            // machine; snap it away so idle power is exact.
-            debug_assert!(self.weighted_busy > -1e-6, "weight drift");
-            self.weighted_busy = 0.0;
-        }
-        if self.cfg.self_check {
-            let rescan: f64 = self
-                .running
-                .iter()
-                .map(|&id| {
-                    let job = self.job(id);
-                    job.running()
-                        .map_or(0.0, |r| Self::job_weight(r.total_cores(), job.spec.app))
-                })
-                .sum();
-            assert!(
-                (rescan - self.weighted_busy).abs() < 1e-6,
-                "incremental weighted-busy {} diverged from rescan {}",
-                self.weighted_busy,
-                rescan
-            );
-        }
-        self.meter.update(self.now, self.weighted_busy);
-    }
-
-    /// Removes a completed job's contribution. The caller passes the final
-    /// tracked weight from the torn-down [`RunningJob`] — the job is no
-    /// longer in the running set, so the incremental path cannot see it.
-    fn energy_sub_job(&mut self, last_weight: f64) {
-        self.weighted_busy -= last_weight;
-        // Anything beyond float drift means a core change bypassed
-        // energy_reweigh — fail loudly rather than undercount energy.
-        debug_assert!(self.weighted_busy > -1e-6, "weight drift after completion");
-        self.weighted_busy = self.weighted_busy.max(0.0);
-        // No meter update or rescan here: mid-completion the beneficiaries'
-        // deltas are still pending, so the sum is transiently inconsistent.
-        // `complete_job` always follows with `energy_reweigh`, which applies
-        // them, cross-validates under self_check and registers the level.
-    }
-
-    /// Finalises the meter and returns total joules.
-    pub fn finish_energy(&mut self) -> f64 {
-        let end = self.last_end;
-        self.meter.finish(end)
-    }
-
-    /// Energy of the run so far without finalising the live meter (the
-    /// online service's read-only result snapshots). Equals what
-    /// [`SimState::finish_energy`] would return right now.
-    pub fn snapshot_energy(&self) -> f64 {
-        self.meter.clone().finish(self.last_end)
-    }
 
     /// Asserts the cached availability profile equals a fresh rebuild
     /// (incremental mode; called from the `self_check` blocks).
@@ -1512,9 +467,9 @@ impl SimState {
         let fresh = self.build_profile();
         let now = self.now;
         assert_eq!(
-            self.availability(),
+            self.availability().as_steps(),
             &fresh,
-            "cached availability profile diverged from rebuild at {now:?}"
+            "cached availability diverged from rebuild at {now:?}"
         );
     }
 
@@ -1586,13 +541,18 @@ impl SimState {
         if self.cfg.incremental {
             let mut cached = self.avail.clone();
             cached.advance_to(self.now);
-            if cached != self.build_profile() {
-                return Err("cached availability profile diverged from rebuild".into());
+            if cached.as_steps() != &self.build_profile() {
+                return Err("cached availability diverged from rebuild".into());
             }
         }
         Ok(())
     }
 }
+
+mod alloc;
+mod energy;
+mod online;
+mod pass;
 
 #[cfg(test)]
 mod tests {

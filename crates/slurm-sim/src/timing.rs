@@ -80,12 +80,24 @@ pub static BACKFILL_TRIAL: FnTimer = FnTimer::new("backfill_trial");
 pub static QUOTA_CHECK: FnTimer = FnTimer::new("quota_check");
 /// Fair-share prefix reorders (decay + stable sort).
 pub static FAIR_SHARE_SORT: FnTimer = FnTimer::new("fair_share_sort");
+/// Slot-tree annotation descends (one per phase-A/phase-B jump inside a
+/// `SlotTree::earliest_start` query).
+pub static SLOT_DESCEND: FnTimer = FnTimer::new("slot_descend");
+/// Slot-tree slot splits: reservation writes and release patches against
+/// the slot list (each marks the annotation tree stale).
+pub static SLOT_SPLIT: FnTimer = FnTimer::new("slot_split");
+/// Slot-tree annotation re-merges (the lazy O(n) bottom-up rebuild the
+/// first query after a mutation pays).
+pub static SLOT_MERGE: FnTimer = FnTimer::new("slot_merge");
 
-const ALL: [&FnTimer; 4] = [
+const ALL: [&FnTimer; 7] = [
     &EARLIEST_START,
     &BACKFILL_TRIAL,
     &QUOTA_CHECK,
     &FAIR_SHARE_SORT,
+    &SLOT_DESCEND,
+    &SLOT_SPLIT,
+    &SLOT_MERGE,
 ];
 
 /// RAII probe: measures from construction to drop when timing is enabled,
@@ -158,7 +170,7 @@ mod tests {
         }
         drop(scope(&QUOTA_CHECK));
         let rows = report();
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 7);
         let es = rows.iter().find(|r| r.name == "earliest_start").unwrap();
         assert_eq!(es.count, 3);
         let qc = rows.iter().find(|r| r.name == "quota_check").unwrap();

@@ -1,0 +1,136 @@
+//! Backend equivalence property tests (DESIGN.md §13): the slot-tree and
+//! step-function availability backends must be observationally identical.
+//! Arbitrary reserve / patch / advance sequences are applied to both, and
+//! after every mutation a battery of `earliest_start` / `can_start_now`
+//! queries must agree bit-for-bit — the tree's segment-descent query path
+//! shares none of the profile's linear sweep, so this is the test that
+//! keeps the two from drifting apart.
+
+use proptest::prelude::*;
+use simkit::SimTime;
+use slurm_sim::{AvailBackend, AvailBackendKind, Availability};
+
+/// One mutation drawn by proptest. Patches carry raw `(old, new)` release
+/// transitions — both backends apply them as the same ±count deltas, so
+/// any pair is mechanically valid even when it would be nonsense for a
+/// real release map (queries still have to agree on the result).
+#[derive(Debug, Clone)]
+enum Op {
+    Reserve { start_dt: u64, duration: u64, nodes: u32 },
+    Patch { old: Option<u64>, new: Option<u64>, count: u32 },
+    Advance { dt: u64 },
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..400, 1u64..300, 1u32..6)
+            .prop_map(|(start_dt, duration, nodes)| Op::Reserve { start_dt, duration, nodes }),
+        // The vendored proptest has no Option strategy; a multiple of 4
+        // stands in for None, anything else for Some(t).
+        (0u64..600, 0u64..600, 1u32..4).prop_map(|(o, n, count)| Op::Patch {
+            old: (o % 4 != 0).then_some(o),
+            new: (n % 4 != 0).then_some(n),
+            count,
+        }),
+        (1u64..120).prop_map(|dt| Op::Advance { dt }),
+        Just(Op::Compact),
+    ]
+}
+
+/// Applies `op` to one backend at the current time `now`.
+fn apply(b: &mut AvailBackend, op: &Op, now: SimTime) {
+    match *op {
+        Op::Reserve { start_dt, duration, nodes } => {
+            b.reserve(now.after(start_dt), duration, nodes)
+        }
+        Op::Patch { old, new, count } => {
+            b.patch_release_many(now, old.map(SimTime), new.map(SimTime), count)
+        }
+        Op::Advance { .. } => b.advance_to(now),
+        Op::Compact => b.compact(),
+    }
+}
+
+proptest! {
+    /// Both backends, fed the identical mutation stream, answer every
+    /// `earliest_start` and `can_start_now` query identically after every
+    /// single op, and their canonical step views stay `PartialEq`-equal.
+    #[test]
+    fn backends_answer_queries_identically(
+        free in 1u32..24,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        queries in prop::collection::vec((1u32..12, 1u64..500, 0u64..700), 1..12),
+    ) {
+        let mut prof = AvailBackend::flat(AvailBackendKind::Profile, SimTime::ZERO, free);
+        let mut tree = AvailBackend::flat(AvailBackendKind::SlotTree, SimTime::ZERO, free);
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            if let Op::Advance { dt } = op {
+                now = now.after(*dt); // time only moves forward
+            }
+            apply(&mut prof, op, now);
+            apply(&mut tree, op, now);
+            prop_assert_eq!(
+                prof.as_steps(), tree.as_steps(),
+                "step views diverged after {:?} at {:?}", op, now
+            );
+            for &(nodes, duration, after_dt) in &queries {
+                let after = now.after(after_dt);
+                prop_assert_eq!(
+                    prof.earliest_start(nodes, duration, after),
+                    tree.earliest_start(nodes, duration, after),
+                    "earliest_start({}, {}, {:?}) after {:?}", nodes, duration, after, op
+                );
+                prop_assert_eq!(
+                    prof.can_start_now(nodes, duration, now),
+                    tree.can_start_now(nodes, duration, now),
+                    "can_start_now({}, {}) after {:?}", nodes, duration, op
+                );
+            }
+        }
+    }
+
+    /// `snapshot_from` (the pass-buffer copy hook) preserves equivalence:
+    /// a snapshot taken mid-sequence answers like its source, for both
+    /// backends, including across further mutations of the snapshot only.
+    #[test]
+    fn snapshots_stay_equivalent(
+        free in 1u32..16,
+        ops in prop::collection::vec(op_strategy(), 1..20),
+        extra in prop::collection::vec(op_strategy(), 0..10),
+    ) {
+        let mut prof = AvailBackend::flat(AvailBackendKind::Profile, SimTime::ZERO, free);
+        let mut tree = AvailBackend::flat(AvailBackendKind::SlotTree, SimTime::ZERO, free);
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            if let Op::Advance { dt } = op {
+                now = now.after(*dt);
+            }
+            apply(&mut prof, op, now);
+            apply(&mut tree, op, now);
+        }
+        let mut prof_snap = AvailBackend::new(AvailBackendKind::Profile);
+        let mut tree_snap = AvailBackend::new(AvailBackendKind::SlotTree);
+        prof_snap.snapshot_from(&prof);
+        tree_snap.snapshot_from(&tree);
+        prop_assert_eq!(prof_snap.as_steps(), tree_snap.as_steps());
+        for op in &extra {
+            if let Op::Advance { dt } = op {
+                now = now.after(*dt);
+            }
+            apply(&mut prof_snap, op, now);
+            apply(&mut tree_snap, op, now);
+            prop_assert_eq!(
+                prof_snap.as_steps(), tree_snap.as_steps(),
+                "snapshots diverged after {:?}", op
+            );
+            prop_assert_eq!(
+                prof_snap.earliest_start(3, 50, now),
+                tree_snap.earliest_start(3, 50, now)
+            );
+        }
+        // The originals were never touched by snapshot mutations.
+        prop_assert_eq!(prof.as_steps(), tree.as_steps());
+    }
+}

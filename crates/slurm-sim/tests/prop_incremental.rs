@@ -1,6 +1,7 @@
 //! Property tests for the incremental hot path (DESIGN.md §9): the cached
-//! availability profile must be indistinguishable from a full rebuild, and
-//! the linear-sweep `earliest_start` must match the legacy quadratic probe.
+//! availability profile must be indistinguishable from a full rebuild.
+//! (The linear-sweep vs. legacy-probe property moved into `reservation.rs`
+//! unit tests when the quadratic probe was demoted to a test-only oracle.)
 
 use cluster::NodeId;
 use proptest::prelude::*;
@@ -8,37 +9,6 @@ use simkit::SimTime;
 use slurm_sim::{Profile, ReleaseMap};
 
 proptest! {
-    /// The O(len) forward-sweep `earliest_start` returns exactly what the
-    /// original candidate-probing implementation returns, on profiles with
-    /// arbitrary releases *and* reservations (dips included).
-    #[test]
-    fn linear_earliest_start_matches_legacy_oracle(
-        releases in prop::collection::vec((1u64..800, 1u32..4), 0..16),
-        resvs in prop::collection::vec((0u64..700, 1u64..300, 1u32..5), 0..10),
-        free_now in 0u32..8,
-        nodes in 1u32..10,
-        duration in 1u64..600,
-        after in 0u64..900,
-    ) {
-        let mut rm = ReleaseMap::new(64);
-        let mut nid = 0u32;
-        for &(t, c) in &releases {
-            for _ in 0..c {
-                rm.set_release(NodeId(nid), Some(SimTime(t)));
-                nid += 1;
-            }
-        }
-        let mut p = Profile::build(SimTime(0), free_now, &rm);
-        for &(s, d, n) in &resvs {
-            p.reserve(SimTime(s), d, n);
-        }
-        prop_assert_eq!(
-            p.earliest_start(nodes, duration, SimTime(after)),
-            p.earliest_start_legacy(nodes, duration, SimTime(after)),
-            "sweep and probe disagree on {:?}", p
-        );
-    }
-
     /// A profile maintained purely through `patch_release`/`advance_to` is
     /// `PartialEq`-identical to `Profile::build` after every step of an
     /// arbitrary release-change sequence (the start/end/shrink/relocate
