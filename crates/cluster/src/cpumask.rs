@@ -111,6 +111,26 @@ impl CpuMask {
         (0..self.ncores).filter(move |&c| self.contains(c))
     }
 
+    /// Raw bitset words (64 cores per word, ascending), for persistence.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a mask from raw words. `None` when the word count doesn't
+    /// match the width or a bit beyond `ncores` is set.
+    pub fn from_words(ncores: usize, words: Vec<u64>) -> Option<CpuMask> {
+        if words.len() != ncores.div_ceil(BITS) {
+            return None;
+        }
+        if let Some(last) = words.last() {
+            let tail_bits = ncores % BITS;
+            if tail_bits != 0 && *last >> tail_bits != 0 {
+                return None;
+            }
+        }
+        Some(CpuMask { words, ncores })
+    }
+
     /// The lowest `n` set cores as a new mask (used when shrinking a task to
     /// a core budget while keeping placement stable).
     pub fn take_lowest(&self, n: usize) -> CpuMask {

@@ -102,6 +102,33 @@ impl EnergyMeter {
     pub fn kwh(&self) -> f64 {
         self.joules / 3.6e6
     }
+
+    /// Mutable integration state, for persistence:
+    /// `(last_time, weighted_busy, joules, started)`. The model and node
+    /// count are configuration, not state — the restorer supplies them.
+    pub fn snapshot(&self) -> (SimTime, f64, f64, bool) {
+        (self.last_time, self.weighted_busy, self.joules, self.started)
+    }
+
+    /// Rebuilds a meter from configuration plus a
+    /// [`snapshot`](EnergyMeter::snapshot).
+    pub fn from_snapshot(
+        model: PowerModel,
+        nodes: u32,
+        last_time: SimTime,
+        weighted_busy: f64,
+        joules: f64,
+        started: bool,
+    ) -> Self {
+        EnergyMeter {
+            model,
+            nodes,
+            last_time,
+            weighted_busy,
+            joules,
+            started,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -223,6 +223,42 @@ impl ClusterState {
         Ok(())
     }
 
+    /// Per-node occupancies in ascending node id, for persistence.
+    pub fn occupancies(&self) -> &[NodeOccupancy] {
+        &self.nodes
+    }
+
+    /// Rebuilds a state from a per-node occupancy snapshot; the idle index
+    /// and busy-core counter are re-derived, and the result is validated.
+    pub fn from_occupancies(
+        spec: ClusterSpec,
+        nodes: Vec<NodeOccupancy>,
+    ) -> Result<ClusterState, String> {
+        if nodes.len() != spec.nodes as usize {
+            return Err(format!(
+                "occupancy snapshot covers {} nodes, spec has {}",
+                nodes.len(),
+                spec.nodes
+            ));
+        }
+        let mut idle = BTreeSet::new();
+        let mut busy_cores = 0u64;
+        for (i, occ) in nodes.iter().enumerate() {
+            if occ.is_empty() {
+                idle.insert(NodeId(i as u32));
+            }
+            busy_cores += occ.cores_used as u64;
+        }
+        let cs = ClusterState {
+            spec,
+            nodes,
+            idle,
+            busy_cores,
+        };
+        cs.validate()?;
+        Ok(cs)
+    }
+
     /// Checks every invariant; returns a description of the first violation.
     /// Used by tests and the simulator's self-check mode.
     pub fn validate(&self) -> Result<(), String> {

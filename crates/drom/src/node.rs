@@ -41,6 +41,16 @@ struct Resident {
     lender: Option<JobId>,
 }
 
+/// One resident's persistent fields, for node-manager snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentSnapshot {
+    pub job: JobId,
+    pub mask: CpuMask,
+    pub malleable: bool,
+    pub handle: Option<DromHandle>,
+    pub lender: Option<JobId>,
+}
+
 /// Manager of one node's residents and their core masks.
 #[derive(Debug)]
 pub struct NodeManager {
@@ -242,6 +252,45 @@ impl NodeManager {
         // broadcasts one `poll_nodes` over the ended job's allocation.
         debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
         updates
+    }
+
+    /// Residents in arrival order, for persistence.
+    pub fn snapshot(&self) -> Vec<ResidentSnapshot> {
+        self.residents
+            .iter()
+            .map(|r| ResidentSnapshot {
+                job: r.job,
+                mask: r.mask.clone(),
+                malleable: r.malleable,
+                handle: r.handle,
+                lender: r.lender,
+            })
+            .collect()
+    }
+
+    /// Rebuilds a manager from a [`snapshot`](NodeManager::snapshot),
+    /// validating mask disjointness.
+    pub fn from_snapshot(
+        node: NodeId,
+        spec: NodeSpec,
+        residents: Vec<ResidentSnapshot>,
+    ) -> Result<NodeManager, String> {
+        let nm = NodeManager {
+            node,
+            spec,
+            residents: residents
+                .into_iter()
+                .map(|r| Resident {
+                    job: r.job,
+                    mask: r.mask,
+                    malleable: r.malleable,
+                    handle: r.handle,
+                    lender: r.lender,
+                })
+                .collect(),
+        };
+        nm.validate()?;
+        Ok(nm)
     }
 
     fn malleable_residents(&self) -> Vec<usize> {

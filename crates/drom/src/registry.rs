@@ -188,6 +188,45 @@ impl DromRegistry {
         nodes.iter().map(|&n| self.poll_node(n)).sum()
     }
 
+    /// Snapshot for persistence: every entry grouped by node (ascending) in
+    /// per-node registration order, plus the next handle value. That order
+    /// is exactly what [`DromRegistry::from_snapshot`] needs to rebuild the
+    /// per-node indices deterministically.
+    pub fn snapshot(&self) -> (Vec<ProcessEntry>, u64) {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for handles in &self.by_node {
+            for h in handles {
+                out.push(self.entries[&h.0].clone());
+            }
+        }
+        (out, self.next_handle)
+    }
+
+    /// Rebuilds a registry from a [`snapshot`](DromRegistry::snapshot).
+    pub fn from_snapshot(
+        entries: Vec<ProcessEntry>,
+        next_handle: u64,
+    ) -> Result<DromRegistry, String> {
+        let mut r = DromRegistry::default();
+        for e in entries {
+            if e.handle.0 >= next_handle {
+                return Err(format!(
+                    "DROM entry handle {} >= next_handle {next_handle}",
+                    e.handle.0
+                ));
+            }
+            if e.pending.is_some() {
+                *r.pending_slot(e.node) += 1;
+            }
+            r.node_slot(e.node).push(e.handle);
+            if r.entries.insert(e.handle.0, e).is_some() {
+                return Err("duplicate DROM handle in snapshot".into());
+            }
+        }
+        r.next_handle = next_handle;
+        Ok(r)
+    }
+
     /// Validates that current masks of processes sharing a node are disjoint.
     pub fn validate_node(&self, node: NodeId) -> Result<(), String> {
         let procs: Vec<&ProcessEntry> = self.processes_on(node).collect();

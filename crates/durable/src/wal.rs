@@ -1,0 +1,290 @@
+//! The write-ahead log: length-prefixed, checksummed frames.
+//!
+//! On-disk grammar (all integers little-endian):
+//!
+//! ```text
+//! wal     := frame*
+//! frame   := len:u32  crc:u32  seq:u64  payload:[u8; len]
+//! crc     := CRC-32(seq_bytes ++ payload)
+//! ```
+//!
+//! `seq` is a global monotone sequence number assigned by the single writer;
+//! it ties the log to the checkpoint (recovery skips frames whose `seq` is
+//! already covered by the checkpoint's `applied_seq`). The payload is opaque
+//! bytes — the service layer owns the record encoding.
+//!
+//! Recovery scans the longest valid prefix: the scan stops at the first frame
+//! that is short, oversized, or fails its checksum, and reports whether any
+//! bytes were discarded (`torn_tail`). A torn or bit-flipped tail is the
+//! expected artifact of `kill -9` / power loss mid-append and is never an
+//! error — the scanner cannot panic on any input.
+
+use crate::crc::Crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Frame header size: len(4) + crc(4) + seq(8).
+pub const FRAME_HEADER: usize = 16;
+
+/// Sanity cap so a garbage length prefix cannot trigger a huge allocation.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// When appended records are flushed to stable storage.
+///
+/// Surviving `kill -9` (process death, OS survives) needs no fsync at all —
+/// written pages live in the page cache. The knob only matters for power
+/// loss / kernel panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every append (power-loss durable per record, slowest).
+    Always,
+    /// fsync only when installing a checkpoint (default: the durability
+    /// boundary is the last checkpoint; tail records may be lost on power
+    /// failure but never on process death).
+    #[default]
+    Checkpoint,
+    /// never fsync (benchmarks and tests).
+    Never,
+}
+
+impl FsyncPolicy {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "checkpoint" => Some(FsyncPolicy::Checkpoint),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Checkpoint => "checkpoint",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// One recovered frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning a log image for its longest valid prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix; the file is truncated to this length
+    /// before the writer appends again.
+    pub valid_bytes: u64,
+    /// True when trailing bytes after the valid prefix were discarded.
+    pub torn_tail: bool,
+}
+
+/// Encode one frame into `buf` (single `write` syscall per append).
+pub fn encode_frame(buf: &mut Vec<u8>, seq: u64, payload: &[u8]) {
+    let seq_bytes = seq.to_le_bytes();
+    let mut crc = Crc32::new();
+    crc.update(&seq_bytes);
+    crc.update(payload);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc.finish().to_le_bytes());
+    buf.extend_from_slice(&seq_bytes);
+    buf.extend_from_slice(payload);
+}
+
+/// Longest-valid-prefix scan over an in-memory log image. Pure, total, and
+/// panic-free on arbitrary bytes (property-tested in `tests/corruption.rs`).
+pub fn scan_bytes(data: &[u8]) -> ScanOutcome {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    loop {
+        let rest = data.len() - off;
+        if rest < FRAME_HEADER {
+            break;
+        }
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+        if len > MAX_RECORD_LEN || (len as usize) > rest - FRAME_HEADER {
+            break;
+        }
+        let stored_crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+        let seq_bytes: [u8; 8] = data[off + 8..off + 16].try_into().unwrap();
+        let payload = &data[off + FRAME_HEADER..off + FRAME_HEADER + len as usize];
+        let mut crc = Crc32::new();
+        crc.update(&seq_bytes);
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            break;
+        }
+        records.push(WalRecord {
+            seq: u64::from_le_bytes(seq_bytes),
+            payload: payload.to_vec(),
+        });
+        off += FRAME_HEADER + len as usize;
+    }
+    ScanOutcome {
+        records,
+        valid_bytes: off as u64,
+        torn_tail: off < data.len(),
+    }
+}
+
+/// Scan a log file; a missing file is an empty log.
+pub fn scan_file(path: &Path) -> io::Result<ScanOutcome> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    Ok(scan_bytes(&data))
+}
+
+/// Appender positioned at the end of the valid prefix.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    policy: FsyncPolicy,
+    buf: Vec<u8>,
+    records_written: u64,
+}
+
+impl WalWriter {
+    /// Open (creating if absent), truncate to `valid_bytes` — dropping any
+    /// torn tail so new appends never follow garbage — and seek to the end.
+    pub fn open(path: &Path, valid_bytes: u64, policy: FsyncPolicy) -> io::Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(valid_bytes)?;
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        Ok(WalWriter {
+            file,
+            policy,
+            buf: Vec::with_capacity(256),
+            records_written: 0,
+        })
+    }
+
+    pub fn append(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        self.buf.clear();
+        encode_frame(&mut self.buf, seq, payload);
+        self.file.write_all(&self.buf)?;
+        if self.policy == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Truncate the log to empty (after a checkpoint has captured its
+    /// contents).
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        if self.policy != FsyncPolicy::Never {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_image(records: &[(u64, &[u8])]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (seq, payload) in records {
+            encode_frame(&mut buf, *seq, payload);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let image = log_image(&[(1, b"alpha"), (2, b""), (3, &[0u8; 100])]);
+        let out = scan_bytes(&image);
+        assert!(!out.torn_tail);
+        assert_eq!(out.valid_bytes, image.len() as u64);
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[0].seq, 1);
+        assert_eq!(out.records[0].payload, b"alpha");
+        assert_eq!(out.records[1].payload, b"");
+        assert_eq!(out.records[2].payload, vec![0u8; 100]);
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let out = scan_bytes(&[]);
+        assert!(out.records.is_empty());
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn truncated_tail_recovers_prefix() {
+        let image = log_image(&[(1, b"first"), (2, b"second")]);
+        // Cut mid-way through the second frame.
+        let cut = FRAME_HEADER + 5 + FRAME_HEADER + 2;
+        let out = scan_bytes(&image[..cut]);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].payload, b"first");
+        assert!(out.torn_tail);
+        assert_eq!(out.valid_bytes, (FRAME_HEADER + 5) as u64);
+    }
+
+    #[test]
+    fn bit_flip_in_payload_drops_frame() {
+        let mut image = log_image(&[(1, b"first"), (2, b"second")]);
+        let last = image.len() - 1;
+        image[last] ^= 0x40;
+        let out = scan_bytes(&image);
+        assert_eq!(out.records.len(), 1);
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn huge_length_prefix_is_rejected_not_allocated() {
+        let mut image = log_image(&[(1, b"ok")]);
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        image.extend_from_slice(&[0u8; 12]);
+        let out = scan_bytes(&image);
+        assert_eq!(out.records.len(), 1);
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn writer_truncates_torn_tail_on_open() {
+        let dir = std::env::temp_dir().join(format!("sd-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut image = log_image(&[(1, b"keep")]);
+        image.extend_from_slice(b"torn!");
+        std::fs::write(&path, &image).unwrap();
+
+        let scan = scan_file(&path).unwrap();
+        assert!(scan.torn_tail);
+        let mut w = WalWriter::open(&path, scan.valid_bytes, FsyncPolicy::Never).unwrap();
+        w.append(2, b"after").unwrap();
+        drop(w);
+
+        let out = scan_file(&path).unwrap();
+        assert!(!out.torn_tail);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[1].payload, b"after");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

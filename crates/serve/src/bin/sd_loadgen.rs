@@ -10,10 +10,11 @@
 //! turn the report into assertions (non-zero exit) for CI.
 
 use sd_serve::loadgen::{self, LoadgenOptions};
+use sd_serve::soak::{self, SoakOptions};
 
 const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
 
-  --addr <host:port>       service address (required)
+  --addr <host:port>       service address (required unless --soak)
   --workload <w1|w2|w3|w4> synthetic workload to replay (default w3)
   --scale <f64>            workload scale (default 0.05)
   --seed <u64>             generator seed (default 42)
@@ -28,6 +29,16 @@ const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
   --min-rate <r>           fail (exit 1) if achieved rate falls below r
   --expect-completed <n>   fail (exit 1) unless exactly n jobs completed
   --latency-out <csv>      write the request-latency histogram (ms buckets) to a file
+  --max-retries <n>        transport-failure retries per request, with capped
+                           exponential backoff + jitter (default 0 = fail fast)
+  --soak <cycles>          chaos mode: spawn sd-serve with --wal, kill -9 it
+                           <cycles> times mid-traffic, restart + resync each
+                           time, and fail unless the recovered /v1/result is
+                           bit-identical to an uninterrupted reference run
+  --soak-wal <dir>         WAL directory for --soak (default: a fresh
+                           directory under the system temp dir; wiped first)
+  --server-bin <path>      sd-serve binary for --soak (default: the sd-serve
+                           next to this executable)
   --help, -h               this text";
 
 fn fail(msg: &str) -> ! {
@@ -46,6 +57,9 @@ fn main() {
     let mut min_rate: Option<f64> = None;
     let mut expect_completed: Option<u64> = None;
     let mut latency_out: Option<String> = None;
+    let mut soak_cycles: Option<u32> = None;
+    let mut soak_wal: Option<std::path::PathBuf> = None;
+    let mut server_bin: Option<std::path::PathBuf> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -88,6 +102,20 @@ fn main() {
                 )
             }
             "--latency-out" => latency_out = Some(value("--latency-out")),
+            "--max-retries" => {
+                opts.max_retries = value("--max-retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --max-retries"));
+            }
+            "--soak" => {
+                let n: u32 = value("--soak").parse().unwrap_or_else(|_| fail("bad --soak"));
+                if n == 0 {
+                    fail("--soak must be at least 1 cycle");
+                }
+                soak_cycles = Some(n);
+            }
+            "--soak-wal" => soak_wal = Some(value("--soak-wal").into()),
+            "--server-bin" => server_bin = Some(value("--server-bin").into()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -95,13 +123,6 @@ fn main() {
             other => fail(&format!("unknown flag: {other}")),
         }
     }
-    let Some(addr) = addr else {
-        fail("--addr <host:port> is required");
-    };
-    let addr: std::net::SocketAddr = addr
-        .parse()
-        .unwrap_or_else(|_| fail(&format!("bad --addr {addr}")));
-
     let mut jobs: Vec<swf::SwfJob> = match &swf_path {
         Some(path) => {
             let (trace, _skipped) = swf::parse_file(std::path::Path::new(path))
@@ -125,6 +146,56 @@ fn main() {
     if jobs.is_empty() {
         fail("workload produced no jobs");
     }
+
+    // Chaos mode: the harness spawns its own servers; --addr is unused.
+    if let Some(cycles) = soak_cycles {
+        let server_bin = server_bin.unwrap_or_else(|| {
+            let mut p = std::env::current_exe()
+                .unwrap_or_else(|e| fail(&format!("cannot locate this executable: {e}")));
+            p.set_file_name("sd_serve");
+            p
+        });
+        let wal_dir = soak_wal.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("sd-soak-{}", std::process::id()))
+        });
+        let sopts = SoakOptions {
+            cycles,
+            server_bin,
+            server_args: vec![
+                "--cluster".into(),
+                workload.clone(),
+                "--scale".into(),
+                scale.to_string(),
+            ],
+            wal_dir,
+            seed,
+            rate: opts.rate,
+        };
+        eprintln!(
+            "soak: {} kill -9 cycles over {} jobs (server {}, wal {})",
+            cycles,
+            jobs.len(),
+            sopts.server_bin.display(),
+            sopts.wal_dir.display(),
+        );
+        match soak::run(&jobs, &sopts) {
+            Ok(report) => {
+                println!("{}", report.render());
+                return;
+            }
+            Err(e) => {
+                eprintln!("soak FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let Some(addr) = addr else {
+        fail("--addr <host:port> is required");
+    };
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("bad --addr {addr}")));
 
     eprintln!(
         "replaying {} jobs against {addr} ({})",

@@ -13,6 +13,7 @@
 
 use cluster::ClusterSpec;
 use drom::SharingFactor;
+use sd_durable::FsyncPolicy;
 use sd_policy::{MaxSlowdown, SdPolicy, SdPolicyConfig};
 use sd_serve::engine::{ClockMode, Engine};
 use sd_serve::server::{self, ServerConfig};
@@ -43,6 +44,13 @@ const USAGE: &str = "sd-serve — online scheduling service (HTTP/JSON)
   --legacy-path          run the pre-incremental scheduler hot path
   --backend <profile|slottree>  availability backend (default profile;
                          results are identical, only scheduler cost moves)
+  --wal <dir>            crash tolerance: write-ahead log + checkpoints in
+                         <dir>; on restart the service recovers the exact
+                         pre-crash state before accepting traffic
+                         (virtual clock only)
+  --checkpoint-every <n> records between checkpoints (default 256)
+  --wal-fsync <always|checkpoint|never>  fsync policy for WAL appends
+                         (default checkpoint; checkpoints always fsync)
   --help, -h             this text";
 
 fn fail(msg: &str) -> ! {
@@ -67,6 +75,9 @@ struct Cli {
     trace_capacity: usize,
     legacy: bool,
     backend: slurm_sim::AvailBackendKind,
+    wal: Option<std::path::PathBuf>,
+    checkpoint_every: u64,
+    wal_fsync: FsyncPolicy,
 }
 
 fn parse_cli() -> Cli {
@@ -87,6 +98,9 @@ fn parse_cli() -> Cli {
         trace_capacity: 65_536,
         legacy: false,
         backend: slurm_sim::AvailBackendKind::default(),
+        wal: None,
+        checkpoint_every: 256,
+        wal_fsync: FsyncPolicy::default(),
     };
     let mut compression: f64 = 60.0;
     let mut realtime = false;
@@ -151,6 +165,26 @@ fn parse_cli() -> Cli {
                 }
             }
             "--legacy-path" => cli.legacy = true,
+            "--wal" => cli.wal = Some(value("--wal").into()),
+            "--checkpoint-every" => {
+                cli.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --checkpoint-every"));
+                if cli.checkpoint_every == 0 {
+                    fail("--checkpoint-every must be at least 1");
+                }
+            }
+            "--wal-fsync" => {
+                let v = value("--wal-fsync");
+                cli.wal_fsync = match v.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "checkpoint" => FsyncPolicy::Checkpoint,
+                    "never" => FsyncPolicy::Never,
+                    _ => fail(&format!(
+                        "--wal-fsync must be always, checkpoint or never, got {v}"
+                    )),
+                };
+            }
             "--backend" => {
                 let v = value("--backend");
                 cli.backend = slurm_sim::AvailBackendKind::parse(&v)
@@ -227,12 +261,52 @@ fn main() {
         v => fail(&format!("unknown --policy {v}")),
     };
 
-    let state = SimState::new_online(spec.clone(), cfg, model, SharingFactor::new(cli.sharing));
+    // Crash tolerance: recover checkpoint + WAL (and collapse the log into a
+    // fresh checkpoint) *before* binding — no traffic is accepted until the
+    // pre-crash state is fully rebuilt.
+    let engine = match &cli.wal {
+        Some(dir) => {
+            if cli.mode != ClockMode::Virtual {
+                fail("--wal requires the virtual clock (realtime replay is not deterministic)");
+            }
+            let (engine, status) = Engine::recover(
+                dir,
+                cli.wal_fsync,
+                cli.checkpoint_every,
+                spec.clone(),
+                cfg,
+                model,
+                SharingFactor::new(cli.sharing),
+                scheduler,
+            )
+            .unwrap_or_else(|e| fail(&format!("WAL recovery failed: {e}")));
+            match status.recovered {
+                None => eprintln!(
+                    "wal: fresh log in {} (fsync {}, checkpoint every {} records)",
+                    dir.display(),
+                    cli.wal_fsync.label(),
+                    cli.checkpoint_every,
+                ),
+                Some(mode) => eprintln!(
+                    "wal: recovered from {} in {:.3}s ({mode}; {} records replayed)",
+                    dir.display(),
+                    status.recovery_seconds,
+                    status.records_replayed,
+                ),
+            }
+            engine
+        }
+        None => {
+            let state =
+                SimState::new_online(spec.clone(), cfg, model, SharingFactor::new(cli.sharing));
+            Engine::new(state, scheduler, cli.mode)
+        }
+    };
     let hists = std::sync::Arc::new(sd_serve::metrics::ServeHistograms::default());
     let ring = cli
         .trace
         .then(|| std::sync::Arc::new(slurm_sim::TraceRing::new(cli.trace_capacity)));
-    let mut engine = Engine::new(state, scheduler, cli.mode).with_histograms(hists.clone());
+    let mut engine = engine.with_histograms(hists.clone());
     if let Some(r) = &ring {
         engine = engine.with_trace(r.clone());
         eprintln!("decision tracing on: ring capacity {} events", r.capacity());
@@ -264,7 +338,14 @@ fn main() {
         cli.workers,
     );
 
-    let server_cfg = ServerConfig { workers: cli.workers, trace: ring, hists };
+    // Graceful SIGTERM/SIGINT: drain, final checkpoint (with --wal), exit 0.
+    sd_serve::signals::install();
+    let server_cfg = ServerConfig {
+        workers: cli.workers,
+        trace: ring,
+        hists,
+        signal_stop: true,
+    };
     match server::run(engine, listener, server_cfg) {
         Ok(result) => {
             eprintln!(

@@ -41,13 +41,57 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     addr: SocketAddr,
     conn: Option<BufReader<TcpStream>>,
+    /// Transport-failure retries allowed per request (beyond the free
+    /// stale-keep-alive reconnect). 0 = fail fast.
+    max_retries: u32,
+    retries: u64,
+    /// xorshift state for backoff jitter (decorrelates clients hammering a
+    /// restarting server).
+    jitter: u64,
 }
 
 impl Client {
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
-        let mut c = Client { addr, conn: None };
+        let mut c = Client::new(addr);
         c.ensure()?;
         Ok(c)
+    }
+
+    /// A client that has not connected yet — the first request will. Useful
+    /// with [`with_retries`](Client::with_retries) when the server may not
+    /// be up yet.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            conn: None,
+            max_retries: 0,
+            retries: 0,
+            jitter: (u64::from(std::process::id()) << 17) ^ u64::from(addr.port()) ^ 0x9E37_79B9,
+        }
+    }
+
+    /// Allows up to `n` transport-failure retries per request, with capped
+    /// exponential backoff (10 ms doubling to ~1.3 s) and ±50% jitter.
+    /// Only connection-level failures are retried; an HTTP error status is
+    /// an answer, not a failure.
+    pub fn with_retries(mut self, n: u32) -> Client {
+        self.max_retries = n;
+        self
+    }
+
+    /// Transport retries performed so far (all requests).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base_ms = 10u64 << attempt.min(7); // 10ms .. 1.28s
+        // xorshift64 → jitter factor in [0.5, 1.5).
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let frac = (self.jitter % 1000) as f64 / 1000.0;
+        Duration::from_secs_f64(base_ms as f64 * 1e-3 * (0.5 + frac))
     }
 
     fn ensure(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
@@ -71,7 +115,13 @@ impl Client {
     }
 
     /// One request/response, reconnecting once if the pooled connection was
-    /// torn down (server-side idle timeout).
+    /// torn down (server-side idle timeout), then retrying with backoff up
+    /// to the [`with_retries`](Client::with_retries) budget.
+    ///
+    /// Caution: a retried *mutation* may be applied twice if the server
+    /// crashed after applying but before answering. Callers that need
+    /// exactly-once (the soak harness) must resync from server state
+    /// instead of blindly retrying submissions.
     pub fn request(
         &mut self,
         method: &str,
@@ -86,11 +136,27 @@ impl Client {
             req.body = v.render().into_bytes();
         }
         let wire = req.render();
-        match self.exchange_once(&wire) {
-            Ok(r) => Ok(r),
-            Err(_) => {
-                self.conn = None; // stale keep-alive; retry on a fresh socket
-                self.exchange_once(&wire)
+        // A failure on a pooled connection gets one immediate free retry on
+        // a fresh socket — that is the ordinary server-side idle timeout,
+        // not an outage.
+        let mut free_retry = self.conn.is_some();
+        let mut attempt = 0u32;
+        loop {
+            match self.exchange_once(&wire) {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    self.conn = None;
+                    if free_retry {
+                        free_retry = false;
+                        continue;
+                    }
+                    if attempt >= self.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt - 1));
+                }
             }
         }
     }

@@ -1,0 +1,258 @@
+//! Wire formats for crash tolerance (DESIGN.md §14): the WAL record payload
+//! (one state-mutating API command) and the engine-level checkpoint payload
+//! (service counters + the canonical [`slurm_sim::SimState`] image).
+//!
+//! `sd-durable` owns framing, checksums and the recovery protocol; this
+//! module owns what the framed bytes *mean*. Both encodings are tiny
+//! hand-rolled little-endian formats — same dependency-free stance as the
+//! rest of the crate.
+
+use crate::proto::SubmitRequest;
+
+/// One durably logged command. Only deterministic state mutations are
+/// logged: reads, and submissions refused by the (wall-clock) rate limiter,
+/// never reach the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalCmd {
+    Submit(SubmitRequest),
+    Cancel(u64),
+    Advance(u64),
+    Drain,
+}
+
+const TAG_SUBMIT: u8 = 0;
+const TAG_CANCEL: u8 = 1;
+const TAG_ADVANCE: u8 = 2;
+const TAG_DRAIN: u8 = 3;
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(x) => {
+            buf.push(1);
+            put_u64(buf, x);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.data.len() - self.pos < n {
+            return Err(format!("record truncated at offset {}", self.pos));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn opt(&mut self) -> Result<Option<u64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            b => Err(format!("bad option byte {b}")),
+        }
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.data.len() {
+            return Err("trailing bytes in record".into());
+        }
+        Ok(())
+    }
+}
+
+impl WalCmd {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            WalCmd::Submit(r) => {
+                buf.push(TAG_SUBMIT);
+                put_u64(&mut buf, r.procs);
+                put_u64(&mut buf, r.req_time);
+                put_u64(&mut buf, r.run_time);
+                put_opt(&mut buf, r.submit);
+                match r.malleable {
+                    None => buf.push(2),
+                    Some(b) => buf.push(b as u8),
+                }
+                put_opt(&mut buf, r.trace_id);
+                put_opt(&mut buf, r.tenant);
+                put_opt(&mut buf, r.project);
+            }
+            WalCmd::Cancel(id) => {
+                buf.push(TAG_CANCEL);
+                put_u64(&mut buf, *id);
+            }
+            WalCmd::Advance(to) => {
+                buf.push(TAG_ADVANCE);
+                put_u64(&mut buf, *to);
+            }
+            WalCmd::Drain => buf.push(TAG_DRAIN),
+        }
+        buf
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<WalCmd, String> {
+        let mut c = Cursor { data: bytes, pos: 0 };
+        let cmd = match c.u8()? {
+            TAG_SUBMIT => WalCmd::Submit(SubmitRequest {
+                procs: c.u64()?,
+                req_time: c.u64()?,
+                run_time: c.u64()?,
+                submit: c.opt()?,
+                malleable: match c.u8()? {
+                    0 => Some(false),
+                    1 => Some(true),
+                    2 => None,
+                    b => return Err(format!("bad malleable byte {b}")),
+                },
+                trace_id: c.opt()?,
+                tenant: c.opt()?,
+                project: c.opt()?,
+            }),
+            TAG_CANCEL => WalCmd::Cancel(c.u64()?),
+            TAG_ADVANCE => WalCmd::Advance(c.u64()?),
+            TAG_DRAIN => WalCmd::Drain,
+            t => return Err(format!("unknown WAL command tag {t}")),
+        };
+        c.done()?;
+        Ok(cmd)
+    }
+}
+
+/// Engine-level state riding on top of the simulator image in a checkpoint:
+/// the virtual-clock floor, the accepted-submission counter and the per-
+/// tenant wire counters (`(tenant, submitted, rate_limited)` rows).
+///
+/// Deliberately *not* here: the wall-clock token buckets (rate limiting
+/// restarts full — a crash must never carry over throttling debt) and the
+/// trace ring (diagnostics, rebuilt empty).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineCheckpoint {
+    pub floor: u64,
+    pub submitted: u64,
+    pub tenant_wire: Vec<(u64, u64, u64)>,
+    pub state: Vec<u8>,
+}
+
+const MAGIC: u32 = 0x5344_4543; // "SDEC"
+const VERSION: u32 = 1;
+
+impl EngineCheckpoint {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.state.len());
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        put_u64(&mut buf, self.floor);
+        put_u64(&mut buf, self.submitted);
+        put_u64(&mut buf, self.tenant_wire.len() as u64);
+        for &(t, s, r) in &self.tenant_wire {
+            put_u64(&mut buf, t);
+            put_u64(&mut buf, s);
+            put_u64(&mut buf, r);
+        }
+        put_u64(&mut buf, self.state.len() as u64);
+        buf.extend_from_slice(&self.state);
+        buf
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<EngineCheckpoint, String> {
+        let mut c = Cursor { data: bytes, pos: 0 };
+        if c.u64()? != (u64::from(VERSION) << 32 | u64::from(MAGIC)) {
+            return Err("not an engine checkpoint (bad magic/version)".into());
+        }
+        let floor = c.u64()?;
+        let submitted = c.u64()?;
+        let rows = c.u64()? as usize;
+        if rows > bytes.len() {
+            return Err("tenant row count exceeds payload".into());
+        }
+        let mut tenant_wire = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            tenant_wire.push((c.u64()?, c.u64()?, c.u64()?));
+        }
+        let n = c.u64()? as usize;
+        let state = c.take(n)?.to_vec();
+        c.done()?;
+        Ok(EngineCheckpoint { floor, submitted, tenant_wire, state })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit() -> SubmitRequest {
+        SubmitRequest {
+            procs: 64,
+            req_time: 3600,
+            run_time: 1800,
+            submit: Some(42),
+            malleable: None,
+            trace_id: Some(7),
+            tenant: Some(3),
+            project: None,
+        }
+    }
+
+    #[test]
+    fn wal_commands_round_trip() {
+        let cmds = [
+            WalCmd::Submit(submit()),
+            WalCmd::Submit(SubmitRequest {
+                submit: None,
+                malleable: Some(true),
+                ..submit()
+            }),
+            WalCmd::Cancel(9),
+            WalCmd::Advance(1_000_000),
+            WalCmd::Drain,
+        ];
+        for cmd in cmds {
+            let bytes = cmd.encode();
+            assert_eq!(WalCmd::decode(&bytes).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn wal_decode_rejects_garbage() {
+        assert!(WalCmd::decode(&[]).is_err());
+        assert!(WalCmd::decode(&[99]).is_err());
+        // Truncated submit.
+        let bytes = WalCmd::Submit(submit()).encode();
+        for cut in 0..bytes.len() {
+            assert!(WalCmd::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut long = WalCmd::Drain.encode();
+        long.push(0);
+        assert!(WalCmd::decode(&long).is_err());
+    }
+
+    #[test]
+    fn engine_checkpoint_round_trips() {
+        let cp = EngineCheckpoint {
+            floor: 500,
+            submitted: 12,
+            tenant_wire: vec![(0, 4, 0), (3, 8, 2)],
+            state: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = cp.encode();
+        assert_eq!(EngineCheckpoint::decode(&bytes).unwrap(), cp);
+        assert!(EngineCheckpoint::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(EngineCheckpoint::decode(b"junk").is_err());
+    }
+}

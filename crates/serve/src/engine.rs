@@ -18,8 +18,10 @@
 //!   factor (sim-seconds per wall-second); due events are processed as their
 //!   instants pass, and submissions default to "now".
 
+use crate::durable::{EngineCheckpoint, WalCmd};
 use crate::metrics::ServeHistograms;
 use crate::proto::SubmitRequest;
+use sd_durable::{DurableStore, FsyncPolicy};
 use simkit::SimTime;
 use slurm_sim::{Controller, DirtyFlags, Scheduler, SimResult, SimState, SubmitError, TraceRing};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -73,6 +75,8 @@ pub struct Snapshot {
     /// Submit→start wait of completed jobs, bucketed (virtual seconds) —
     /// rendered as the `sd_serve_job_wait_seconds` histogram.
     pub wait_hist: sched_metrics::Histogram,
+    /// Durability counters; `None` when running without `--wal`.
+    pub wal: Option<WalStatus>,
 }
 
 /// One tenant's slice of the service counters: wire-side submission counts
@@ -250,6 +254,40 @@ struct TenantWire {
     rate_limited: u64,
 }
 
+/// WAL/checkpoint figures for `/metrics` (present only with `--wal`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalStatus {
+    /// Records appended since this process opened the log.
+    pub records_written: u64,
+    /// Records replayed during boot recovery.
+    pub records_replayed: u64,
+    /// Checkpoints installed since this process opened the store.
+    pub checkpoints_written: u64,
+    /// Wall time of boot recovery (open + restore + replay + checkpoint).
+    pub recovery_seconds: f64,
+    /// `None`: fresh directory; `"clean"`: recovered an intact image;
+    /// `"torn_tail"`: recovered after discarding a corrupt WAL tail.
+    pub recovered: Option<&'static str>,
+}
+
+/// Write-ahead durability attached to the engine (DESIGN.md §14). Every
+/// state-mutating command is logged *before* it is applied; a checkpoint is
+/// installed (collapsing the log) every `checkpoint_every` records and at
+/// shutdown.
+struct Durability {
+    store: DurableStore,
+    checkpoint_every: u64,
+    records_since_checkpoint: u64,
+    /// Next WAL sequence number (global, resumes across restarts).
+    next_seq: u64,
+    replayed: u64,
+    recovery_seconds: f64,
+    recovered: Option<&'static str>,
+    /// A failed append or checkpoint makes recovery guarantees void; noted
+    /// once (loudly) and surfaced here rather than crashing the service.
+    degraded: bool,
+}
+
 /// The engine: owns the controller, executes commands sequentially.
 pub struct Engine {
     ctl: Controller<Box<dyn Scheduler + Send>>,
@@ -266,6 +304,8 @@ pub struct Engine {
     tenant_wire: std::collections::BTreeMap<u64, TenantWire>,
     /// Decision-trace ring, shared with `/v1/trace` readers.
     trace: Option<Arc<TraceRing>>,
+    /// Write-ahead log + checkpoints; `None` = in-memory only.
+    dur: Option<Durability>,
 }
 
 /// Wraps the configured scheduler to time each pass into the service's
@@ -312,7 +352,93 @@ impl Engine {
             tenant_rates: Default::default(),
             tenant_wire: Default::default(),
             trace: None,
+            dur: None,
         }
+    }
+
+    /// Builds a crash-tolerant virtual-clock engine: opens (or creates) the
+    /// durable store at `dir`, restores the checkpointed state, replays the
+    /// outstanding WAL records through the exact command paths the live
+    /// service uses, and installs a fresh checkpoint so the next boot starts
+    /// from a collapsed log. Returns the engine plus a recovery summary.
+    ///
+    /// The WAL requires the deterministic virtual clock: realtime replay
+    /// would re-time events against a different wall clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover(
+        dir: &std::path::Path,
+        policy: FsyncPolicy,
+        checkpoint_every: u64,
+        spec: cluster::ClusterSpec,
+        cfg: slurm_sim::SlurmConfig,
+        rate_model: Box<dyn slurm_sim::RateModel>,
+        sharing: drom::SharingFactor,
+        scheduler: Box<dyn Scheduler + Send>,
+    ) -> Result<(Engine, WalStatus), String> {
+        let t0 = Instant::now();
+        let (store, rec) = DurableStore::open(dir, policy)
+            .map_err(|e| format!("open WAL store at {}: {e}", dir.display()))?;
+        let recovered = if rec.is_fresh() {
+            None
+        } else if rec.torn_tail {
+            Some("torn_tail")
+        } else {
+            Some("clean")
+        };
+        let mut engine = match &rec.checkpoint {
+            Some(bytes) => {
+                let cp = EngineCheckpoint::decode(bytes)
+                    .map_err(|e| format!("corrupt engine checkpoint: {e}"))?;
+                let state = SimState::restore(spec, cfg, rate_model, sharing, &cp.state)
+                    .map_err(|e| format!("restore checkpointed state: {e}"))?;
+                let mut e = Engine::new(state, scheduler, ClockMode::Virtual);
+                e.floor = SimTime(cp.floor);
+                e.submitted = cp.submitted;
+                e.tenant_wire = cp
+                    .tenant_wire
+                    .into_iter()
+                    .map(|(t, s, r)| {
+                        (t, TenantWire { submitted: s, rate_limited: r })
+                    })
+                    .collect();
+                e
+            }
+            None => Engine::new(
+                SimState::new_online(spec, cfg, rate_model, sharing),
+                scheduler,
+                ClockMode::Virtual,
+            ),
+        };
+        let mut replayed = 0u64;
+        for record in &rec.records {
+            let cmd = WalCmd::decode(&record.payload)
+                .map_err(|e| format!("undecodable WAL record seq {}: {e}", record.seq))?;
+            engine.apply_replayed(cmd);
+            replayed += 1;
+        }
+        engine.dur = Some(Durability {
+            store,
+            checkpoint_every: checkpoint_every.max(1),
+            records_since_checkpoint: 0,
+            next_seq: rec.next_seq,
+            replayed,
+            recovery_seconds: 0.0,
+            recovered,
+            degraded: false,
+        });
+        // Collapse the replayed log so a crash during this session never
+        // replays the previous session's records on top of them again.
+        engine.checkpoint_now();
+        let d = engine.dur.as_mut().unwrap();
+        d.recovery_seconds = t0.elapsed().as_secs_f64();
+        let status = WalStatus {
+            records_written: d.store.wal_records_written(),
+            records_replayed: d.replayed,
+            checkpoints_written: d.store.checkpoints_written(),
+            recovery_seconds: d.recovery_seconds,
+            recovered: d.recovered,
+        };
+        Ok((engine, status))
     }
 
     /// Installs per-tenant submit rate limits (submissions per wall-second;
@@ -406,7 +532,10 @@ impl Engine {
                 let _ = reply.send(self.submit(req));
             }
             Command::Cancel { id, reply } => {
-                let _ = reply.send(self.cancel(id));
+                self.log(&WalCmd::Cancel(id));
+                let r = self.cancel(id);
+                self.maybe_checkpoint();
+                let _ = reply.send(r);
             }
             Command::JobInfo { id, reply } => {
                 let _ = reply.send(self.job_view(id));
@@ -431,11 +560,16 @@ impl Engine {
                 let _ = reply.send(self.snapshot());
             }
             Command::Advance { to, reply } => {
-                let _ = reply.send(self.advance(to));
+                self.log(&WalCmd::Advance(to));
+                let r = self.advance(to);
+                self.maybe_checkpoint();
+                let _ = reply.send(r);
             }
             Command::Drain { reply } => {
                 if self.mode == ClockMode::Virtual {
+                    self.log(&WalCmd::Drain);
                     self.ctl.step_until(None);
+                    self.maybe_checkpoint();
                     let _ = reply.send(Ok(self.virtual_now().secs()));
                 } else {
                     let _ = reply.send(Err(EngineError::WrongMode(
@@ -448,6 +582,9 @@ impl Engine {
                 let _ = reply.send(SimResult::snapshot(&self.ctl.state, name));
             }
             Command::Shutdown { reply } => {
+                // Final checkpoint: a restart after a graceful stop resumes
+                // from the exact shutdown state with an empty log.
+                self.checkpoint_now();
                 let name = self.ctl.scheduler.name();
                 let _ = reply.send(SimResult::snapshot(&self.ctl.state, name));
                 return true;
@@ -471,6 +608,89 @@ impl Engine {
         }
     }
 
+    /// Appends one command to the WAL (no-op without `--wal`). Called
+    /// *before* the command is applied — the log is a total order of
+    /// effects. An append failure cannot be surfaced to the already-running
+    /// simulation, so it degrades durability loudly instead of crashing.
+    fn log(&mut self, cmd: &WalCmd) {
+        let Some(d) = self.dur.as_mut() else { return };
+        let seq = d.next_seq;
+        d.next_seq += 1;
+        d.records_since_checkpoint += 1;
+        if let Err(e) = d.store.append(seq, &cmd.encode()) {
+            if !d.degraded {
+                eprintln!("sd-serve: WAL append failed ({e}); crash recovery is no longer guaranteed");
+            }
+            d.degraded = true;
+        }
+    }
+
+    /// Serialises the full durable image: engine counters + the canonical
+    /// simulator state.
+    fn checkpoint_payload(&self) -> Vec<u8> {
+        EngineCheckpoint {
+            floor: self.floor.secs(),
+            submitted: self.submitted,
+            tenant_wire: self
+                .tenant_wire
+                .iter()
+                .map(|(&t, w)| (t, w.submitted, w.rate_limited))
+                .collect(),
+            state: self.ctl.state.checkpoint_bytes(),
+        }
+        .encode()
+    }
+
+    /// Installs a checkpoint covering everything applied so far and resets
+    /// the record counter. No-op without `--wal`.
+    fn checkpoint_now(&mut self) {
+        if self.dur.is_none() {
+            return;
+        }
+        let payload = self.checkpoint_payload();
+        let d = self.dur.as_mut().unwrap();
+        // Seqs start at 1, so `next_seq - 1` is the last logged (= applied)
+        // record; 0 = "nothing beyond the checkpoint".
+        let applied = d.next_seq - 1;
+        if let Err(e) = d.store.install_checkpoint(applied, &payload) {
+            if !d.degraded {
+                eprintln!("sd-serve: checkpoint failed ({e}); crash recovery is no longer guaranteed");
+            }
+            d.degraded = true;
+        }
+        d.records_since_checkpoint = 0;
+    }
+
+    /// Checkpoints when the per-`checkpoint_every` budget is used up.
+    fn maybe_checkpoint(&mut self) {
+        let due = self
+            .dur
+            .as_ref()
+            .is_some_and(|d| d.records_since_checkpoint >= d.checkpoint_every);
+        if due {
+            self.checkpoint_now();
+        }
+    }
+
+    /// Re-applies one recovered WAL command. Replay goes through the same
+    /// code paths live traffic does, minus the WAL append (the record is
+    /// already on disk) and minus the rate limiter (refusals were never
+    /// logged, and throttling is a wall-clock concern).
+    fn apply_replayed(&mut self, cmd: WalCmd) {
+        match cmd {
+            WalCmd::Submit(req) => {
+                let _ = self.apply_submit(req);
+            }
+            WalCmd::Cancel(id) => {
+                let _ = self.cancel(id);
+            }
+            WalCmd::Advance(to) => {
+                let _ = self.advance(to);
+            }
+            WalCmd::Drain => self.ctl.step_until(None),
+        }
+    }
+
     fn submit(&mut self, req: SubmitRequest) -> Result<SubmitAck, EngineError> {
         let tenant = req.tenant.unwrap_or(0);
         if let Some(bucket) = self.tenant_rates.get_mut(&tenant) {
@@ -479,6 +699,16 @@ impl Engine {
                 return Err(EngineError::RateLimited(tenant));
             }
         }
+        // Log after the (non-deterministic, wall-clock) rate gate but before
+        // any effect: replay then reproduces exactly the accepted traffic.
+        self.log(&WalCmd::Submit(req.clone()));
+        let ack = self.apply_submit(req);
+        self.maybe_checkpoint();
+        ack
+    }
+
+    fn apply_submit(&mut self, req: SubmitRequest) -> Result<SubmitAck, EngineError> {
+        let tenant = req.tenant.unwrap_or(0);
         let (min, default) = match self.mode {
             ClockMode::Virtual => {
                 let min = self.min_virtual_submit();
@@ -626,6 +856,13 @@ impl Engine {
             submitted: self.submitted,
             tenants: self.tenant_snaps(),
             wait_hist,
+            wal: self.dur.as_ref().map(|d| WalStatus {
+                records_written: d.store.wal_records_written(),
+                records_replayed: d.replayed,
+                checkpoints_written: d.store.checkpoints_written(),
+                recovery_seconds: d.recovery_seconds,
+                recovered: d.recovered,
+            }),
         }
     }
 
@@ -893,6 +1130,146 @@ mod tests {
         assert!(!snap.wait_hist.is_empty(), "completed jobs feed the wait histogram");
         shutdown(&tx);
         h.join().unwrap();
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "sd-serve-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Durable engine over `dir` with a deliberately small checkpoint cadence
+    /// so tests exercise both periodic checkpoints and log replay.
+    fn recover_engine(dir: &std::path::Path) -> (Engine, WalStatus) {
+        let mut spec = ClusterSpec::ricc();
+        spec.nodes = 8;
+        Engine::recover(
+            dir,
+            FsyncPolicy::Never,
+            3,
+            spec,
+            SlurmConfig::default(),
+            Box::new(IdealModel),
+            SharingFactor::HALF,
+            Box::new(SdPolicy::default()),
+        )
+        .unwrap()
+    }
+
+    fn advance(tx: &Sender<Command>, to: u64) -> u64 {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Advance { to, reply: rtx }).unwrap();
+        rrx.recv().unwrap().unwrap()
+    }
+
+    #[test]
+    fn crash_recovery_resumes_bit_identically() {
+        let dir = tmp_dir("crash");
+        // Session 1: accepted traffic hits the WAL, then the process
+        // "crashes" — the engine is dropped without Shutdown, so no final
+        // checkpoint is written.
+        {
+            let (engine, status) = recover_engine(&dir);
+            assert!(status.recovered.is_none(), "fresh directory");
+            let (tx, rx) = mpsc::channel();
+            let h = std::thread::spawn(move || engine.run(rx));
+            for i in 0..4u64 {
+                submit(&tx, 16, 200, i * 10).unwrap();
+            }
+            advance(&tx, 120);
+            drop(tx);
+            h.join().unwrap();
+        }
+        // Session 2: recover and finish the run.
+        let (engine, status) = recover_engine(&dir);
+        assert_eq!(status.recovered, Some("clean"));
+        assert!(status.records_replayed > 0, "{status:?}");
+        let (tx, rx) = mpsc::channel();
+        let h = std::thread::spawn(move || engine.run(rx));
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Stats { reply: rtx }).unwrap();
+        let snap = rrx.recv().unwrap();
+        let wal = snap.wal.expect("durable engine exposes WAL status");
+        assert_eq!(wal.records_replayed, status.records_replayed);
+        assert!(wal.checkpoints_written >= 1, "recovery collapses the log");
+        submit(&tx, 16, 200, 500).unwrap();
+        drain(&tx);
+        let recovered_result = shutdown(&tx);
+        h.join().unwrap();
+
+        // Reference: identical traffic against an engine that never crashed.
+        let (tx, h) = spawn_engine(ClockMode::Virtual);
+        for i in 0..4u64 {
+            submit(&tx, 16, 200, i * 10).unwrap();
+        }
+        advance(&tx, 120);
+        submit(&tx, 16, 200, 500).unwrap();
+        drain(&tx);
+        let reference = shutdown(&tx);
+        h.join().unwrap();
+        assert_eq!(recovered_result, reference, "recovery ≡ never crashed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_discarded_without_panic() {
+        let dir = tmp_dir("torn");
+        {
+            let (engine, _) = recover_engine(&dir);
+            let (tx, rx) = mpsc::channel();
+            let h = std::thread::spawn(move || engine.run(rx));
+            submit(&tx, 8, 100, 0).unwrap();
+            submit(&tx, 8, 100, 1).unwrap();
+            drop(tx);
+            h.join().unwrap();
+        }
+        // A torn append: half a frame of garbage at the log tail.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.log"))
+            .unwrap();
+        f.write_all(&[0x13, 0x37, 0xFF]).unwrap();
+        drop(f);
+        let (engine, status) = recover_engine(&dir);
+        assert_eq!(status.recovered, Some("torn_tail"));
+        assert_eq!(status.records_replayed, 2, "valid prefix fully replayed");
+        let (tx, rx) = mpsc::channel();
+        let h = std::thread::spawn(move || engine.run(rx));
+        drain(&tx);
+        let res = shutdown(&tx);
+        h.join().unwrap();
+        assert_eq!(res.outcomes.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_checkpoint_collapses_log() {
+        let dir = tmp_dir("grace");
+        {
+            let (engine, _) = recover_engine(&dir);
+            let (tx, rx) = mpsc::channel();
+            let h = std::thread::spawn(move || engine.run(rx));
+            submit(&tx, 8, 100, 0).unwrap();
+            drain(&tx);
+            shutdown(&tx);
+            h.join().unwrap();
+        }
+        let (engine, status) = recover_engine(&dir);
+        assert_eq!(status.recovered, Some("clean"));
+        assert_eq!(status.records_replayed, 0, "shutdown checkpoint collapsed the log");
+        let (tx, rx) = mpsc::channel();
+        let h = std::thread::spawn(move || engine.run(rx));
+        let res = shutdown(&tx);
+        h.join().unwrap();
+        assert_eq!(res.outcomes.len(), 1, "completed work survives restarts");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //! * [`metrics`] — Prometheus text exposition of the `sched_metrics`-style
 //!   aggregates plus the PR 4 pass/skip counters,
 //! * [`client`] / [`loadgen`] — the loopback client and the `sd-loadgen`
-//!   traffic replayer (throughput, latency percentiles, metric deltas).
+//!   traffic replayer (throughput, latency percentiles, metric deltas),
+//! * [`durable`] / [`signals`] / [`soak`] — crash tolerance (DESIGN.md §14):
+//!   WAL + checkpoint codecs over `sd-durable`, the SIGTERM/SIGINT latch,
+//!   and the `sd-loadgen --soak` kill -9 chaos harness that proves
+//!   recovery ≡ never crashed end to end.
 
 pub mod client;
+pub mod durable;
 pub mod engine;
 pub mod http;
 pub mod json;
@@ -24,9 +29,12 @@ pub mod loadgen;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod signals;
+pub mod soak;
 
 pub use client::{Client, ClientError};
-pub use engine::{ClockMode, Command, Engine, EngineError, ExplainView, Snapshot};
+pub use engine::{ClockMode, Command, Engine, EngineError, ExplainView, Snapshot, WalStatus};
+pub use sd_durable::FsyncPolicy;
 pub use json::Json;
 pub use metrics::ServeHistograms;
 pub use proto::SubmitRequest;

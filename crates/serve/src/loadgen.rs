@@ -32,6 +32,9 @@ pub struct LoadgenOptions {
     /// tenant `1 + i mod N`). `None` = carry each record's own SWF
     /// user/group, so a replay reproduces the offline tenant mix exactly.
     pub tenants: Option<u32>,
+    /// Transport-failure retries per request (capped exponential backoff
+    /// with jitter, see [`Client::with_retries`]). 0 = fail fast.
+    pub max_retries: u32,
 }
 
 impl Default for LoadgenOptions {
@@ -42,6 +45,7 @@ impl Default for LoadgenOptions {
             drain: true,
             shutdown: false,
             tenants: None,
+            max_retries: 0,
         }
     }
 }
@@ -67,6 +71,8 @@ pub struct LoadgenReport {
     /// Submissions refused with 429 (per-tenant rate limit), also counted
     /// in `rejected`.
     pub rate_limited: u64,
+    /// Transport retries the client performed (reconnect + backoff).
+    pub retries: u64,
     /// Per-tenant breakdown, ascending by tenant id (one entry even for
     /// untenanted runs, where everything lands on tenant 0).
     pub per_tenant: Vec<TenantLoad>,
@@ -109,6 +115,9 @@ impl LoadgenReport {
         let _ = writeln!(out, "rejected         {}", self.rejected);
         if self.rate_limited > 0 {
             let _ = writeln!(out, "rate limited     {}", self.rate_limited);
+        }
+        if self.retries > 0 {
+            let _ = writeln!(out, "transport retries {}", self.retries);
         }
         let _ = writeln!(out, "submit wall      {:.3} s", self.submit_wall_s);
         let _ = writeln!(out, "achieved rate    {:.0} submits/s", self.achieved_rate);
@@ -161,7 +170,7 @@ pub fn run(
     jobs: &[swf::SwfJob],
     opts: &LoadgenOptions,
 ) -> Result<LoadgenReport, ClientError> {
-    let mut client = Client::connect(addr)?;
+    let mut client = Client::new(addr).with_retries(opts.max_retries);
     client.health()?;
     let stats_before = client.stats()?;
 
@@ -275,6 +284,7 @@ pub fn run(
         submitted,
         rejected,
         rate_limited,
+        retries: client.retries(),
         per_tenant,
         submit_wall_s,
         achieved_rate: if submit_wall_s > 0.0 {

@@ -205,6 +205,19 @@ pub fn render(snap: &Snapshot, http: &HttpCounters, hists: &ServeHistograms) -> 
         let _ = writeln!(out, "sd_serve_timing_calls_total{{function=\"{}\"}} {}", f.name, f.count);
     }
 
+    if let Some(w) = &snap.wal {
+        sample(&mut out, "sd_serve_wal_records_written_total", "Commands appended to the write-ahead log since boot.", "counter", w.records_written);
+        sample(&mut out, "sd_serve_wal_records_replayed_total", "WAL records replayed during boot recovery.", "counter", w.records_replayed);
+        sample(&mut out, "sd_serve_checkpoints_written_total", "Checkpoints installed since boot.", "counter", w.checkpoints_written);
+        sample(&mut out, "sd_serve_recovery_duration_seconds", "Wall time of boot recovery (restore + replay).", "gauge", format_args!("{}", w.recovery_seconds));
+        let _ = writeln!(out, "# HELP sd_serve_recovered Whether this boot recovered prior state, by recovery mode.");
+        let _ = writeln!(out, "# TYPE sd_serve_recovered gauge");
+        for mode in ["clean", "torn_tail"] {
+            let v = u64::from(w.recovered == Some(mode));
+            let _ = writeln!(out, "sd_serve_recovered{{mode=\"{mode}\"}} {v}");
+        }
+    }
+
     if !snap.tenants.is_empty() {
         for (name, help, get) in [
             (
@@ -266,6 +279,7 @@ mod tests {
             submitted: 20,
             tenants: vec![],
             wait_hist: sched_metrics::Histogram::wait_seconds(),
+            wal: None,
         }
     }
 
@@ -351,6 +365,29 @@ mod tests {
         assert!(text.contains("sd_serve_tenant_rate_limited_total{tenant=\"2\"} 3"), "{text}");
         assert!(text.contains("sd_serve_tenant_quota_skipped_total{tenant=\"2\"} 7"), "{text}");
         assert!(text.contains("sd_serve_quota_skipped_total 0"), "{text}");
+    }
+
+    #[test]
+    fn wal_series_render_only_when_durable() {
+        let http = HttpCounters::default();
+        let hists = ServeHistograms::default();
+        let text = render(&snap(), &http, &hists);
+        assert!(!text.contains("sd_serve_wal_records_written_total"), "{text}");
+        let mut s = snap();
+        s.wal = Some(crate::engine::WalStatus {
+            records_written: 7,
+            records_replayed: 3,
+            checkpoints_written: 2,
+            recovery_seconds: 0.25,
+            recovered: Some("torn_tail"),
+        });
+        let text = render(&s, &http, &hists);
+        assert!(text.contains("sd_serve_wal_records_written_total 7"), "{text}");
+        assert!(text.contains("sd_serve_wal_records_replayed_total 3"), "{text}");
+        assert!(text.contains("sd_serve_checkpoints_written_total 2"), "{text}");
+        assert!(text.contains("sd_serve_recovery_duration_seconds 0.25"), "{text}");
+        assert!(text.contains("sd_serve_recovered{mode=\"clean\"} 0"), "{text}");
+        assert!(text.contains("sd_serve_recovered{mode=\"torn_tail\"} 1"), "{text}");
     }
 
     #[test]

@@ -37,11 +37,17 @@ pub struct ServerConfig {
     /// Wall-clock histograms for `/metrics` — share with
     /// `Engine::with_histograms` so pass durations land in the same place.
     pub hists: Arc<ServeHistograms>,
+    /// Watch the process signal latch ([`crate::signals`]): on SIGTERM or
+    /// SIGINT, drain in-flight commands, shut the engine down cleanly
+    /// (final checkpoint included when a WAL is attached) and return the
+    /// final result as if a client had posted `/v1/shutdown`. The caller
+    /// must also run [`crate::signals::install`].
+    pub signal_stop: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, trace: None, hists: Arc::default() }
+        ServerConfig { workers: 4, trace: None, hists: Arc::default(), signal_stop: false }
     }
 }
 
@@ -82,6 +88,9 @@ pub fn run(
         s.spawn(|| engine.run(cmd_rx));
         for _ in 0..workers {
             s.spawn(|| worker_loop(&conn_rx, &shared));
+        }
+        if cfg.signal_stop {
+            s.spawn(|| signal_watcher(&shared));
         }
         // Acceptor: this thread. Unblocked at shutdown by a self-connection.
         // Transient accept errors (ECONNABORTED from a reset handshake,
@@ -128,6 +137,37 @@ pub fn run(
         .ok_or_else(|| std::io::Error::other("listener died before a shutdown request"))
 }
 
+/// Polls the process signal latch; on SIGTERM/SIGINT performs the same
+/// shutdown a client's `POST /v1/shutdown` would. The engine executes
+/// commands strictly sequentially, so the `Shutdown` enqueued here drains
+/// everything already accepted before the final snapshot (and, with a WAL,
+/// the final checkpoint) is taken. Exits when the server stops for any
+/// reason, so the scope always joins.
+fn signal_watcher(shared: &Shared) {
+    while !crate::signals::triggered() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return; // the server is already shutting down normally
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("sd-serve: termination signal received; draining and shutting down");
+    let (rtx, rrx) = mpsc::channel();
+    if shared.cmd_tx.send(Command::Shutdown { reply: rtx }).is_ok() {
+        // A disconnect means a concurrent client shutdown beat us to the
+        // engine and our command was dropped unprocessed — fine either way.
+        if let Ok(res) = rrx.recv() {
+            let mut slot = shared
+                .final_result
+                .lock()
+                .expect("final-result mutex poisoned");
+            if slot.is_none() {
+                *slot = Some(res);
+            }
+        }
+    }
+    finish_shutdown(shared);
+}
+
 fn worker_loop(conn_rx: &Mutex<mpsc::Receiver<TcpStream>>, shared: &Shared) {
     loop {
         let conn = {
@@ -143,15 +183,44 @@ fn worker_loop(conn_rx: &Mutex<mpsc::Receiver<TcpStream>>, shared: &Shared) {
 
 fn serve_connection(conn: TcpStream, shared: &Shared) {
     let _ = conn.set_nodelay(true);
-    // Idle keep-alive connections are dropped after a quiet period so
-    // workers cannot be pinned forever by a silent peer.
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    // Short read timeout: the idle wait below ticks on it, so an idle
+    // keep-alive connection is dropped after a quiet period (workers cannot
+    // be pinned forever by a silent peer) AND a shutdown releases blocked
+    // workers within one tick instead of one full idle period.
+    const IDLE_TICK: Duration = Duration::from_millis(500);
+    const IDLE_TICKS_MAX: u32 = 60; // ≈30 s quiet → hang up
+    let _ = conn.set_read_timeout(Some(IDLE_TICK));
     let Ok(write_half) = conn.try_clone() else {
         return;
     };
     let mut write_half = write_half;
     let mut reader = BufReader::new(conn);
     loop {
+        // Wait for the next request head between requests, watching the
+        // stop flag. Timeouts *inside* a request still map to Disconnected.
+        let mut idle = 0u32;
+        loop {
+            use std::io::BufRead as _;
+            match reader.fill_buf() {
+                Ok([]) => return,  // clean close between requests
+                Ok(_) => break,    // bytes waiting: parse a request
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    idle += 1;
+                    if idle >= IDLE_TICKS_MAX {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
         match http::read_request(&mut reader) {
             Ok(None) => return,
             Ok(Some(req)) => {

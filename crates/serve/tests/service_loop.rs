@@ -188,7 +188,7 @@ fn trace_and_explain_endpoints_cover_quota_skips() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let h = std::thread::spawn(move || {
-        server::run(engine, listener, ServerConfig { workers: 4, trace: Some(ring), hists }).ok()
+        server::run(engine, listener, ServerConfig { workers: 4, trace: Some(ring), hists, ..Default::default() }).ok()
     });
     let mut client = Client::connect(addr).unwrap();
 
@@ -330,6 +330,7 @@ fn loadgen_reports_throughput_and_deltas() {
             drain: true,
             shutdown: true,
             tenants: None,
+            max_retries: 0,
         },
     )
     .unwrap();

@@ -147,6 +147,40 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Snapshot for persistence: every live entry as `(time, payload, seq)`
+    /// in ascending `(time, seq)` order, plus the next sequence number.
+    /// Sequence numbers are part of the snapshot because they break FIFO
+    /// ties — restoring without them would reorder simultaneous events.
+    pub fn snapshot(&self) -> (Vec<(SimTime, E, u64)>, u64)
+    where
+        E: Clone,
+    {
+        let mut live: Vec<(SimTime, E, u64)> = self
+            .heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .map(|e| (e.time, e.payload.clone(), e.seq))
+            .collect();
+        live.sort_by_key(|a| (a.0, a.2));
+        (live, self.next_seq)
+    }
+
+    /// Rebuilds a queue from a [`snapshot`](EventQueue::snapshot),
+    /// preserving sequence numbers so tie order survives the round trip.
+    pub fn from_snapshot(entries: Vec<(SimTime, E, u64)>, next_seq: u64) -> Self {
+        let live = entries.len();
+        let heap: BinaryHeap<ScheduledEvent<E>> = entries
+            .into_iter()
+            .map(|(time, payload, seq)| ScheduledEvent { time, payload, seq })
+            .collect();
+        EventQueue {
+            heap,
+            next_seq,
+            cancelled: std::collections::HashSet::new(),
+            live,
+        }
+    }
+
     /// Drains every live event in order (mostly for tests / teardown).
     pub fn drain_sorted(&mut self) -> Vec<ScheduledEvent<E>> {
         let mut out = Vec::with_capacity(self.live);

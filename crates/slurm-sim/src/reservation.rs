@@ -79,6 +79,21 @@ impl ReleaseMap {
             .map(|(&t, &c)| (t, c))
     }
 
+    /// Per-node predicted releases in node order, for persistence.
+    pub fn node_releases(&self) -> &[Option<SimTime>] {
+        &self.node_release
+    }
+
+    /// Rebuilds a map from per-node releases; the instant→count index and
+    /// the busy counter are re-derived.
+    pub fn from_releases(node_release: &[Option<SimTime>]) -> ReleaseMap {
+        let mut rm = ReleaseMap::new(node_release.len() as u32);
+        for (i, &when) in node_release.iter().enumerate() {
+            rm.set_release(NodeId(i as u32), when);
+        }
+        rm
+    }
+
     /// Nodes whose predicted release is at or before `now` (late jobs —
     /// running past their request would be killed by real SLURM; the
     /// simulator keeps them and treats them as "releasing imminently").

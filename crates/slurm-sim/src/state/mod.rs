@@ -553,6 +553,7 @@ mod alloc;
 mod energy;
 mod online;
 mod pass;
+mod persist;
 
 #[cfg(test)]
 mod tests {
