@@ -38,6 +38,12 @@ const EXTRA_USAGE: &str = "run_scenario — execute a declarative scenario campa
                           point and write it as Chrome trace-event JSON
                           (open in Perfetto / chrome://tracing); prints a
                           decision-mix + wait-decomposition summary to stderr
+  --flame <path>          profile the campaign and write a collapsed-stack
+                          (flamegraph.pl / inferno / speedscope) file
+                          attributing scheduler wall time per hot function
+  --log-level <lvl>       stderr log verbosity: error|warn|info|debug|trace
+                          (default info)
+  --log-json <path>       mirror every emitted log record to a JSON-lines file
 ";
 
 fn fail(msg: &str) -> ! {
@@ -53,6 +59,7 @@ struct ScenarioCli {
     write_builtin: Option<String>,
     timing: bool,
     trace: Option<String>,
+    flame: Option<String>,
     common: CliArgs,
 }
 
@@ -64,6 +71,7 @@ fn parse_cli() -> ScenarioCli {
     let mut write_builtin = None;
     let mut timing = false;
     let mut trace = None;
+    let mut flame = None;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -81,6 +89,26 @@ fn parse_cli() -> ScenarioCli {
             "--trace" => match it.next() {
                 Some(v) => trace = Some(v),
                 None => fail("--trace needs an output path"),
+            },
+            "--flame" => match it.next() {
+                Some(v) => flame = Some(v),
+                None => fail("--flame needs an output path"),
+            },
+            "--log-level" => match it.next().as_deref().map(sd_obs::Level::parse) {
+                Some(Some(l)) => {
+                    sd_obs::set_stderr_level(l);
+                    sd_obs::set_ring_level(l);
+                }
+                Some(None) => fail("--log-level must be error|warn|info|debug|trace"),
+                None => fail("--log-level needs a value"),
+            },
+            "--log-json" => match it.next() {
+                Some(v) => {
+                    let p = std::path::PathBuf::from(&v);
+                    sd_obs::attach_json_sink(&p)
+                        .unwrap_or_else(|e| fail(&format!("--log-json {v}: {e}")));
+                }
+                None => fail("--log-json needs a path"),
             },
             "--format" => match it.next().as_deref() {
                 Some("json") => format = Some("json".to_string()),
@@ -118,6 +146,7 @@ fn parse_cli() -> ScenarioCli {
         write_builtin,
         timing,
         trace,
+        flame,
         common,
     }
 }
@@ -256,7 +285,7 @@ fn main() {
 
     let mut work: Vec<RunPoint> = points.clone();
     work.extend(baselines.iter().cloned());
-    if cli.timing {
+    if cli.timing || cli.flame.is_some() {
         // Hot-path probes are process-global; with --threads > 1 the
         // per-function totals aggregate across concurrent runs.
         slurm_sim::timing::reset();
@@ -362,6 +391,20 @@ fn main() {
             eprintln!("{}", ft.render());
         }
     }
+    if let Some(path) = &cli.flame {
+        let samples: Vec<sd_obs::StackSample> = slurm_sim::timing::stack_rows(
+            &slurm_sim::timing::report(),
+        )
+        .into_iter()
+        .map(|(frames, micros)| sd_obs::StackSample::new(frames, micros))
+        .collect();
+        let text = sd_obs::collapsed(&samples);
+        if text.is_empty() {
+            eprintln!("warning: {path}: no probe fired, flamegraph would be empty");
+        }
+        std::fs::write(path, text).unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        eprintln!("wrote {path} (collapsed stacks — flamegraph.pl / inferno / speedscope)");
+    }
     let (point_outcomes, baseline_outcomes) = outcomes.split_at(points.len());
     let baseline_summaries: Vec<Summary> = baseline_outcomes
         .iter()
@@ -444,6 +487,55 @@ fn main() {
             }
         }
         println!("{}", tt.render());
+    }
+
+    // Offline SLO evaluation: a `[slo]` section is judged against the
+    // completed run's job outcomes. Wait-quantile objectives evaluate
+    // exactly (every wait is known); pass-duration and availability are
+    // live-serving objectives (wall clock / refused submissions do not
+    // exist offline) and are marked accordingly rather than faked.
+    if points.iter().any(|p| !p.scenario.slos.is_empty()) {
+        let mut st = Table::new(&["variant", "objective", "good", "total", "budget", "verdict"]);
+        for (p, o) in points.iter().zip(point_outcomes) {
+            for spec in &p.scenario.slos {
+                let variant = if o.variant.is_empty() { o.scenario.clone() } else { o.variant.clone() };
+                let (good, total) = match spec.kind {
+                    sd_obs::SloKind::WaitQuantile => {
+                        let total = o.result.outcomes.len() as u64;
+                        let good = o
+                            .result
+                            .outcomes
+                            .iter()
+                            .filter(|j| (j.wait() as f64) <= spec.threshold)
+                            .count() as u64;
+                        (good, total)
+                    }
+                    _ => {
+                        st.row(vec![
+                            variant,
+                            spec.name.clone(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "live-only".into(),
+                        ]);
+                        continue;
+                    }
+                };
+                let bad_fraction = if total == 0 { 0.0 } else { 1.0 - good as f64 / total as f64 };
+                let allowed = (1.0 - spec.objective).max(f64::EPSILON);
+                let budget = 1.0 - bad_fraction / allowed;
+                st.row(vec![
+                    variant,
+                    spec.name.clone(),
+                    format!("{good}"),
+                    format!("{total}"),
+                    format!("{:+.1}%", budget * 100.0),
+                    if budget >= 0.0 { "ok".into() } else { "BREACHED".into() },
+                ]);
+            }
+        }
+        println!("{}", st.render());
     }
 
     if let Some(out) = &cli.common.out {

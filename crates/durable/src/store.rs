@@ -19,6 +19,7 @@ use crate::checkpoint;
 use crate::wal::{self, FsyncPolicy, ScanOutcome, WalRecord, WalWriter};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 pub const WAL_FILE: &str = "wal.log";
 
@@ -54,6 +55,11 @@ pub struct DurableStore {
     wal: WalWriter,
     policy: FsyncPolicy,
     checkpoints_written: u64,
+    /// When the current WAL segment (records since the last checkpoint)
+    /// started accumulating; `None` while the segment is empty. Feeds the
+    /// `sd_serve_wal_segment_age_seconds` gauge — the signal the ROADMAP's
+    /// still-open compaction policy needs.
+    segment_started: Option<Instant>,
 }
 
 impl DurableStore {
@@ -91,17 +97,22 @@ impl DurableStore {
             torn_tail,
             next_seq: max_seq + 1,
         };
+        let segment_started = (wal.bytes() > 0).then(Instant::now);
         let store = DurableStore {
             dir: dir.to_path_buf(),
             wal,
             policy,
             checkpoints_written: 0,
+            segment_started,
         };
         Ok((store, recovery))
     }
 
     /// Append one record; call *before* applying its effect.
     pub fn append(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        if self.segment_started.is_none() {
+            self.segment_started = Some(Instant::now());
+        }
         self.wal.append(seq, payload)
     }
 
@@ -113,6 +124,7 @@ impl DurableStore {
         checkpoint::write(&self.dir, applied_seq, payload)?;
         self.wal.reset()?;
         self.checkpoints_written += 1;
+        self.segment_started = None;
         Ok(())
     }
 
@@ -130,6 +142,19 @@ impl DurableStore {
 
     pub fn checkpoints_written(&self) -> u64 {
         self.checkpoints_written
+    }
+
+    /// Current on-disk WAL size in bytes (zero right after a checkpoint).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// Age of the oldest un-checkpointed WAL record in seconds (0.0 when
+    /// the segment is empty).
+    pub fn wal_segment_age_seconds(&self) -> f64 {
+        self.segment_started
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
     }
 }
 
@@ -182,10 +207,21 @@ mod tests {
         let dir = tmp_dir("ckpt");
         {
             let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+            assert_eq!(store.wal_bytes(), 0);
+            assert_eq!(store.wal_segment_age_seconds(), 0.0, "empty segment");
             store.append(1, b"one").unwrap();
             store.append(2, b"two").unwrap();
+            assert!(store.wal_bytes() > 0, "appends grow the log");
+            assert!(store.wal_segment_age_seconds() >= 0.0);
             store.install_checkpoint(2, b"state@2").unwrap();
+            assert_eq!(store.wal_bytes(), 0, "checkpoint collapses the log");
+            assert_eq!(store.wal_segment_age_seconds(), 0.0);
             store.append(3, b"three").unwrap();
+            assert_eq!(
+                store.wal_bytes(),
+                (crate::wal::FRAME_HEADER + 5) as u64,
+                "one frame: header + payload"
+            );
         }
         let (_store, rec) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
         assert_eq!(rec.checkpoint.as_deref(), Some(b"state@2".as_slice()));

@@ -153,6 +153,7 @@ pub struct WalWriter {
     policy: FsyncPolicy,
     buf: Vec<u8>,
     records_written: u64,
+    bytes: u64,
 }
 
 impl WalWriter {
@@ -172,6 +173,7 @@ impl WalWriter {
             policy,
             buf: Vec::with_capacity(256),
             records_written: 0,
+            bytes: valid_bytes,
         })
     }
 
@@ -183,6 +185,7 @@ impl WalWriter {
             self.file.sync_data()?;
         }
         self.records_written += 1;
+        self.bytes += self.buf.len() as u64;
         Ok(())
     }
 
@@ -194,11 +197,18 @@ impl WalWriter {
         if self.policy != FsyncPolicy::Never {
             self.file.sync_data()?;
         }
+        self.bytes = 0;
         Ok(())
     }
 
     pub fn records_written(&self) -> u64 {
         self.records_written
+    }
+
+    /// Current on-disk size of the log in bytes (valid prefix at open plus
+    /// every append since, zeroed by [`reset`]).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 }
 

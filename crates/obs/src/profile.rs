@@ -1,0 +1,87 @@
+//! Collapsed-stack ("folded") profile rendering — the Brendan Gregg
+//! `flamegraph.pl` / inferno / speedscope input format: one line per unique
+//! stack, frames joined by `;`, a space, then the sample value.
+//!
+//! The workspace's profiler is not a PC sampler: `slurm_sim::timing`
+//! accumulates exact wall time per instrumented hot function. Callers map
+//! those accumulators onto a nominal call hierarchy (see
+//! `slurm_sim::timing::stack_rows`) and hand the rows here; duplicate
+//! stacks are folded, values summed, and lines emitted in deterministic
+//! (sorted) order so identical inputs render byte-identically.
+
+use std::collections::BTreeMap;
+
+/// One attributed stack: frames root-first plus a sample value (the
+/// workspace convention is integer microseconds of wall time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSample {
+    pub frames: Vec<String>,
+    pub value: u64,
+}
+
+impl StackSample {
+    pub fn new<I, S>(frames: I, value: u64) -> StackSample
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        StackSample { frames: frames.into_iter().map(Into::into).collect(), value }
+    }
+}
+
+/// Renders samples as collapsed-stack text. Zero-valued and frame-less
+/// samples are dropped (flamegraph tools reject empty lines); semicolons
+/// inside frame names are replaced with `:` to keep the grammar parseable.
+pub fn collapsed(samples: &[StackSample]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for s in samples {
+        if s.value == 0 || s.frames.is_empty() {
+            continue;
+        }
+        let key = s
+            .frames
+            .iter()
+            .map(|f| f.replace(';', ":"))
+            .collect::<Vec<_>>()
+            .join(";");
+        *folded.entry(key).or_insert(0) += s.value;
+    }
+    let mut out = String::new();
+    for (stack, value) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_duplicates_and_sorts() {
+        let samples = vec![
+            StackSample::new(["sd", "pass", "backfill_trial"], 30),
+            StackSample::new(["sd", "pass"], 5),
+            StackSample::new(["sd", "pass", "backfill_trial"], 12),
+        ];
+        let text = collapsed(&samples);
+        assert_eq!(text, "sd;pass 5\nsd;pass;backfill_trial 42\n");
+    }
+
+    #[test]
+    fn drops_zero_and_escapes_semicolons() {
+        let samples = vec![
+            StackSample::new(["a;b", "c"], 1),
+            StackSample::new(["dead"], 0),
+        ];
+        assert_eq!(collapsed(&samples), "a:b;c 1\n");
+    }
+
+    #[test]
+    fn empty_input_renders_empty() {
+        assert_eq!(collapsed(&[]), "");
+    }
+}

@@ -528,6 +528,9 @@ pub struct Scenario {
     pub slurm: SlurmDecl,
     /// None → untenanted: no registry, no quotas, FIFO queue.
     pub tenants: Option<TenantsDecl>,
+    /// Declared service-level objectives, evaluated offline by
+    /// `run_scenario` and live by `sd-serve --slo` (DESIGN.md §15).
+    pub slos: Vec<sd_obs::SloSpec>,
     pub sweep: SweepDecl,
 }
 
@@ -544,6 +547,7 @@ impl Scenario {
             policy: PolicyDecl::default(),
             slurm: SlurmDecl::default(),
             tenants: None,
+            slos: Vec::new(),
             sweep: SweepDecl::default(),
         }
     }
@@ -596,13 +600,14 @@ impl Scenario {
                 "policy" => s.parse_policy(section)?,
                 "slurm" => s.parse_slurm(section)?,
                 "tenants" => s.parse_tenants(section)?,
+                "slo" => s.parse_slo(section)?,
                 "sweep" => s.parse_sweep(section)?,
                 other => {
                     return Err(ParseError::new(
                         section.line,
                         format!(
                             "unknown section [{other}] \
-                             (scenario|cluster|workload|policy|slurm|tenants|sweep)"
+                             (scenario|cluster|workload|policy|slurm|tenants|slo|sweep)"
                         ),
                     ))
                 }
@@ -811,6 +816,32 @@ impl Scenario {
             }
         }
         self.tenants = Some(t);
+        Ok(())
+    }
+
+    fn parse_slo(&mut self, sec: &RawSection) -> Result<(), ParseError> {
+        for e in &sec.entries {
+            if !sd_obs::KNOWN_KEYS.contains(&e.key.as_str()) {
+                return Err(ParseError::new(
+                    e.line,
+                    format!(
+                        "unknown objective `{}` in [slo] ({})",
+                        e.key,
+                        sd_obs::KNOWN_KEYS.join("|")
+                    ),
+                ));
+            }
+            if self.slos.iter().any(|s| s.name == e.key) {
+                return Err(ParseError::new(
+                    e.line,
+                    format!("duplicate objective `{}` in [slo]", e.key),
+                ));
+            }
+            let v = parse_f64(e)?;
+            let spec = sd_obs::SloSpec::parse(&e.key, v)
+                .map_err(|msg| ParseError::new(e.line, msg))?;
+            self.slos.push(spec);
+        }
         Ok(())
     }
 
@@ -1123,6 +1154,20 @@ impl Scenario {
             }
         }
 
+        if !self.slos.is_empty() {
+            let _ = writeln!(out, "\n[slo]");
+            for s in &self.slos {
+                // The value position carries the objective fraction for
+                // availability and the threshold for the quantile kinds —
+                // mirroring how `SloSpec::parse` reads it back.
+                let v = match s.kind {
+                    sd_obs::SloKind::Availability => s.objective,
+                    _ => s.threshold,
+                };
+                let _ = writeln!(out, "{} = {v}", s.name);
+            }
+        }
+
         if !self.sweep.is_empty() {
             let _ = writeln!(out, "\n[sweep]");
             if !self.sweep.malleable_fraction.is_empty() {
@@ -1274,6 +1319,10 @@ quota_fraction = 0.5
 queue = fair_share
 half_life = 3600
 
+[slo]
+p99_wait_seconds = 3600
+submit_availability = 0.999
+
 [sweep]
 malleable_fraction = [0, 0.5, 1]
 maxsd = [5, inf, dyn]
@@ -1311,6 +1360,30 @@ avail_backend = [profile, slottree]
             vec![AvailBackendDecl::Profile, AvailBackendDecl::SlotTree]
         );
         assert_eq!(s.sweep.run_count(), 3 * 3 * 2 * 2 * 2);
+        assert_eq!(s.slos.len(), 2);
+        assert_eq!(s.slos[0].kind, sd_obs::SloKind::WaitQuantile);
+        assert!((s.slos[0].threshold - 3600.0).abs() < 1e-12);
+        assert_eq!(s.slos[1].kind, sd_obs::SloKind::Availability);
+        assert!((s.slos[1].objective - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_section_rules() {
+        let base = |extra: &str| {
+            format!("[scenario]\nname = x\n[workload]\nsource = ricc\n{extra}")
+        };
+        let e = Scenario::parse(&base("[slo]\np42_jitter = 1\n")).unwrap_err();
+        assert!(e.msg.contains("p99_wait_seconds"), "{e}");
+        let e = Scenario::parse(&base(
+            "[slo]\nsubmit_availability = 0.99\nsubmit_availability = 0.9\n",
+        ))
+        .unwrap_err();
+        assert!(e.msg.contains("duplicate"), "{e}");
+        // Objective fractions must leave a non-empty error budget.
+        assert!(Scenario::parse(&base("[slo]\nsubmit_availability = 1\n")).is_err());
+        assert!(Scenario::parse(&base("[slo]\npass_duration_p95 = 0\n")).is_err());
+        let s = Scenario::parse(&base("[slo]\npass_duration_p95 = 0.5\n")).unwrap();
+        assert_eq!(s.slos[0].kind, sd_obs::SloKind::PassQuantile);
     }
 
     #[test]

@@ -31,6 +31,9 @@ const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
   --latency-out <csv>      write the request-latency histogram (ms buckets) to a file
   --max-retries <n>        transport-failure retries per request, with capped
                            exponential backoff + jitter (default 0 = fail fast)
+  --slo-gate               after the run, fetch /v1/slo and exit 3 if any
+                           declared objective is breached (the server must be
+                           started with --slo; incompatible with --shutdown)
   --soak <cycles>          chaos mode: spawn sd-serve with --wal, kill -9 it
                            <cycles> times mid-traffic, restart + resync each
                            time, and fail unless the recovered /v1/result is
@@ -42,7 +45,7 @@ const USAGE: &str = "sd-loadgen — drive live traffic through sd-serve
   --help, -h               this text";
 
 fn fail(msg: &str) -> ! {
-    eprintln!("{msg}\n\n{USAGE}");
+    println!("{msg}\n\n{USAGE}");
     std::process::exit(2);
 }
 
@@ -60,6 +63,7 @@ fn main() {
     let mut soak_cycles: Option<u32> = None;
     let mut soak_wal: Option<std::path::PathBuf> = None;
     let mut server_bin: Option<std::path::PathBuf> = None;
+    let mut slo_gate = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -107,6 +111,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("bad --max-retries"));
             }
+            "--slo-gate" => slo_gate = true,
             "--soak" => {
                 let n: u32 = value("--soak").parse().unwrap_or_else(|_| fail("bad --soak"));
                 if n == 0 {
@@ -171,8 +176,10 @@ fn main() {
             seed,
             rate: opts.rate,
         };
-        eprintln!(
-            "soak: {} kill -9 cycles over {} jobs (server {}, wal {})",
+        sd_obs::log_event!(
+            Info,
+            "soak",
+            "{} kill -9 cycles over {} jobs (server {}, wal {})",
             cycles,
             jobs.len(),
             sopts.server_bin.display(),
@@ -184,7 +191,7 @@ fn main() {
                 return;
             }
             Err(e) => {
-                eprintln!("soak FAILED: {e}");
+                sd_obs::log_event!(Error, "soak", "FAILED: {e}");
                 std::process::exit(1);
             }
         }
@@ -197,7 +204,9 @@ fn main() {
         .parse()
         .unwrap_or_else(|_| fail(&format!("bad --addr {addr}")));
 
-    eprintln!(
+    sd_obs::log_event!(
+        Info,
+        "loadgen",
         "replaying {} jobs against {addr} ({})",
         jobs.len(),
         match opts.rate {
@@ -206,23 +215,25 @@ fn main() {
         }
     );
     let report = loadgen::run(addr, &jobs, &opts).unwrap_or_else(|e| {
-        eprintln!("loadgen failed: {e}");
+        sd_obs::log_event!(Error, "loadgen", "run failed: {e}");
         std::process::exit(1);
     });
     print!("{}", report.render());
 
     if let Some(path) = &latency_out {
         if let Err(e) = std::fs::write(path, report.latency_hist.csv()) {
-            eprintln!("writing {path}: {e}");
+            sd_obs::log_event!(Error, "loadgen", "writing {path}: {e}");
             std::process::exit(1);
         }
-        eprintln!("latency histogram written to {path}");
+        sd_obs::log_event!(Info, "loadgen", "latency histogram written to {path}");
     }
 
     let mut failed = false;
     if let Some(min) = min_rate {
         if report.achieved_rate < min {
-            eprintln!(
+            sd_obs::log_event!(
+                Error,
+                "loadgen",
                 "FAIL: achieved rate {:.0}/s below required {min}/s",
                 report.achieved_rate
             );
@@ -232,7 +243,7 @@ fn main() {
     if let Some(want) = expect_completed {
         let got = report.delta("completed");
         if (got - want as f64).abs() > 0.5 {
-            eprintln!("FAIL: {got} jobs completed, expected {want}");
+            sd_obs::log_event!(Error, "loadgen", "FAIL: {got} jobs completed, expected {want}");
             failed = true;
         }
         // Cross-check the Prometheus exposition against the same truth.
@@ -240,20 +251,70 @@ fn main() {
             match report.metric(counter) {
                 Some(v) if (v - want as f64).abs() <= 0.5 => {}
                 other => {
-                    eprintln!("FAIL: /metrics {counter} = {other:?}, expected {want}");
+                    sd_obs::log_event!(Error, "loadgen", "FAIL: /metrics {counter} = {other:?}, expected {want}");
                     failed = true;
                 }
             }
         }
         if report.metric("sd_serve_jobs_pending") != Some(0.0) {
-            eprintln!("FAIL: /metrics reports pending jobs after drain");
+            sd_obs::log_event!(Error, "loadgen", "FAIL: /metrics reports pending jobs after drain");
             failed = true;
         }
     }
     if report.rejected > 0 {
-        eprintln!("note: {} submissions rejected", report.rejected);
+        sd_obs::log_event!(Info, "loadgen", "note: {} submissions rejected", report.rejected);
     }
     if failed {
         std::process::exit(1);
+    }
+
+    // The SLO gate runs after every assertion above passed: the run itself is
+    // healthy, now ask the server whether its declared objectives survived.
+    if slo_gate {
+        if opts.shutdown {
+            fail("--slo-gate needs the server alive after the run; drop --shutdown");
+        }
+        let mut client = sd_serve::client::Client::new(addr);
+        // The server's sampler publishes its first evaluation ~1s after
+        // boot; a gate racing a very short run polls briefly before giving
+        // up (a missing --slo on the server stays a hard failure).
+        let mut v = client.slo();
+        for _ in 0..20 {
+            if v.is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            v = client.slo();
+        }
+        let v = v.unwrap_or_else(|e| {
+            sd_obs::log_event!(Error, "loadgen", "slo gate: {e}");
+            std::process::exit(3);
+        });
+        let slos = v.get("slos").and_then(sd_serve::json::Json::as_arr);
+        let mut breached = 0u32;
+        for s in slos.into_iter().flatten() {
+            let name = s.get("slo").and_then(sd_serve::json::Json::as_str).unwrap_or("?");
+            let budget = s
+                .get("budget_remaining")
+                .and_then(sd_serve::json::Json::as_f64)
+                .unwrap_or(0.0);
+            let bad = s
+                .get("breached")
+                .and_then(sd_serve::json::Json::as_bool)
+                .unwrap_or(false);
+            println!(
+                "slo gate: {name:<24} budget {:>6.1}%  {}",
+                budget * 100.0,
+                if bad { "BREACHED" } else { "ok" }
+            );
+            if bad {
+                breached += 1;
+            }
+        }
+        if breached > 0 {
+            sd_obs::log_event!(Error, "loadgen", "slo gate: {breached} objective(s) breached");
+            std::process::exit(3);
+        }
+        println!("slo gate: all objectives met");
     }
 }

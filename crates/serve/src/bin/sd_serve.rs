@@ -51,10 +51,19 @@ const USAGE: &str = "sd-serve — online scheduling service (HTTP/JSON)
   --checkpoint-every <n> records between checkpoints (default 256)
   --wal-fsync <always|checkpoint|never>  fsync policy for WAL appends
                          (default checkpoint; checkpoints always fsync)
+  --log-level <error|warn|info|debug|trace>  structured-log verbosity for
+                         the in-memory ring, GET /v1/logs and the stderr
+                         echo (default info)
+  --log-json <path>      also write every retained log record as one JSON
+                         line to <path>
+  --slo <key=value>      declare a service-level objective (repeatable):
+                         p99_wait_seconds=<s>, pass_duration_p95=<s>,
+                         submit_availability=<fraction>; enables GET /v1/slo
+                         and the sd_serve_slo_* burn-rate gauges
   --help, -h             this text";
 
 fn fail(msg: &str) -> ! {
-    eprintln!("{msg}\n\n{USAGE}");
+    println!("{msg}\n\n{USAGE}");
     std::process::exit(2);
 }
 
@@ -78,6 +87,9 @@ struct Cli {
     wal: Option<std::path::PathBuf>,
     checkpoint_every: u64,
     wal_fsync: FsyncPolicy,
+    log_level: sd_obs::Level,
+    log_json: Option<std::path::PathBuf>,
+    slos: Vec<sd_obs::SloSpec>,
 }
 
 fn parse_cli() -> Cli {
@@ -101,6 +113,9 @@ fn parse_cli() -> Cli {
         wal: None,
         checkpoint_every: 256,
         wal_fsync: FsyncPolicy::default(),
+        log_level: sd_obs::Level::Info,
+        log_json: None,
+        slos: Vec::new(),
     };
     let mut compression: f64 = 60.0;
     let mut realtime = false;
@@ -185,6 +200,23 @@ fn parse_cli() -> Cli {
                     )),
                 };
             }
+            "--log-level" => {
+                let v = value("--log-level");
+                cli.log_level = sd_obs::Level::parse(&v).unwrap_or_else(|| {
+                    fail(&format!("--log-level must be error|warn|info|debug|trace, got {v}"))
+                });
+            }
+            "--log-json" => cli.log_json = Some(value("--log-json").into()),
+            "--slo" => {
+                let v = value("--slo");
+                let Some((key, val)) = v.split_once('=') else {
+                    fail(&format!("--slo wants <key=value>, got {v}"));
+                };
+                let val: f64 = val.parse().unwrap_or_else(|_| fail("bad --slo value"));
+                let spec = sd_obs::SloSpec::parse(key, val)
+                    .unwrap_or_else(|e| fail(&format!("bad --slo: {e}")));
+                cli.slos.push(spec);
+            }
             "--backend" => {
                 let v = value("--backend");
                 cli.backend = slurm_sim::AvailBackendKind::parse(&v)
@@ -223,7 +255,19 @@ fn cluster_spec(cli: &Cli) -> ClusterSpec {
 
 fn main() {
     let cli = parse_cli();
+    // Logging first: everything below (recovery included) emits into the
+    // ring and the stderr echo at the configured verbosity.
+    sd_obs::set_ring_level(cli.log_level);
+    sd_obs::set_stderr_level(cli.log_level);
+    if let Some(path) = &cli.log_json {
+        sd_obs::attach_json_sink(path)
+            .unwrap_or_else(|e| fail(&format!("opening --log-json {}: {e}", path.display())));
+    }
     slurm_sim::timing::init_from_env();
+    // Continuous profiling: the service holds one always-armed window so
+    // `GET /v1/profile` has cumulative totals to fall back on; windowed
+    // requests still diff around their own arm/disarm pair.
+    slurm_sim::timing::arm();
     let spec = cluster_spec(&cli);
     if !(0.0..1.0).contains(&cli.sharing) {
         fail("--sharing must be in [0, 1)");
@@ -281,14 +325,18 @@ fn main() {
             )
             .unwrap_or_else(|e| fail(&format!("WAL recovery failed: {e}")));
             match status.recovered {
-                None => eprintln!(
-                    "wal: fresh log in {} (fsync {}, checkpoint every {} records)",
+                None => sd_obs::log_event!(
+                    Info,
+                    "wal",
+                    "fresh log in {} (fsync {}, checkpoint every {} records)",
                     dir.display(),
                     cli.wal_fsync.label(),
                     cli.checkpoint_every,
                 ),
-                Some(mode) => eprintln!(
-                    "wal: recovered from {} in {:.3}s ({mode}; {} records replayed)",
+                Some(mode) => sd_obs::log_event!(
+                    Info,
+                    "wal",
+                    "recovered from {} in {:.3}s ({mode}; {} records replayed)",
                     dir.display(),
                     status.recovery_seconds,
                     status.records_replayed,
@@ -309,11 +357,14 @@ fn main() {
     let mut engine = engine.with_histograms(hists.clone());
     if let Some(r) = &ring {
         engine = engine.with_trace(r.clone());
-        eprintln!("decision tracing on: ring capacity {} events", r.capacity());
+        sd_obs::log_event!(Info, "serve", "decision tracing on";
+            ring_capacity = r.capacity());
     }
     if !cli.tenant_rates.is_empty() {
         engine = engine.with_tenant_rates(&cli.tenant_rates);
-        eprintln!(
+        sd_obs::log_event!(
+            Info,
+            "serve",
             "tenant rate limits: {}",
             cli.tenant_rates
                 .iter()
@@ -329,7 +380,9 @@ fn main() {
     println!("sd-serve listening on {addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    eprintln!(
+    sd_obs::log_event!(
+        Info,
+        "serve",
         "machine: {} × {}-core nodes | policy: {} | clock: {:?} | workers: {}",
         spec.nodes,
         spec.node.cores(),
@@ -337,6 +390,18 @@ fn main() {
         cli.mode,
         cli.workers,
     );
+    if !cli.slos.is_empty() {
+        sd_obs::log_event!(
+            Info,
+            "slo",
+            "objectives declared: {}",
+            cli.slos
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
 
     // Graceful SIGTERM/SIGINT: drain, final checkpoint (with --wal), exit 0.
     sd_serve::signals::install();
@@ -345,10 +410,14 @@ fn main() {
         trace: ring,
         hists,
         signal_stop: true,
+        slos: cli.slos.clone(),
     };
-    match server::run(engine, listener, server_cfg) {
+    let outcome = server::run(engine, listener, server_cfg);
+    match &outcome {
         Ok(result) => {
-            eprintln!(
+            sd_obs::log_event!(
+                Info,
+                "serve",
                 "shutdown: {} jobs completed, makespan {}, mean slowdown {:.2}, energy {:.1} kWh",
                 result.outcomes.len(),
                 result.makespan,
@@ -357,8 +426,11 @@ fn main() {
             );
         }
         Err(e) => {
-            eprintln!("server error: {e}");
-            std::process::exit(1);
+            sd_obs::log_event!(Error, "serve", "server error: {e}");
         }
+    }
+    sd_obs::flush_sink();
+    if outcome.is_err() {
+        std::process::exit(1);
     }
 }

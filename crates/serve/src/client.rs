@@ -224,6 +224,40 @@ impl Client {
         self.request_json("GET", &format!("/v1/explain/{id}"), None)
     }
 
+    /// Tails the structured log ring from cursor `since` (≤ `limit`
+    /// records); `level` caps verbosity, `target` filters by subsystem.
+    pub fn logs(
+        &mut self,
+        since: u64,
+        limit: u64,
+        level: Option<&str>,
+        target: Option<&str>,
+    ) -> Result<Json, ClientError> {
+        let mut path = format!("/v1/logs?since={since}&limit={limit}");
+        if let Some(l) = level {
+            path.push_str(&format!("&level={l}"));
+        }
+        if let Some(t) = target {
+            path.push_str(&format!("&target={t}"));
+        }
+        self.request_json("GET", &path, None)
+    }
+
+    /// Current SLO evaluations (404 → `Status` error when none declared).
+    pub fn slo(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/v1/slo", None)
+    }
+
+    /// Collapsed-stack profile over a `seconds`-long window (flamegraph
+    /// input; blocks for the window).
+    pub fn profile(&mut self, seconds: u64) -> Result<String, ClientError> {
+        let (status, bytes) = self.request("GET", &format!("/v1/profile?seconds={seconds}"), None)?;
+        if status != 200 {
+            return Err(ClientError::Status(status, String::from_utf8_lossy(&bytes).into()));
+        }
+        String::from_utf8(bytes).map_err(|_| ClientError::Protocol("profile not UTF-8".into()))
+    }
+
     /// Advances the virtual clock; returns the new clock position.
     pub fn advance(&mut self, to: u64) -> Result<u64, ClientError> {
         let v = self.request_json(

@@ -268,6 +268,10 @@ pub struct WalStatus {
     /// `None`: fresh directory; `"clean"`: recovered an intact image;
     /// `"torn_tail"`: recovered after discarding a corrupt WAL tail.
     pub recovered: Option<&'static str>,
+    /// Current on-disk WAL size (zero right after a checkpoint).
+    pub wal_bytes: u64,
+    /// Age of the oldest un-checkpointed record (0.0 when the log is empty).
+    pub wal_segment_age_seconds: f64,
 }
 
 /// Write-ahead durability attached to the engine (DESIGN.md §14). Every
@@ -437,6 +441,8 @@ impl Engine {
             checkpoints_written: d.store.checkpoints_written(),
             recovery_seconds: d.recovery_seconds,
             recovered: d.recovered,
+            wal_bytes: d.store.wal_bytes(),
+            wal_segment_age_seconds: d.store.wal_segment_age_seconds(),
         };
         Ok((engine, status))
     }
@@ -508,7 +514,11 @@ impl Engine {
                     }
                 }
             };
-            if self.handle(cmd) {
+            let stop = self.handle(cmd);
+            // Log records carry the virtual instant; publish it after every
+            // command so concurrently-emitted records stamp the right time.
+            sd_obs::set_virtual_now(self.virtual_now().secs());
+            if stop {
                 break;
             }
         }
@@ -619,7 +629,12 @@ impl Engine {
         d.records_since_checkpoint += 1;
         if let Err(e) = d.store.append(seq, &cmd.encode()) {
             if !d.degraded {
-                eprintln!("sd-serve: WAL append failed ({e}); crash recovery is no longer guaranteed");
+                sd_obs::log_event!(
+                    Error,
+                    "wal",
+                    "append failed ({e}); crash recovery is no longer guaranteed";
+                    seq = seq
+                );
             }
             d.degraded = true;
         }
@@ -654,9 +669,16 @@ impl Engine {
         let applied = d.next_seq - 1;
         if let Err(e) = d.store.install_checkpoint(applied, &payload) {
             if !d.degraded {
-                eprintln!("sd-serve: checkpoint failed ({e}); crash recovery is no longer guaranteed");
+                sd_obs::log_event!(
+                    Error,
+                    "wal",
+                    "checkpoint failed ({e}); crash recovery is no longer guaranteed";
+                    applied = applied
+                );
             }
             d.degraded = true;
+        } else {
+            sd_obs::log_event!(Debug, "wal", "checkpoint installed"; applied = applied);
         }
         d.records_since_checkpoint = 0;
     }
@@ -703,6 +725,15 @@ impl Engine {
         // any effect: replay then reproduces exactly the accepted traffic.
         self.log(&WalCmd::Submit(req.clone()));
         let ack = self.apply_submit(req);
+        match &ack {
+            Ok(a) => {
+                sd_obs::log_event!(Debug, "engine", "submit accepted";
+                    id = a.id, tenant = tenant, submit = a.submit);
+            }
+            Err(e) => {
+                sd_obs::log_event!(Debug, "engine", "submit refused: {e}"; tenant = tenant);
+            }
+        }
         self.maybe_checkpoint();
         ack
     }
@@ -772,6 +803,7 @@ impl Engine {
         }
         self.ctl.step_until(Some(SimTime(to)));
         self.floor = self.floor.max(SimTime(to));
+        sd_obs::log_event!(Debug, "engine", "clock advanced"; to = to);
         Ok(self.virtual_now().secs())
     }
 
@@ -862,6 +894,8 @@ impl Engine {
                 checkpoints_written: d.store.checkpoints_written(),
                 recovery_seconds: d.recovery_seconds,
                 recovered: d.recovered,
+                wal_bytes: d.store.wal_bytes(),
+                wal_segment_age_seconds: d.store.wal_segment_age_seconds(),
             }),
         }
     }

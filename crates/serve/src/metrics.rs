@@ -22,6 +22,13 @@ pub struct HttpCounters {
     pub requests_4xx: AtomicU64,
     pub requests_5xx: AtomicU64,
     pub connections: AtomicU64,
+    /// `POST /v1/jobs` acceptances (2xx) — the "good" side of the submit
+    /// availability SLO.
+    pub submit_ok: AtomicU64,
+    /// `POST /v1/jobs` refusals attributable to the service (429 rate
+    /// limits and 5xx); client errors (malformed bodies, clock violations)
+    /// do not burn the availability budget.
+    pub submit_refused: AtomicU64,
 }
 
 impl HttpCounters {
@@ -71,14 +78,16 @@ impl AtomicHistogram {
             .fetch_add((secs.max(0.0) * 1e9) as u64, Ordering::Relaxed);
     }
 
-    fn counts(&self) -> Vec<u64> {
+    /// Per-bucket counts with the `+Inf` overflow appended (lock-free read;
+    /// the SLO sampler feeds these to `sd_obs::good_within`).
+    pub fn counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
 
-    fn sum_secs(&self) -> f64 {
+    pub fn sum_secs(&self) -> f64 {
         self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 }
@@ -91,6 +100,21 @@ pub struct ServeHistograms {
     pub request_seconds: AtomicHistogram,
     /// Wall time of one scheduler pass (`Scheduler::schedule` call).
     pub pass_seconds: AtomicHistogram,
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline must be backslash-escaped inside `label="..."`.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
@@ -125,7 +149,14 @@ fn atomic_histogram(out: &mut String, name: &str, help: &str, h: &AtomicHistogra
 
 /// Renders the full exposition. Deterministic order (the wall-clock
 /// histogram and timing values are the only non-deterministic numbers).
-pub fn render(snap: &Snapshot, http: &HttpCounters, hists: &ServeHistograms) -> String {
+/// `slos` carries the burn-rate engine's current view (empty without
+/// `--slo`).
+pub fn render(
+    snap: &Snapshot,
+    http: &HttpCounters,
+    hists: &ServeHistograms,
+    slos: &[sd_obs::SloStatus],
+) -> String {
     let mut out = String::with_capacity(2048);
     let s = &snap.stats;
     sample(&mut out, "sd_serve_sim_now_seconds", "Virtual clock position.", "gauge", snap.now);
@@ -170,6 +201,17 @@ pub fn render(snap: &Snapshot, http: &HttpCounters, hists: &ServeHistograms) -> 
     }
     sample(&mut out, "sd_serve_http_connections_total", "Accepted TCP connections.", "counter", http.connections.load(Ordering::Relaxed));
 
+    let _ = writeln!(out, "# HELP sd_serve_submit_requests_total Submit attempts by outcome (ok = accepted, refused = 429/5xx).");
+    let _ = writeln!(out, "# TYPE sd_serve_submit_requests_total counter");
+    for (result, v) in [("ok", &http.submit_ok), ("refused", &http.submit_refused)] {
+        let _ = writeln!(
+            out,
+            "sd_serve_submit_requests_total{{result=\"{}\"}} {}",
+            escape_label(result),
+            v.load(Ordering::Relaxed)
+        );
+    }
+
     atomic_histogram(
         &mut out,
         "sd_serve_http_request_duration_seconds",
@@ -197,12 +239,31 @@ pub fn render(snap: &Snapshot, http: &HttpCounters, hists: &ServeHistograms) -> 
     let _ = writeln!(out, "# HELP sd_serve_timing_seconds_total Wall seconds attributed to instrumented hot functions.");
     let _ = writeln!(out, "# TYPE sd_serve_timing_seconds_total counter");
     for f in &timing {
-        let _ = writeln!(out, "sd_serve_timing_seconds_total{{function=\"{}\"}} {}", f.name, f.total_secs);
+        let _ = writeln!(out, "sd_serve_timing_seconds_total{{function=\"{}\"}} {}", escape_label(f.name), f.total_secs);
     }
     let _ = writeln!(out, "# HELP sd_serve_timing_calls_total Invocations of instrumented hot functions.");
     let _ = writeln!(out, "# TYPE sd_serve_timing_calls_total counter");
     for f in &timing {
-        let _ = writeln!(out, "sd_serve_timing_calls_total{{function=\"{}\"}} {}", f.name, f.count);
+        let _ = writeln!(out, "sd_serve_timing_calls_total{{function=\"{}\"}} {}", escape_label(f.name), f.count);
+    }
+
+    if !slos.is_empty() {
+        let _ = writeln!(out, "# HELP sd_serve_slo_error_budget_remaining Fraction of the SLO error budget left (1 = untouched, <= 0 = exhausted).");
+        let _ = writeln!(out, "# TYPE sd_serve_slo_error_budget_remaining gauge");
+        for s in slos {
+            let _ = writeln!(out, "sd_serve_slo_error_budget_remaining{{slo=\"{}\"}} {}", escape_label(&s.name), s.budget_remaining);
+        }
+        let _ = writeln!(out, "# HELP sd_serve_slo_burn_rate Error-budget burn rate by evaluation window (1 = exactly on budget).");
+        let _ = writeln!(out, "# TYPE sd_serve_slo_burn_rate gauge");
+        for s in slos {
+            let _ = writeln!(out, "sd_serve_slo_burn_rate{{slo=\"{}\",window=\"fast\"}} {}", escape_label(&s.name), s.burn_fast);
+            let _ = writeln!(out, "sd_serve_slo_burn_rate{{slo=\"{}\",window=\"slow\"}} {}", escape_label(&s.name), s.burn_slow);
+        }
+        let _ = writeln!(out, "# HELP sd_serve_slo_breached Whether the SLO is currently breached (budget exhausted or both windows page-level burning).");
+        let _ = writeln!(out, "# TYPE sd_serve_slo_breached gauge");
+        for s in slos {
+            let _ = writeln!(out, "sd_serve_slo_breached{{slo=\"{}\"}} {}", escape_label(&s.name), u64::from(s.breached));
+        }
     }
 
     if let Some(w) = &snap.wal {
@@ -210,6 +271,8 @@ pub fn render(snap: &Snapshot, http: &HttpCounters, hists: &ServeHistograms) -> 
         sample(&mut out, "sd_serve_wal_records_replayed_total", "WAL records replayed during boot recovery.", "counter", w.records_replayed);
         sample(&mut out, "sd_serve_checkpoints_written_total", "Checkpoints installed since boot.", "counter", w.checkpoints_written);
         sample(&mut out, "sd_serve_recovery_duration_seconds", "Wall time of boot recovery (restore + replay).", "gauge", format_args!("{}", w.recovery_seconds));
+        sample(&mut out, "sd_serve_wal_bytes", "Current on-disk size of the write-ahead log.", "gauge", w.wal_bytes);
+        sample(&mut out, "sd_serve_wal_segment_age_seconds", "Age of the oldest un-checkpointed WAL record.", "gauge", format_args!("{}", w.wal_segment_age_seconds));
         let _ = writeln!(out, "# HELP sd_serve_recovered Whether this boot recovered prior state, by recovery mode.");
         let _ = writeln!(out, "# TYPE sd_serve_recovered gauge");
         for mode in ["clean", "torn_tail"] {
@@ -290,7 +353,7 @@ mod tests {
         http.count_status(204);
         http.count_status(404);
         http.count_status(500);
-        let text = render(&snap(), &http, &ServeHistograms::default());
+        let text = render(&snap(), &http, &ServeHistograms::default(), &[]);
         assert!(text.contains("sd_serve_jobs_submitted_total 20"));
         assert!(text.contains("sd_serve_sim_now_seconds 1234"));
         assert!(text.contains("sd_serve_sched_passes_skipped_total 0"));
@@ -320,7 +383,7 @@ mod tests {
         let mut s = snap();
         s.wait_hist.observe(5.0);
         s.wait_hist.observe(50_000.0);
-        let text = render(&s, &HttpCounters::default(), &hists);
+        let text = render(&s, &HttpCounters::default(), &hists, &[]);
         assert!(
             text.contains("sd_serve_http_request_duration_seconds_bucket{le=\"0.000025\"} 1"),
             "{text}"
@@ -360,7 +423,7 @@ mod tests {
                 ..Default::default()
             },
         ];
-        let text = render(&s, &HttpCounters::default(), &ServeHistograms::default());
+        let text = render(&s, &HttpCounters::default(), &ServeHistograms::default(), &[]);
         assert!(text.contains("sd_serve_tenant_submitted_total{tenant=\"1\"} 10"), "{text}");
         assert!(text.contains("sd_serve_tenant_rate_limited_total{tenant=\"2\"} 3"), "{text}");
         assert!(text.contains("sd_serve_tenant_quota_skipped_total{tenant=\"2\"} 7"), "{text}");
@@ -371,7 +434,7 @@ mod tests {
     fn wal_series_render_only_when_durable() {
         let http = HttpCounters::default();
         let hists = ServeHistograms::default();
-        let text = render(&snap(), &http, &hists);
+        let text = render(&snap(), &http, &hists, &[]);
         assert!(!text.contains("sd_serve_wal_records_written_total"), "{text}");
         let mut s = snap();
         s.wal = Some(crate::engine::WalStatus {
@@ -380,20 +443,62 @@ mod tests {
             checkpoints_written: 2,
             recovery_seconds: 0.25,
             recovered: Some("torn_tail"),
+            wal_bytes: 168,
+            wal_segment_age_seconds: 4.5,
         });
-        let text = render(&s, &http, &hists);
+        let text = render(&s, &http, &hists, &[]);
         assert!(text.contains("sd_serve_wal_records_written_total 7"), "{text}");
         assert!(text.contains("sd_serve_wal_records_replayed_total 3"), "{text}");
         assert!(text.contains("sd_serve_checkpoints_written_total 2"), "{text}");
         assert!(text.contains("sd_serve_recovery_duration_seconds 0.25"), "{text}");
+        assert!(text.contains("sd_serve_wal_bytes 168"), "{text}");
+        assert!(text.contains("sd_serve_wal_segment_age_seconds 4.5"), "{text}");
         assert!(text.contains("sd_serve_recovered{mode=\"clean\"} 0"), "{text}");
         assert!(text.contains("sd_serve_recovered{mode=\"torn_tail\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn slo_gauges_render_per_objective() {
+        let slo = sd_obs::SloStatus {
+            name: "submit_availability".into(),
+            kind: sd_obs::SloKind::Availability,
+            objective: 0.999,
+            threshold: 0.0,
+            good: 990,
+            total: 1000,
+            bad_fraction: 0.01,
+            budget_remaining: -9.0,
+            burn_fast: 10.0,
+            burn_slow: 10.0,
+            fast_window: 300,
+            slow_window: 3600,
+            breached: true,
+        };
+        let text = render(&snap(), &HttpCounters::default(), &ServeHistograms::default(), &[slo]);
+        assert!(
+            text.contains("sd_serve_slo_error_budget_remaining{slo=\"submit_availability\"} -9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sd_serve_slo_burn_rate{slo=\"submit_availability\",window=\"fast\"} 10"),
+            "{text}"
+        );
+        assert!(text.contains("sd_serve_slo_breached{slo=\"submit_availability\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]
     fn deterministic_output() {
         let http = HttpCounters::default();
         let hists = ServeHistograms::default();
-        assert_eq!(render(&snap(), &http, &hists), render(&snap(), &http, &hists));
+        assert_eq!(
+            render(&snap(), &http, &hists, &[]),
+            render(&snap(), &http, &hists, &[])
+        );
     }
 }

@@ -16,8 +16,9 @@
 use crate::engine::{ClockMode, Command, Engine, EngineError, JobView, Snapshot};
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::Json;
-use crate::metrics::{HttpCounters, ServeHistograms};
+use crate::metrics::{HttpCounters, ServeHistograms, DURATION_BOUNDS_S};
 use crate::proto::{self, SubmitRequest};
+use sd_obs::{good_within, SloKind, SloSpec, SloStatus, SloTracker};
 use slurm_sim::{FieldVal, SimResult, TraceEvent, TraceRing};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
@@ -43,11 +44,21 @@ pub struct ServerConfig {
     /// final result as if a client had posted `/v1/shutdown`. The caller
     /// must also run [`crate::signals::install`].
     pub signal_stop: bool,
+    /// Declared service-level objectives. Non-empty spawns the burn-rate
+    /// sampler thread and enables `GET /v1/slo` plus the SLO gauges on
+    /// `/metrics`.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, trace: None, hists: Arc::default(), signal_stop: false }
+        ServerConfig {
+            workers: 4,
+            trace: None,
+            hists: Arc::default(),
+            signal_stop: false,
+            slos: Vec::new(),
+        }
     }
 }
 
@@ -59,6 +70,9 @@ struct Shared {
     addr: std::net::SocketAddr,
     trace: Option<Arc<TraceRing>>,
     hists: Arc<ServeHistograms>,
+    /// Latest burn-rate evaluation, refreshed by the SLO sampler thread;
+    /// empty when no SLOs are declared.
+    slo_statuses: Mutex<Vec<SloStatus>>,
 }
 
 /// Runs the service until a client posts `/v1/shutdown` (or the listener
@@ -82,6 +96,7 @@ pub fn run(
         addr,
         trace: cfg.trace.clone(),
         hists: cfg.hists.clone(),
+        slo_statuses: Mutex::new(Vec::new()),
     };
 
     std::thread::scope(|s| {
@@ -91,6 +106,10 @@ pub fn run(
         }
         if cfg.signal_stop {
             s.spawn(|| signal_watcher(&shared));
+        }
+        if !cfg.slos.is_empty() {
+            let slos = cfg.slos.clone();
+            s.spawn(|| slo_sampler(slos, &shared));
         }
         // Acceptor: this thread. Unblocked at shutdown by a self-connection.
         // Transient accept errors (ECONNABORTED from a reset handshake,
@@ -150,7 +169,7 @@ fn signal_watcher(shared: &Shared) {
         }
         std::thread::sleep(Duration::from_millis(50));
     }
-    eprintln!("sd-serve: termination signal received; draining and shutting down");
+    sd_obs::log_event!(Info, "serve", "termination signal received; draining and shutting down");
     let (rtx, rrx) = mpsc::channel();
     if shared.cmd_tx.send(Command::Shutdown { reply: rtx }).is_ok() {
         // A disconnect means a concurrent client shutdown beat us to the
@@ -166,6 +185,63 @@ fn signal_watcher(shared: &Shared) {
         }
     }
     finish_shutdown(shared);
+}
+
+/// Burn-rate sampler: once per wall second, feeds each tracker the current
+/// cumulative good/total counters for its kind and publishes the evaluated
+/// statuses. Availability and pass duration read lock-free atomics; the
+/// wait quantile needs the engine's wait histogram, one read-only `Stats`
+/// round-trip per tick. Exits when the server stops or the engine is gone.
+fn slo_sampler(specs: Vec<SloSpec>, shared: &Shared) {
+    let mut trackers: Vec<SloTracker> = specs.into_iter().map(SloTracker::new).collect();
+    let needs_snapshot = trackers
+        .iter()
+        .any(|t| t.spec().kind == SloKind::WaitQuantile);
+    let start = Instant::now();
+    loop {
+        for _ in 0..4 {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(250));
+        }
+        let snap = if needs_snapshot {
+            match call(shared, |reply| Command::Stats { reply }) {
+                Ok(s) => Some(s),
+                Err(_) => return, // engine gone
+            }
+        } else {
+            None
+        };
+        let t = start.elapsed().as_secs();
+        for tracker in &mut trackers {
+            let (good, total) = match tracker.spec().kind {
+                SloKind::Availability => {
+                    let ok = shared.counters.submit_ok.load(Ordering::Relaxed);
+                    let refused = shared.counters.submit_refused.load(Ordering::Relaxed);
+                    (ok, ok + refused)
+                }
+                SloKind::PassQuantile => good_within(
+                    &DURATION_BOUNDS_S,
+                    &shared.hists.pass_seconds.counts(),
+                    tracker.spec().threshold,
+                ),
+                SloKind::WaitQuantile => {
+                    let h = &snap.as_ref().expect("snapshot fetched above").wait_hist;
+                    good_within(h.bounds(), h.counts(), tracker.spec().threshold)
+                }
+            };
+            tracker.record(t, good, total);
+        }
+        let statuses: Vec<SloStatus> = trackers.iter().map(|t| t.status()).collect();
+        for s in &statuses {
+            if s.breached {
+                sd_obs::log_event!(Warn, "slo", "objective breached";
+                    slo = s.name, budget = s.budget_remaining, burn_fast = s.burn_fast);
+            }
+        }
+        *shared.slo_statuses.lock().expect("slo mutex poisoned") = statuses;
+    }
 }
 
 fn worker_loop(conn_rx: &Mutex<mpsc::Receiver<TcpStream>>, shared: &Shared) {
@@ -299,9 +375,14 @@ fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
         ("GET", "/healthz") => Ok(Response::json(200, &Json::obj().set("ok", true))),
         ("GET", "/metrics") => {
             let snap = call(shared, |reply| Command::Stats { reply })?;
+            let slos = shared
+                .slo_statuses
+                .lock()
+                .expect("slo mutex poisoned")
+                .clone();
             Ok(Response::text(
                 200,
-                crate::metrics::render(&snap, &shared.counters, &shared.hists),
+                crate::metrics::render(&snap, &shared.counters, &shared.hists, &slos),
             ))
         }
         ("GET", "/v1/trace") => {
@@ -326,6 +407,71 @@ fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
                     .set("capacity", ring.capacity() as u64)
                     .set("events", events),
             ))
+        }
+        ("GET", "/v1/logs") => {
+            // Tail the global log ring lock-free — like /v1/trace, log reads
+            // never queue behind scheduling work.
+            let since = query_u64(req, "since")?.unwrap_or(0);
+            let limit = query_u64(req, "limit")?.unwrap_or(1_000).min(10_000) as usize;
+            let level = match query_str(req, "level") {
+                None => None,
+                Some(s) => Some(sd_obs::Level::parse(&s).ok_or_else(|| {
+                    Response::error(400, "`level` must be error|warn|info|debug|trace")
+                })?),
+            };
+            let target = query_str(req, "target");
+            let tail = sd_obs::read_since(since, limit);
+            let records: Vec<Json> = tail
+                .records
+                .iter()
+                .filter(|r| level.is_none_or(|l| r.level <= l))
+                .filter(|r| target.as_deref().is_none_or(|t| r.target == t))
+                .map(log_record_json)
+                .collect();
+            Ok(Response::json(
+                200,
+                &Json::obj()
+                    .set("next", tail.next)
+                    .set("dropped", tail.dropped)
+                    .set("head", sd_obs::ring_head())
+                    .set("records", records),
+            ))
+        }
+        ("GET", "/v1/slo") => {
+            let statuses = shared
+                .slo_statuses
+                .lock()
+                .expect("slo mutex poisoned")
+                .clone();
+            if statuses.is_empty() {
+                return Err(Response::error(
+                    404,
+                    "no SLOs declared (start the server with --slo)",
+                ));
+            }
+            let items: Vec<Json> = statuses.iter().map(slo_json).collect();
+            Ok(Response::json(200, &Json::obj().set("slos", items)))
+        }
+        ("GET", "/v1/profile") => {
+            // Windowed continuous profiling: snapshot the per-function
+            // timing counters, arm the probes for `seconds`, diff, and
+            // render Brendan-Gregg collapsed stacks. Blocks this worker for
+            // the window — bounded, and the pool has more.
+            let seconds = query_u64(req, "seconds")?.unwrap_or(1).clamp(1, 30);
+            let before = slurm_sim::timing::report();
+            slurm_sim::timing::arm();
+            std::thread::sleep(Duration::from_secs(seconds));
+            slurm_sim::timing::disarm();
+            let after = slurm_sim::timing::report();
+            let window = slurm_sim::timing::delta(&before, &after);
+            // A quiet window (no passes ran) falls back to the cumulative
+            // totals so the profile is never empty once traffic has flowed.
+            let rows = if window.iter().all(|r| r.count == 0) { after } else { window };
+            let stacks: Vec<sd_obs::StackSample> = slurm_sim::timing::stack_rows(&rows)
+                .into_iter()
+                .map(|(frames, v)| sd_obs::StackSample::new(frames, v))
+                .collect();
+            Ok(Response::text(200, sd_obs::collapsed(&stacks)))
         }
         ("GET", "/v1/stats") => {
             let snap = call(shared, |reply| Command::Stats { reply })?;
@@ -362,8 +508,19 @@ fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
         ("POST", "/v1/jobs") => {
             let body = proto::body_json(&req.body).map_err(|e| Response::error(400, &e))?;
             let sub = SubmitRequest::decode(&body).map_err(|e| Response::error(400, &e))?;
-            let ack = call(shared, |reply| Command::Submit { req: sub, reply })?
-                .map_err(engine_error)?;
+            // Availability accounting: 2xx is good; 429/5xx burn the submit
+            // SLO budget. Client errors (malformed bodies, clock conflicts)
+            // never reach here or map to 4xx≠429 and count neither way.
+            let refused = |r: Response| {
+                if r.status == 429 || r.status >= 500 {
+                    shared.counters.submit_refused.fetch_add(1, Ordering::Relaxed);
+                }
+                r
+            };
+            let ack = call(shared, |reply| Command::Submit { req: sub, reply })
+                .map_err(&refused)?
+                .map_err(|e| refused(engine_error(e)))?;
+            shared.counters.submit_ok.fetch_add(1, Ordering::Relaxed);
             Ok(Response::json(
                 201,
                 &Json::obj().set("id", ack.id).set("submit", ack.submit),
@@ -423,7 +580,7 @@ fn route_inner(req: &Request, shared: &Shared) -> Result<Response, Response> {
                 path,
                 "/healthz" | "/metrics" | "/v1/stats" | "/v1/cluster" | "/v1/queue" | "/v1/jobs"
                     | "/v1/clock/advance" | "/v1/drain" | "/v1/result" | "/v1/shutdown"
-                    | "/v1/trace"
+                    | "/v1/trace" | "/v1/logs" | "/v1/slo" | "/v1/profile"
             ) {
                 return Err(Response::error(405, "method not allowed for this path"));
             }
@@ -444,6 +601,50 @@ fn query_u64(req: &Request, key: &str) -> Result<Option<u64>, Response> {
     v.parse()
         .map(Some)
         .map_err(|_| Response::error(400, &format!("`{key}` must be a non-negative integer")))
+}
+
+/// First value of a `?key=value` query parameter as a string (no decoding;
+/// log targets and level names are plain tokens).
+fn query_str(req: &Request, key: &str) -> Option<String> {
+    req.query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then(|| v.to_string())
+    })
+}
+
+/// One structured log record as a JSON object (mirrors
+/// `sd_obs::LogRecord::to_json`, built on the server's own JSON tree).
+fn log_record_json(r: &sd_obs::LogRecord) -> Json {
+    let mut fields = Json::obj();
+    for (k, v) in &r.fields {
+        fields = fields.set(k.as_str(), v.as_str());
+    }
+    Json::obj()
+        .set("seq", r.seq)
+        .set("wall_us", r.wall_micros)
+        .set("virt_s", r.virt_secs)
+        .set("level", r.level.label())
+        .set("target", r.target.as_str())
+        .set("msg", r.message.as_str())
+        .set("fields", fields)
+        .set("truncated", r.truncated)
+}
+
+fn slo_json(s: &SloStatus) -> Json {
+    Json::obj()
+        .set("slo", s.name.as_str())
+        .set("kind", s.kind.label())
+        .set("objective", s.objective)
+        .set("threshold", s.threshold)
+        .set("good", s.good)
+        .set("total", s.total)
+        .set("bad_fraction", s.bad_fraction)
+        .set("budget_remaining", s.budget_remaining)
+        .set("burn_fast", s.burn_fast)
+        .set("burn_slow", s.burn_slow)
+        .set("fast_window", s.fast_window)
+        .set("slow_window", s.slow_window)
+        .set("breached", s.breached)
 }
 
 /// One trace event as a JSON object (`seq`, `t`, `event`, then the typed

@@ -1,0 +1,325 @@
+//! Prometheus exposition-format conformance (DESIGN.md §15): every series a
+//! live server emits must carry `# HELP` / `# TYPE` headers, parse under a
+//! strict grammar (names, label quoting/escaping, float samples), never
+//! duplicate a series, and keep histogram buckets cumulative with an `+Inf`
+//! bucket equal to `_count`. The scrape runs against a real booted server so
+//! the check covers exactly what an agent would ingest.
+
+use drom::SharingFactor;
+use sd_policy::SdPolicy;
+use sd_serve::client::Client;
+use sd_serve::engine::Engine;
+use sd_serve::proto::SubmitRequest;
+use sd_serve::server::{self, ServerConfig};
+use sd_serve::FsyncPolicy;
+use slurm_sim::{IdealModel, SlurmConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One parsed sample line: metric name, sorted label pairs, value.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Strictly parses a `{k="v",…}` label block, honouring the exposition
+/// escapes (`\\`, `\"`, `\n`) and rejecting anything malformed.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if !is_name(&key) {
+            return Err(format!("bad label name `{key}` in `{s}`"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{key}`: value must be quoted in `{s}`"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in `{s}`")),
+                },
+                Some('"') => break,
+                Some('\n') | None => return Err(format!("unterminated label value in `{s}`")),
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("expected `,` or end of labels, got `{c}` in `{s}`")),
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('}') {
+        Some(close) => {
+            let open = line
+                .find('{')
+                .ok_or_else(|| format!("`}}` without `{{`: {line}"))?;
+            let labels = parse_labels(&line[open + 1..close])?;
+            let rest = line[close + 1..]
+                .strip_prefix(' ')
+                .ok_or_else(|| format!("missing space after labels: {line}"))?;
+            (
+                Sample { name: line[..open].to_string(), labels, value: 0.0 },
+                rest,
+            )
+        }
+        None => {
+            let (name, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("no sample value: {line}"))?;
+            (
+                Sample { name: name.to_string(), labels: Vec::new(), value: 0.0 },
+                rest,
+            )
+        }
+    };
+    if !is_name(&head.name) {
+        return Err(format!("bad metric name `{}`", head.name));
+    }
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v
+            .parse()
+            .map_err(|_| format!("unparseable sample value `{v}` in: {line}"))?,
+    };
+    Ok(Sample { value, ..head })
+}
+
+/// Scrapes a live server and runs the strict conformance checks.
+fn check_exposition(text: &str) {
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP carries text");
+            assert!(is_name(name), "bad HELP name: {line}");
+            assert!(!help.trim().is_empty(), "empty HELP text: {line}");
+            assert!(helps.insert(name.to_string()), "duplicate HELP for {name}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("TYPE carries a type");
+            assert!(is_name(name), "bad TYPE name: {line}");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped"),
+                "invalid TYPE `{ty}` for {name}"
+            );
+            assert!(
+                types.insert(name.to_string(), ty.to_string()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+        } else if let Some(rest) = line.strip_prefix('#') {
+            panic!("unknown comment form: #{rest}");
+        } else {
+            samples.push(parse_sample(line).unwrap_or_else(|e| panic!("{e}")));
+        }
+    }
+    assert!(!samples.is_empty(), "server emitted no samples");
+
+    // Every sample belongs to a family that declared both HELP and TYPE;
+    // histogram child series resolve to their family name.
+    let family_of = |name: &str| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stem) = name.strip_suffix(suffix) {
+                if types.get(stem).map(String::as_str) == Some("histogram") {
+                    return stem.to_string();
+                }
+            }
+        }
+        name.to_string()
+    };
+    for s in &samples {
+        let fam = family_of(&s.name);
+        assert!(types.contains_key(&fam), "{}: no # TYPE for family {fam}", s.name);
+        assert!(helps.contains(&fam), "{}: no # HELP for family {fam}", s.name);
+        if types[&fam] != "histogram" {
+            assert_eq!(fam, s.name, "suffix reserved for histograms: {}", s.name);
+        }
+    }
+    // And every declared family emits at least one sample.
+    for name in types.keys() {
+        assert!(
+            samples.iter().any(|s| family_of(&s.name) == *name),
+            "family {name} declared but emitted no samples"
+        );
+        assert!(helps.contains(name), "family {name} has TYPE but no HELP");
+    }
+
+    // No duplicate series (same name + same label set).
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for s in &samples {
+        let mut key = s.name.clone();
+        let mut labels = s.labels.clone();
+        labels.sort();
+        for (k, v) in &labels {
+            key.push_str(&format!("|{k}={v}"));
+        }
+        assert!(seen.insert(key), "duplicate series: {} {:?}", s.name, s.labels);
+    }
+
+    // Histogram invariants: per label-set (minus `le`), buckets have
+    // strictly increasing bounds, cumulative counts, and an +Inf bucket
+    // that equals the family's `_count`.
+    let histograms: Vec<&String> = types
+        .iter()
+        .filter(|(_, ty)| ty.as_str() == "histogram")
+        .map(|(n, _)| n)
+        .collect();
+    assert!(!histograms.is_empty(), "the server exposes histograms");
+    for fam in histograms {
+        let group_key = |s: &Sample| {
+            let mut labels: Vec<_> =
+                s.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            labels.sort();
+            format!("{labels:?}")
+        };
+        let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        for s in &samples {
+            if s.name == format!("{fam}_bucket") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .unwrap_or_else(|| panic!("{fam}_bucket without le: {:?}", s.labels));
+                let bound = match le.1.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    v => v.parse().unwrap_or_else(|_| panic!("bad le `{v}`")),
+                };
+                buckets.entry(group_key(s)).or_default().push((bound, s.value));
+            } else if s.name == format!("{fam}_count") {
+                counts.insert(group_key(s), s.value);
+            }
+        }
+        assert!(!buckets.is_empty(), "{fam}: histogram with no buckets");
+        for (group, series) in &buckets {
+            assert!(
+                series.windows(2).all(|w| w[0].0 < w[1].0),
+                "{fam}{group}: le bounds not strictly increasing"
+            );
+            assert!(
+                series.windows(2).all(|w| w[0].1 <= w[1].1),
+                "{fam}{group}: bucket counts not cumulative"
+            );
+            let (last_bound, last_count) = *series.last().unwrap();
+            assert_eq!(last_bound, f64::INFINITY, "{fam}{group}: missing +Inf bucket");
+            assert_eq!(
+                Some(&last_count),
+                counts.get(group),
+                "{fam}{group}: +Inf bucket != _count"
+            );
+        }
+    }
+}
+
+#[test]
+fn live_scrape_is_strictly_conformant() {
+    // A durable engine with SLOs declared covers every metric family the
+    // server can emit: HTTP counters, job/cluster gauges, histograms, WAL
+    // gauges and the SLO burn-rate block.
+    let dir = std::env::temp_dir().join(format!("sd-metrics-conf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (engine, _status) = Engine::recover(
+        &dir,
+        FsyncPolicy::Never,
+        64,
+        cluster::ClusterSpec::ricc(),
+        SlurmConfig::default(),
+        Box::new(IdealModel),
+        SharingFactor::HALF,
+        Box::new(SdPolicy::default()),
+    )
+    .expect("fresh durable engine");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let slos = vec![
+        sd_obs::SloSpec::parse("submit_availability", 0.99).unwrap(),
+        sd_obs::SloSpec::parse("p99_wait_seconds", 100_000.0).unwrap(),
+    ];
+    let h = std::thread::spawn(move || {
+        server::run(engine, listener, ServerConfig { workers: 2, slos, ..Default::default() }).ok()
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    for i in 0..20u64 {
+        client
+            .submit(&SubmitRequest {
+                procs: 8,
+                req_time: 200,
+                run_time: 100,
+                submit: Some(i * 10),
+                malleable: None,
+                trace_id: None,
+                tenant: Some(1 + i % 3),
+                project: None,
+            })
+            .expect("submit");
+    }
+    client.drain().expect("drain");
+    // Wait for the SLO sampler's first publication so the scrape includes
+    // the budget gauges.
+    for _ in 0..50 {
+        if client.slo().is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+
+    let text = client.metrics().expect("scrape");
+    check_exposition(&text);
+    for series in [
+        "sd_serve_wal_bytes",
+        "sd_serve_wal_segment_age_seconds",
+        "sd_serve_slo_error_budget_remaining",
+        "sd_serve_submit_requests_total",
+    ] {
+        assert!(text.contains(series), "scrape is missing {series}:\n{text}");
+    }
+
+    client.shutdown().expect("shutdown");
+    h.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_parser_rejects_malformed_lines() {
+    // The checker itself must have teeth, or the conformance test proves
+    // nothing. Feed it representative violations.
+    assert!(parse_sample("sd_serve_jobs_pending 3").is_ok());
+    assert!(parse_sample("x{tenant=\"1\"} 2.5").is_ok());
+    assert!(parse_sample("x{l=\"a\\\"b\\\\c\"} 1").is_ok(), "escaped quote + backslash");
+    assert!(parse_sample("9metric 1").is_err(), "name cannot start with a digit");
+    assert!(parse_sample("x{tenant=1} 2").is_err(), "unquoted label value");
+    assert!(parse_sample("x{tenant=\"1} 2").is_err(), "unterminated value");
+    assert!(parse_sample("x{tenant=\"1\"}2").is_err(), "missing space");
+    assert!(parse_sample("x nope").is_err(), "non-numeric sample");
+    assert!(parse_sample("x{l=\"\\q\"} 1").is_err(), "unknown escape");
+}

@@ -63,6 +63,7 @@ impl<S: Scheduler> Controller<S> {
     /// events when tracing is armed. `wall_ns` lives only in these two
     /// events; the virtual-time stream stays deterministic.
     fn run_pass(&mut self) {
+        let _pass = crate::timing::scope(&crate::timing::SCHED_PASS);
         let st = &mut self.state;
         if st.trace.active() {
             let pass = st.stats.sched_passes + 1;

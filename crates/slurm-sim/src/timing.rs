@@ -9,10 +9,14 @@
 //! wall time to `earliest_start`, the backfill trials and the quota checks
 //! instead of one opaque total.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Windowed-profiling refcount: each `/v1/profile?seconds=N` window (or a
+/// long-lived service arming at boot) holds one count. Probes fire while
+/// either the static switch or any window is armed.
+static ARMED: AtomicU32 = AtomicU32::new(0);
 
 /// Turns probes on (process-wide).
 pub fn enable() {
@@ -24,8 +28,20 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
+/// Arms a profiling window; probes fire until the matching [`disarm`].
+/// Nestable (refcounted) — concurrent `/v1/profile` windows compose.
+pub fn arm() {
+    ARMED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Releases one [`arm`] window.
+pub fn disarm() {
+    let prev = ARMED.fetch_sub(1, Ordering::Relaxed);
+    debug_assert!(prev > 0, "disarm without a matching arm");
+}
+
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || ARMED.load(Ordering::Relaxed) > 0
 }
 
 /// Enables probes when the `SD_TIMING` environment variable is set.
@@ -89,8 +105,12 @@ pub static SLOT_SPLIT: FnTimer = FnTimer::new("slot_split");
 /// Slot-tree annotation re-merges (the lazy O(n) bottom-up rebuild the
 /// first query after a mutation pays).
 pub static SLOT_MERGE: FnTimer = FnTimer::new("slot_merge");
+/// One whole scheduler pass (the controller's `run_pass`) — the root frame
+/// every finer-grained probe nests under.
+pub static SCHED_PASS: FnTimer = FnTimer::new("sched_pass");
 
-const ALL: [&FnTimer; 7] = [
+const ALL: [&FnTimer; 8] = [
+    &SCHED_PASS,
     &EARLIEST_START,
     &BACKFILL_TRIAL,
     &QUOTA_CHECK,
@@ -144,6 +164,67 @@ pub fn report() -> Vec<FnTiming> {
     ALL.iter().map(|t| t.snapshot()).collect()
 }
 
+/// `after - before` over two [`report`] snapshots (a profiling window).
+/// Panics if the snapshots are not index-aligned [`report`] outputs.
+pub fn delta(before: &[FnTiming], after: &[FnTiming]) -> Vec<FnTiming> {
+    after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| {
+            assert_eq!(a.name, b.name, "delta over unlike snapshots");
+            FnTiming {
+                name: a.name,
+                count: a.count.saturating_sub(b.count),
+                total_secs: (a.total_secs - b.total_secs).max(0.0),
+            }
+        })
+        .collect()
+}
+
+/// The nominal call hierarchy of each probe, root-first, for
+/// collapsed-stack export. "Nominal" because probes measure inclusive wall
+/// time wherever they fire: `earliest_start` also runs outside backfill
+/// trials and `slot_split` also fires on release patches, but attributing
+/// each probe to its dominant caller keeps the flamegraph honest for the
+/// hot path that matters (the ROADMAP's `backfill_trial` wall).
+pub fn stack_frames(name: &str) -> &'static [&'static str] {
+    match name {
+        "sched_pass" => &["sd", "sched_pass"],
+        "fair_share_sort" => &["sd", "sched_pass", "fair_share_sort"],
+        "quota_check" => &["sd", "sched_pass", "quota_check"],
+        "backfill_trial" => &["sd", "sched_pass", "backfill_trial"],
+        "earliest_start" => &["sd", "sched_pass", "backfill_trial", "earliest_start"],
+        "slot_descend" => {
+            &["sd", "sched_pass", "backfill_trial", "earliest_start", "slot_descend"]
+        }
+        "slot_merge" => &["sd", "sched_pass", "backfill_trial", "earliest_start", "slot_merge"],
+        "slot_split" => &["sd", "sched_pass", "backfill_trial", "slot_split"],
+        _ => &["sd", "other"],
+    }
+}
+
+/// Maps a [`report`]/[`delta`] snapshot onto `(stack, self_micros)` rows
+/// for collapsed-stack rendering: each probe's value is its inclusive wall
+/// time minus its direct children's (clamped at zero — probes measure
+/// independently, so a child can slightly exceed its nominal parent).
+pub fn stack_rows(rows: &[FnTiming]) -> Vec<(Vec<&'static str>, u64)> {
+    let totals: Vec<(&'static [&'static str], u64)> = rows
+        .iter()
+        .map(|r| (stack_frames(r.name), (r.total_secs * 1e6) as u64))
+        .collect();
+    totals
+        .iter()
+        .map(|(frames, total)| {
+            let children: u64 = totals
+                .iter()
+                .filter(|(f, _)| f.len() == frames.len() + 1 && f.starts_with(frames))
+                .map(|(_, v)| *v)
+                .sum();
+            (frames.to_vec(), total.saturating_sub(children))
+        })
+        .collect()
+}
+
 /// Zeroes all counters (e.g. between scenario runs).
 pub fn reset() {
     for t in ALL {
@@ -170,7 +251,7 @@ mod tests {
         }
         drop(scope(&QUOTA_CHECK));
         let rows = report();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         let es = rows.iter().find(|r| r.name == "earliest_start").unwrap();
         assert_eq!(es.count, 3);
         let qc = rows.iter().find(|r| r.name == "quota_check").unwrap();
@@ -180,5 +261,42 @@ mod tests {
         disable();
         reset();
         assert!(report().iter().all(|r| r.count == 0 && r.total_secs == 0.0));
+
+        // Windowed arming: probes fire while any arm() window is open.
+        assert!(!enabled());
+        arm();
+        assert!(enabled());
+        drop(scope(&BACKFILL_TRIAL));
+        disarm();
+        assert!(!enabled());
+        drop(scope(&BACKFILL_TRIAL));
+        assert_eq!(BACKFILL_TRIAL.snapshot().count, 1, "only the armed window");
+        reset();
+    }
+
+    #[test]
+    fn stack_rows_subtract_children_and_stay_rooted() {
+        // Synthetic snapshot: pass 100 ms, trials 60 ms, earliest 20 ms.
+        let rows = vec![
+            FnTiming { name: "sched_pass", count: 1, total_secs: 0.100 },
+            FnTiming { name: "backfill_trial", count: 10, total_secs: 0.060 },
+            FnTiming { name: "earliest_start", count: 10, total_secs: 0.020 },
+        ];
+        let stacks = stack_rows(&rows);
+        let find = |suffix: &str| {
+            stacks
+                .iter()
+                .find(|(f, _)| f.last() == Some(&suffix))
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(find("sched_pass"), 40_000, "pass self = 100 - 60 ms");
+        assert_eq!(find("backfill_trial"), 40_000, "trial self = 60 - 20 ms");
+        assert_eq!(find("earliest_start"), 20_000);
+        assert!(stacks.iter().all(|(f, _)| f[0] == "sd"));
+        // Every timer has a hierarchy entry (no frame falls back to other).
+        for r in report() {
+            assert_ne!(stack_frames(r.name), ["sd", "other"], "{}", r.name);
+        }
     }
 }

@@ -315,6 +315,78 @@ fn torn_wal_tail_recovery_still_matches_offline_replay() {
 }
 
 #[test]
+fn observability_does_not_perturb_results() {
+    // DESIGN.md §15: logging, profiling and SLO sampling are observers —
+    // a session with all three dialled up must return a /v1/result
+    // byte-identical to the plain offline replay.
+    let w = PaperWorkload::W3Ricc;
+    let trace = w.generate(7, 0.02);
+    let cluster = w.cluster(0.02);
+    let cfg = SlurmConfig::default();
+    let reference = offline(&trace, cluster.clone(), cfg.clone(), true);
+
+    sd_obs::set_ring_level(sd_obs::Level::Trace);
+    slurm_sim::timing::arm();
+    let slos = vec![
+        sd_obs::SloSpec::parse("submit_availability", 0.99).unwrap(),
+        sd_obs::SloSpec::parse("p99_wait_seconds", 100_000.0).unwrap(),
+        sd_obs::SloSpec::parse("pass_duration_p95", 0.5).unwrap(),
+    ];
+
+    let state = SimState::new_online(cluster, cfg, Box::new(IdealModel), SharingFactor::HALF);
+    let engine = Engine::new(
+        state,
+        Box::new(SdPolicy::default()) as Box<dyn Scheduler + Send>,
+        ClockMode::Virtual,
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        server::run(engine, listener, ServerConfig { workers: 4, slos, ..Default::default() })
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let head = sd_obs::ring_head();
+    for j in &trace.jobs {
+        client.submit(&wire_request(j)).expect("submit under observation");
+    }
+    client.drain().unwrap();
+
+    // The observers saw the traffic: debug submit events landed in the
+    // ring, and the armed profiler accumulated scheduler passes.
+    let logs = client.logs(head, 64, Some("debug"), Some("engine")).unwrap();
+    let records = logs.get("records").and_then(Json::as_arr).expect("records array");
+    assert!(!records.is_empty(), "debug engine events reached /v1/logs");
+    // The sampler publishes its first evaluation about a second after boot.
+    let slo = std::iter::repeat_with(|| {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        client.slo()
+    })
+    .take(50)
+    .find_map(Result::ok)
+    .expect("/v1/slo answers once the sampler has run");
+    assert_eq!(
+        slo.get("slos").and_then(Json::as_arr).map(|a| a.len()),
+        Some(3),
+        "every declared objective is tracked"
+    );
+    let profile = client.profile(1).expect("profile window");
+    assert!(
+        profile.contains("sd;sched_pass"),
+        "collapsed stacks are rooted at the scheduler pass:\n{profile}"
+    );
+
+    let observed = client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    slurm_sim::timing::disarm();
+    sd_obs::set_ring_level(sd_obs::Level::Info);
+
+    assert_eq!(
+        observed, reference,
+        "observability-on session diverged from the plain offline replay"
+    );
+}
+
+#[test]
 fn interleaved_advance_still_matches_offline_replay() {
     // Submitting in bursts interleaved with clock advances exercises the
     // floor logic: as long as every submission lands at or after the clock,
